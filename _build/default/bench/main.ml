@@ -1,0 +1,127 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (one sub-command per artifact; default = all), and
+   times the compiler phases themselves with Bechamel.
+
+     dune exec bench/main.exe                 # all tables + figures
+     dune exec bench/main.exe table1 fig5     # a subset
+     dune exec bench/main.exe phases          # Bechamel phase timings only
+
+   Artifacts: table1 fig2 fig5 fig6 fig7 fig8 fig10 stats spec_model
+   profvar ablations phases. *)
+
+let suite_artifacts =
+  [ "table1"; "fig2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig10"; "stats" ]
+
+let all_artifacts =
+  suite_artifacts @ [ "spec_model"; "profvar"; "ablations"; "data_spec"; "phases" ]
+
+(* --- Bechamel: compiler-phase timings ----------------------------------- *)
+
+let phase_benchmarks () =
+  let open Bechamel in
+  let w = Epic_workloads.Suite.find_exn "crafty" in
+  let src = w.Epic_workloads.Workload.source in
+  let train = w.Epic_workloads.Workload.train in
+  let prepared_ir () =
+    let p = Epic_frontend.Lower.compile_source src in
+    ignore (Epic_analysis.Profile.profile_and_annotate p train);
+    ignore (Epic_analysis.Points_to.analyze p);
+    Epic_opt.Pipeline.run_classical p;
+    Epic_analysis.Profile.reprofile p train;
+    p
+  in
+  let tests =
+    [
+      Test.make ~name:"frontend: parse+lower crafty"
+        (Staged.stage (fun () -> ignore (Epic_frontend.Lower.compile_source src)));
+      Test.make ~name:"profile: train run"
+        (Staged.stage (fun () ->
+             let p = Epic_frontend.Lower.compile_source src in
+             ignore (Epic_analysis.Profile.profile_and_annotate p train)));
+      Test.make ~name:"classical optimization"
+        (Staged.stage (fun () ->
+             let p = Epic_frontend.Lower.compile_source src in
+             ignore (Epic_analysis.Profile.profile_and_annotate p train);
+             ignore (Epic_analysis.Points_to.analyze p);
+             Epic_opt.Pipeline.run_classical p));
+      Test.make ~name:"region formation (hyper+super+peel)"
+        (Staged.stage (fun () ->
+             let p = prepared_ir () in
+             ignore (Epic_ilp.Peel.run p);
+             Epic_analysis.Profile.reprofile p train;
+             Epic_ilp.Hyperblock.run p;
+             Epic_analysis.Profile.reprofile p train;
+             Epic_ilp.Superblock.run p));
+      Test.make ~name:"backend (regalloc+schedule+layout)"
+        (Staged.stage (fun () ->
+             let p = prepared_ir () in
+             Epic_sched.Regalloc.run p;
+             Epic_sched.List_sched.run p;
+             ignore (Epic_sched.Layout.build p)));
+      Test.make ~name:"full ILP-CS compile (crafty)"
+        (Staged.stage (fun () ->
+             ignore
+               (Epic_core.Driver.compile ~config:Epic_core.Config.ilp_cs ~train src)));
+      Test.make ~name:"simulate crafty train (ILP-CS)"
+        (Staged.stage
+           (let compiled =
+              Epic_core.Driver.compile ~config:Epic_core.Config.ilp_cs ~train src
+            in
+            fun () -> ignore (Epic_core.Driver.run compiled train)));
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.8) ~kde:(Some 300) () in
+    Benchmark.all cfg instances test
+  in
+  Printf.printf "\n== Compiler phase timings (Bechamel, monotonic clock) ==\n\n";
+  List.iter
+    (fun test ->
+      let results = benchmark test in
+      Hashtbl.iter
+        (fun name raw ->
+          let stats =
+            Analyze.one
+              (Analyze.ols ~bootstrap:0 ~r_square:false
+                 ~predictors:[| Bechamel.Measure.run |])
+              Toolkit.Instance.monotonic_clock raw
+          in
+          match Analyze.OLS.estimates stats with
+          | Some [ est ] -> Printf.printf "  %-44s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-44s (no estimate)\n" name)
+        results)
+    tests
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let bad = List.filter (fun a -> not (List.mem a all_artifacts)) args in
+  if bad <> [] then begin
+    Printf.eprintf "unknown artifact(s): %s\nknown: %s\n"
+      (String.concat " " bad)
+      (String.concat " " all_artifacts);
+    exit 2
+  end;
+  let wanted x = args = [] || List.mem x args in
+  let needs_suite = List.exists wanted suite_artifacts in
+  (if needs_suite then begin
+     prerr_endline "running the 12-workload suite under 4 configurations...";
+     let s = Epic_core.Experiments.run_suite ~progress:true () in
+     if wanted "table1" then Epic_core.Report.print_table1 s;
+     if wanted "fig2" then Epic_core.Report.print_fig2 s;
+     if wanted "fig5" then Epic_core.Report.print_fig5 s;
+     if wanted "fig6" then Epic_core.Report.print_fig6 s;
+     if wanted "fig7" then Epic_core.Report.print_fig7 s;
+     if wanted "fig8" then Epic_core.Report.print_fig8 s;
+     if wanted "fig10" then Epic_core.Report.print_fig10 s;
+     if wanted "stats" then Epic_core.Report.print_stats s
+   end);
+  if wanted "spec_model" then
+    Epic_core.Report.print_spec_model (Epic_core.Experiments.spec_model_experiment ());
+  if wanted "profvar" then
+    Epic_core.Report.print_profvar (Epic_core.Experiments.profile_variation ());
+  if wanted "ablations" then
+    Epic_core.Report.print_ablations (Epic_core.Experiments.ablations ());
+  if wanted "data_spec" then
+    Epic_core.Report.print_data_spec (Epic_core.Experiments.data_spec_experiment ());
+  if wanted "phases" then phase_benchmarks ()

@@ -1,0 +1,127 @@
+(* epicc: compile a mini-C source file with a chosen configuration and run
+   it on the Itanium-2-class simulator, printing program output, the cycle
+   accounting and the headline counters. *)
+
+open Cmdliner
+
+let level_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "gcc" -> Ok Epic_core.Config.Gcc_like
+    | "o-ns" | "ons" -> Ok Epic_core.Config.O_NS
+    | "ilp-ns" | "ilpns" -> Ok Epic_core.Config.ILP_NS
+    | "ilp-cs" | "ilpcs" -> Ok Epic_core.Config.ILP_CS
+    | _ -> Error (`Msg "expected one of: gcc, o-ns, ilp-ns, ilp-cs")
+  in
+  let print ppf l = Fmt.string ppf (Epic_core.Config.level_name l) in
+  Arg.conv (parse, print)
+
+let file =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-C source file")
+
+let level =
+  Arg.(
+    value
+    & opt level_conv Epic_core.Config.ILP_CS
+    & info [ "O"; "level" ] ~docv:"LEVEL" ~doc:"optimization level: gcc, o-ns, ilp-ns, ilp-cs")
+
+let sentinel =
+  Arg.(value & flag & info [ "sentinel" ] ~doc:"use sentinel (chk.s) speculation instead of general")
+
+let no_pa =
+  Arg.(value & flag & info [ "no-pointer-analysis" ] ~doc:"disable interprocedural pointer analysis")
+
+let inputs =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "i"; "input" ] ~docv:"INTS" ~doc:"comma-separated input vector (read by input(i))")
+
+let train =
+  Arg.(
+    value
+    & opt (some (list int)) None
+    & info [ "train" ] ~docv:"INTS" ~doc:"training input for profiling (defaults to the run input)")
+
+let dump_ir = Arg.(value & flag & info [ "dump-ir" ] ~doc:"print the final IR before running")
+
+let show_loops =
+  Arg.(
+    value & flag
+    & info [ "loops" ]
+        ~doc:"print the modulo-scheduling analysis (ResMII/RecMII/achieved II) of inner loops")
+
+let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"print program output only")
+
+let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet =
+  let src = In_channel.with_open_text file In_channel.input_all in
+  let input = Array.of_list (List.map Int64.of_int inputs) in
+  let train =
+    match train with
+    | Some t -> Array.of_list (List.map Int64.of_int t)
+    | None -> input
+  in
+  let config =
+    {
+      (Epic_core.Config.make level) with
+      Epic_core.Config.spec_model =
+        (if sentinel then Epic_ilp.Speculate.Sentinel else Epic_ilp.Speculate.General);
+      Epic_core.Config.pointer_analysis = not no_pa;
+    }
+  in
+  match Epic_core.Driver.compile ~config ~train src with
+  | exception Epic_frontend.Lexer.Lex_error (m, l) ->
+      Fmt.epr "%s:%d: lexical error: %s@." file l m;
+      exit 1
+  | exception Epic_frontend.Parser.Parse_error (m, l) ->
+      Fmt.epr "%s:%d: syntax error: %s@." file l m;
+      exit 1
+  | exception Epic_frontend.Lower.Lower_error (m, l) ->
+      Fmt.epr "%s:%d: error: %s@." file l m;
+      exit 1
+  | compiled ->
+      if dump_ir then Fmt.pr "%a@." Epic_ir.Program.pp compiled.Epic_core.Driver.program;
+      if show_loops then begin
+        Fmt.pr ";; inner-loop modulo-scheduling analysis:@.";
+        List.iter
+          (fun (fname, (a : Epic_sched.Modulo.loop_analysis)) ->
+            Fmt.pr ";;   %s/%s: %d ops, ResMII=%d RecMII=%d MII=%d achieved II=%s@."
+              fname a.Epic_sched.Modulo.label a.Epic_sched.Modulo.n_ops
+              a.Epic_sched.Modulo.res_mii a.Epic_sched.Modulo.rec_mii
+              a.Epic_sched.Modulo.mii
+              (match a.Epic_sched.Modulo.achieved_ii with
+              | Some ii -> string_of_int ii
+              | None -> "-"))
+          (Epic_sched.Modulo.analyze compiled.Epic_core.Driver.program)
+      end;
+      let code, out, st = Epic_core.Driver.run compiled input in
+      print_string out;
+      if not quiet then begin
+        let open Epic_sim in
+        Fmt.pr "@.;; %s: exit code %d@." (Epic_core.Config.name config) code;
+        Fmt.pr ";; cycles          %12.0f@." (Accounting.total st.Machine.acc);
+        Fmt.pr ";; planned cycles  %12.0f@." (Accounting.planned st.Machine.acc);
+        Fmt.pr ";; useful ops      %12d (%.2f IPC)@." st.Machine.c.Machine.useful_ops
+          (float_of_int st.Machine.c.Machine.useful_ops
+          /. max 1.0 (Accounting.total st.Machine.acc));
+        Fmt.pr ";; squashed ops    %12d@." st.Machine.c.Machine.squashed_ops;
+        Fmt.pr ";; nop ops         %12d@." st.Machine.c.Machine.nop_ops;
+        Fmt.pr ";; branches        %12d (%d mispredicted)@." st.Machine.c.Machine.branches
+          st.Machine.bp.Branch_pred.mispredictions;
+        Fmt.pr ";; wild loads      %12d@." st.Machine.c.Machine.wild_loads;
+        Fmt.pr ";; chk recoveries  %12d@." st.Machine.c.Machine.chk_recoveries;
+        Fmt.pr ";; code size       %12d bytes@."
+          compiled.Epic_core.Driver.transform_stats.Epic_core.Driver.code_bytes;
+        Fmt.pr ";; cycle accounting:@.%a" Accounting.pp st.Machine.acc
+      end;
+      exit code
+
+let cmd =
+  let doc = "compile mini-C for an Itanium-2-class EPIC machine and simulate it" in
+  Cmd.v
+    (Cmd.info "epicc" ~doc)
+    Term.(
+      const run_cmd $ file $ level $ sentinel $ no_pa $ inputs $ train $ dump_ir
+      $ show_loops $ quiet)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,39 @@
+(* Regenerate every table and figure of the paper's evaluation section.
+   With no arguments runs everything; otherwise each argument names one
+   experiment: table1 fig2 fig5 fig6 fig7 fig8 fig10 stats spec_model
+   profvar ablations. *)
+
+let usage = "experiments [table1|fig2|fig5|fig6|fig7|fig8|fig10|stats|spec_model|profvar|ablations]*"
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let wanted x = args = [] || List.mem x args in
+  let needs_suite =
+    List.exists wanted [ "table1"; "fig2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig10"; "stats" ]
+  in
+  if List.exists (fun a -> a = "-h" || a = "--help") args then print_endline usage
+  else begin
+    let suite =
+      if needs_suite then Some (Epic_core.Experiments.run_suite ~progress:true ())
+      else None
+    in
+    (match suite with
+    | Some s ->
+        if wanted "table1" then Epic_core.Report.print_table1 s;
+        if wanted "fig2" then Epic_core.Report.print_fig2 s;
+        if wanted "fig5" then Epic_core.Report.print_fig5 s;
+        if wanted "fig6" then Epic_core.Report.print_fig6 s;
+        if wanted "fig7" then Epic_core.Report.print_fig7 s;
+        if wanted "fig8" then Epic_core.Report.print_fig8 s;
+        if wanted "fig10" then Epic_core.Report.print_fig10 s;
+        if wanted "stats" then Epic_core.Report.print_stats s
+    | None -> ());
+    if wanted "spec_model" then
+      Epic_core.Report.print_spec_model (Epic_core.Experiments.spec_model_experiment ());
+    if wanted "profvar" then
+      Epic_core.Report.print_profvar (Epic_core.Experiments.profile_variation ());
+    if wanted "ablations" then
+      Epic_core.Report.print_ablations (Epic_core.Experiments.ablations ());
+    if wanted "data_spec" then
+      Epic_core.Report.print_data_spec (Epic_core.Experiments.data_spec_experiment ())
+  end

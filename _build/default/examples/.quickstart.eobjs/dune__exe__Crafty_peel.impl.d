@@ -1,0 +1,1 @@
+examples/crafty_peel.ml: Accounting Epic_analysis Epic_core Epic_frontend Epic_ilp Epic_ir Epic_opt Epic_sim Fmt List Machine

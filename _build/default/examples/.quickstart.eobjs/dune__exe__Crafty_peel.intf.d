@@ -1,0 +1,1 @@
+examples/crafty_peel.mli:

@@ -1,0 +1,1 @@
+examples/custom_workload.ml: Accounting Builder Epic_core Epic_ir Epic_sim Fmt Func Instr List Machine Opcode Operand Program Reg String Verify

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Accounting Epic_core Epic_sim Fmt List Machine

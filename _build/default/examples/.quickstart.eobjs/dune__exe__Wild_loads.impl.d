@@ -1,0 +1,1 @@
+examples/wild_loads.ml: Accounting Epic_core Epic_ilp Epic_sim Fmt Machine

@@ -1,0 +1,1 @@
+examples/wild_loads.mli:

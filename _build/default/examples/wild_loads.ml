@@ -1,0 +1,70 @@
+(* Section 4.3: wild loads under the general speculation model.  A guarded
+   dereference of a pointer/integer union is control-speculated (predicate
+   promotion); the off-path executions present integer garbage as addresses
+   and walk the page tables in the kernel.  The sentinel model defers those
+   accesses with NaT and recovers through chk.s instead.
+
+   Run with:  dune exec examples/wild_loads.exe *)
+
+let source =
+  {|
+int rng;
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int main() {
+  int i; int s; int tag; int payload; int *cells; int *boxed;
+  rng = input(0);
+  // a table of tagged cells: 1-in-4 holds a pointer, the rest hold ints
+  cells = malloc(512 * 16);
+  for (i = 0; i < 512; i = i + 1) {
+    if (rand_next() % 4 == 0) {
+      boxed = malloc(8);
+      boxed[0] = rand_next();
+      cells[i * 2] = 1;
+      cells[i * 2 + 1] = (int) boxed;
+    } else {
+      cells[i * 2] = 0;
+      cells[i * 2 + 1] = rand_next() + 600;
+    }
+  }
+  s = 0;
+  for (i = 0; i < 512; i = i + 1) {
+    tag = cells[i * 2];
+    payload = cells[i * 2 + 1];
+    // the guarded deref: speculation promotes the load above the tag test
+    if (tag == 1) { s = s + *((int*) payload); } else { s = s + payload; }
+    s = s % 1000000;
+  }
+  print_int(s);
+  return 0;
+}
+|}
+
+let () =
+  let input = [| 5L |] in
+  Fmt.pr "Speculation model comparison (Section 4.3 / Figure 9):@.@.";
+  Fmt.pr "%-18s %10s %10s %8s %11s@." "config" "cycles" "kernel" "wild"
+    "recoveries";
+  let show name config =
+    let compiled = Epic_core.Driver.compile ~config ~train:input source in
+    let _, _, st = Epic_core.Driver.run compiled input in
+    let open Epic_sim in
+    Fmt.pr "%-18s %10.0f %10.0f %8d %11d@." name
+      (Accounting.total st.Machine.acc)
+      (Accounting.get st.Machine.acc Accounting.Kernel)
+      st.Machine.c.Machine.wild_loads st.Machine.c.Machine.chk_recoveries
+  in
+  show "ILP-NS (no spec)" (Epic_core.Config.make Epic_core.Config.ILP_NS);
+  show "ILP-CS general" (Epic_core.Config.make Epic_core.Config.ILP_CS);
+  show "ILP-CS sentinel"
+    {
+      (Epic_core.Config.make Epic_core.Config.ILP_CS) with
+      Epic_core.Config.spec_model = Epic_ilp.Speculate.Sentinel;
+    };
+  Fmt.pr
+    "@.Under the general model every off-path execution of the promoted@.";
+  Fmt.pr "load with an integer payload walks the page tables (kernel time);@.";
+  Fmt.pr "the sentinel model defers them and pays chk.s recoveries instead.@."

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Epic_ir Func Hashtbl Instr Intrinsics List Opcode Operand Program

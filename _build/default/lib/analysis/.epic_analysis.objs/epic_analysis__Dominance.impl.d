@@ -1,0 +1,1 @@
+lib/analysis/dominance.ml: Array Block Epic_ir Func Hashtbl List

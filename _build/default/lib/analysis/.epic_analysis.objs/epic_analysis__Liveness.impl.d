@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Block Epic_ir Func Hashtbl Instr List Opcode Reg

@@ -1,0 +1,1 @@
+lib/analysis/memdep.ml: Epic_ir Instr Intrinsics Opcode

@@ -1,0 +1,1 @@
+lib/analysis/memdep.mli: Epic_ir

@@ -1,0 +1,1 @@
+lib/analysis/natural_loops.ml: Block Dominance Epic_ir Func Hashtbl Instr List

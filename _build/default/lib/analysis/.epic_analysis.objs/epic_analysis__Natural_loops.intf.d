@@ -1,0 +1,1 @@
+lib/analysis/natural_loops.mli: Epic_ir

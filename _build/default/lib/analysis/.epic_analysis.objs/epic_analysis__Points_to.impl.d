@@ -1,0 +1,1 @@
+lib/analysis/points_to.ml: Callgraph Epic_ir Func Hashtbl Instr Int Intrinsics List Opcode Operand Printf Program Reg Set

@@ -1,0 +1,1 @@
+lib/analysis/points_to.mli: Epic_ir Set

@@ -1,0 +1,1 @@
+lib/analysis/pred_relations.ml: Block Epic_ir Instr List Opcode Reg

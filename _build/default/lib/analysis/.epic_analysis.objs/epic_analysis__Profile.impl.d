@@ -1,0 +1,1 @@
+lib/analysis/profile.ml: Block Epic_ir Func Hashtbl Instr Interp List Opcode Program

@@ -1,0 +1,75 @@
+(* Call graph construction.  Direct call edges come from the IR; indirect
+   edges come either from profile feedback (preferred, Section 3.1's indirect
+   call specialization) or conservatively from the set of address-taken
+   functions. *)
+
+open Epic_ir
+
+type edge = {
+  caller : string;
+  callee : string;
+  site : int; (* call instruction id *)
+  mutable count : float; (* dynamic calls from profile *)
+}
+
+type t = {
+  edges : edge list;
+  address_taken : string list;
+}
+
+let address_taken_funcs (p : Program.t) =
+  let taken = Hashtbl.create 8 in
+  Program.iter_instrs p (fun i ->
+      match i.Instr.op with
+      | Opcode.Lea -> (
+          match i.Instr.srcs with
+          | Operand.Sym s :: _ when Program.find_func p s <> None ->
+              Hashtbl.replace taken s ()
+          | _ -> ())
+      | _ -> ());
+  Hashtbl.fold (fun f () acc -> f :: acc) taken []
+
+let compute (p : Program.t) =
+  let address_taken = address_taken_funcs p in
+  let edges = ref [] in
+  List.iter
+    (fun (f : Func.t) ->
+      Func.iter_instrs f (fun i ->
+          if Instr.is_call i then
+            match Instr.callee i with
+            | Some callee when not (Intrinsics.is_intrinsic callee) ->
+                edges :=
+                  { caller = f.Func.name; callee; site = i.Instr.id; count = i.Instr.attrs.Instr.weight }
+                  :: !edges
+            | Some _ -> ()
+            | None ->
+                (* indirect: conservatively an edge to each address-taken
+                   function *)
+                List.iter
+                  (fun callee ->
+                    edges :=
+                      { caller = f.Func.name; callee; site = i.Instr.id; count = 0. }
+                      :: !edges)
+                  address_taken))
+    p.Program.funcs;
+  { edges = !edges; address_taken }
+
+let callees t caller =
+  List.filter_map
+    (fun e -> if e.caller = caller then Some e.callee else None)
+    t.edges
+  |> List.sort_uniq compare
+
+(* Is [f] reachable from [g] in the call graph (i.e. could a call to [g]
+   re-enter [f])?  Used to refuse inlining of (mutually) recursive calls. *)
+let reaches t g f =
+  let seen = Hashtbl.create 16 in
+  let rec go cur =
+    if cur = f then true
+    else if Hashtbl.mem seen cur then false
+    else begin
+      Hashtbl.add seen cur ();
+      List.exists go (callees t cur)
+    end
+  in
+  go g

@@ -1,0 +1,19 @@
+(** Call-graph construction: direct edges from the IR, indirect edges
+    conservatively to every address-taken function. *)
+
+type edge = {
+  caller : string;
+  callee : string;
+  site : int;  (** call instruction id *)
+  mutable count : float;
+}
+
+type t = { edges : edge list; address_taken : string list }
+
+val address_taken_funcs : Epic_ir.Program.t -> string list
+val compute : Epic_ir.Program.t -> t
+val callees : t -> string -> string list
+
+(** Could a call to [g] re-enter [f]?  Used to refuse inlining of
+    (mutually) recursive calls. *)
+val reaches : t -> string -> string -> bool

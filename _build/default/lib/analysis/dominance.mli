@@ -1,0 +1,23 @@
+(** Dominator analysis over the block CFG (iterative Cooper–Harvey–Kennedy),
+    used by natural-loop detection, LICM and transform safety checks. *)
+
+type t
+
+val compute : Epic_ir.Func.t -> t
+
+(** Reverse postorder of the reachable blocks (used to build [compute]'s
+    fixed point; also a convenient traversal order for clients). *)
+val reverse_postorder : Epic_ir.Func.t -> string array
+
+val entry_label : t -> string
+
+(** [None] for the entry block. *)
+val immediate_dominator : t -> string -> string option
+
+(** Does [a] dominate [b]?  Reflexive; false for unreachable blocks. *)
+val dominates : t -> string -> string -> bool
+
+(** Children of a label in the dominator tree. *)
+val children : t -> string -> string list
+
+val rpo : t -> string array

@@ -1,0 +1,133 @@
+(* Block-level live-variable analysis, used by dead-code elimination, the
+   register allocator's interference construction, and the scheduler's
+   check that hoisting a definition above a side exit is safe. *)
+
+open Epic_ir
+
+type t = {
+  live_in : (string, Reg.Set.t) Hashtbl.t;
+  live_out : (string, Reg.Set.t) Hashtbl.t;
+  use : (string, Reg.Set.t) Hashtbl.t;
+  def : (string, Reg.Set.t) Hashtbl.t;
+}
+
+let never_tracked (r : Reg.t) = Reg.equal r Reg.r0 || Reg.equal r Reg.p0
+
+(* Does this instruction write its destinations regardless of its guard?
+   Unpredicated instructions do; so do unconditional-type compares, which
+   clear their predicate targets even when the qualifying predicate is
+   false — recognizing this is what keeps hyperblock predicates from
+   looking live around loop back edges. *)
+let killing_def (i : Instr.t) =
+  i.Instr.pred = None
+  ||
+  match i.Instr.op with
+  | Opcode.Cmp (_, Opcode.Unc) | Opcode.Fcmp (_, Opcode.Unc) -> true
+  | _ -> false
+
+(* Per-block upward-exposed uses and definitions.  A predicated definition is
+   not a "kill": when the guard is false the old value survives, so guarded
+   defs count as uses of the old live range for liveness purposes (we treat
+   them simply as non-killing defs). *)
+let local_sets (b : Block.t) =
+  let use = ref Reg.Set.empty and def = ref Reg.Set.empty in
+  List.iter
+    (fun (i : Instr.t) ->
+      List.iter
+        (fun r -> if (not (never_tracked r)) && not (Reg.Set.mem r !def) then use := Reg.Set.add r !use)
+        (Instr.uses i);
+      let killing = killing_def i in
+      if killing then
+        List.iter
+          (fun r -> if not (never_tracked r) then def := Reg.Set.add r !def)
+          (Instr.defs i)
+      else
+        (* conditional def: the old value may flow through *)
+        List.iter
+          (fun r ->
+            if (not (never_tracked r)) && not (Reg.Set.mem r !def) then
+              use := Reg.Set.add r !use)
+          (Instr.defs i))
+    b.Block.instrs;
+  (!use, !def)
+
+let compute (f : Func.t) =
+  let use = Hashtbl.create 16 and def = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      let u, d = local_sets b in
+      Hashtbl.replace use b.Block.label u;
+      Hashtbl.replace def b.Block.label d)
+    f.Func.blocks;
+  let live_in = Hashtbl.create 16 and live_out = Hashtbl.create 16 in
+  List.iter
+    (fun b ->
+      Hashtbl.replace live_in b.Block.label Reg.Set.empty;
+      Hashtbl.replace live_out b.Block.label Reg.Set.empty)
+    f.Func.blocks;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    (* iterate in reverse layout order for fast convergence *)
+    List.iter
+      (fun b ->
+        let label = b.Block.label in
+        let out =
+          List.fold_left
+            (fun acc s ->
+              match Hashtbl.find_opt live_in s with
+              | Some l -> Reg.Set.union acc l
+              | None -> acc)
+            Reg.Set.empty (Func.successors f b)
+        in
+        let inn =
+          Reg.Set.union (Hashtbl.find use label)
+            (Reg.Set.diff out (Hashtbl.find def label))
+        in
+        if not (Reg.Set.equal out (Hashtbl.find live_out label)) then begin
+          Hashtbl.replace live_out label out;
+          changed := true
+        end;
+        if not (Reg.Set.equal inn (Hashtbl.find live_in label)) then begin
+          Hashtbl.replace live_in label inn;
+          changed := true
+        end)
+      (List.rev f.Func.blocks)
+  done;
+  { live_in; live_out; use; def }
+
+let live_in t label =
+  match Hashtbl.find_opt t.live_in label with Some s -> s | None -> Reg.Set.empty
+
+let live_out t label =
+  match Hashtbl.find_opt t.live_out label with Some s -> s | None -> Reg.Set.empty
+
+(* Live registers immediately before each instruction of [b], as a list
+   parallel to [b.instrs] (computed backwards from the fall-through
+   live-out).  At each side-exit branch the target's live-in joins the set:
+   a value dead on the fall-through path may still be observed at the
+   exit. *)
+let per_instr t (f : Func.t) (b : Block.t) =
+  ignore f;
+  let out = live_out t b.Block.label in
+  let rec go acc live = function
+    | [] -> acc
+    | (i : Instr.t) :: rest ->
+        let live =
+          match Instr.branch_target i with
+          | Some target -> Reg.Set.union live (live_in t target)
+          | None -> live
+        in
+        let live =
+          if killing_def i then
+            Reg.Set.diff live (Reg.Set.of_list (Instr.defs i))
+          else live
+        in
+        let live =
+          List.fold_left
+            (fun l r -> if never_tracked r then l else Reg.Set.add r l)
+            live (Instr.uses i)
+        in
+        go (live :: acc) live rest
+  in
+  go [] out (List.rev b.Block.instrs)

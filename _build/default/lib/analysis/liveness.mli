@@ -1,0 +1,17 @@
+(** Block-level live-variable analysis.  Predicated definitions do not kill
+    (the old value survives a false guard) — except unconditional-type
+    compares, which always write their predicate targets. *)
+
+type t
+
+(** Always writes its destinations, regardless of its guard? *)
+val killing_def : Epic_ir.Instr.t -> bool
+
+val compute : Epic_ir.Func.t -> t
+val live_in : t -> string -> Epic_ir.Reg.Set.t
+val live_out : t -> string -> Epic_ir.Reg.Set.t
+
+(** Live registers immediately before each instruction of the block (a list
+    parallel to its instructions), merging branch-target live-ins at each
+    side exit. *)
+val per_instr : t -> Epic_ir.Func.t -> Epic_ir.Block.t -> Epic_ir.Reg.Set.t list

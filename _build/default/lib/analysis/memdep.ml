@@ -1,0 +1,65 @@
+(* Memory-dependence queries over the points-to tags, used by LICM, the
+   dependence-DAG builder and the modulo scheduler to draw only the true,
+   minimum set of arcs among loads, stores and calls (Section 2.2). *)
+
+open Epic_ir
+
+(* Do two tag sets possibly overlap?  [None] is unknown and overlaps all. *)
+let tags_may_alias (a : int list option) (b : int list option) =
+  match (a, b) with
+  | None, _ | _, None -> true
+  | Some xs, Some ys ->
+      (* both sorted *)
+      let rec go xs ys =
+        match (xs, ys) with
+        | [], _ | _, [] -> false
+        | x :: xt, y :: yt ->
+            if x = y then true else if x < y then go xt ys else go xs yt
+      in
+      go xs ys
+
+let may_alias (a : Instr.t) (b : Instr.t) =
+  tags_may_alias a.Instr.attrs.Instr.mem_tag b.Instr.attrs.Instr.mem_tag
+
+(* Intrinsics that neither read nor write program-visible memory; calls to
+   them need no memory dependence arcs. *)
+let intrinsic_touches_memory = function
+  | Intrinsics.Memcpy | Intrinsics.Memset -> true
+  | Intrinsics.Malloc (* allocates, but the fresh pages are untouched *)
+  | Intrinsics.Print_int | Intrinsics.Print_char | Intrinsics.Input
+  | Intrinsics.Input_len | Intrinsics.Exit ->
+      false
+
+let call_touches_memory (i : Instr.t) =
+  match Instr.callee i with
+  | Some name -> (
+      match Intrinsics.of_name name with
+      | Some k -> intrinsic_touches_memory k
+      | None -> true (* ordinary calls may touch anything *))
+  | None -> true (* indirect *)
+
+(* Ordering requirement between two instructions that both touch memory (or
+   are calls), assuming [a] precedes [b] in program order. *)
+let must_order (a : Instr.t) (b : Instr.t) =
+  let a_call = Instr.is_call a and b_call = Instr.is_call b in
+  if a_call || b_call then begin
+    let mem_call i = Instr.is_call i && call_touches_memory i in
+    let other_is_mem other = Instr.is_mem other || Instr.is_call other in
+    (* Calls that touch memory order against every memory op and call;
+       memory-silent intrinsic calls still order against other calls (I/O
+       ordering: print output must stay in order). *)
+    if a_call && b_call then true
+    else if a_call then (call_touches_memory a && Instr.is_mem b) || mem_call a && other_is_mem b
+    else (call_touches_memory b && Instr.is_mem a) || mem_call b && other_is_mem a
+  end
+  else
+    (* a data-speculated (advanced) load is exactly the load freed from
+       ordering against preceding may-aliasing stores; its chk.a recovers *)
+    let advanced (i : Instr.t) =
+      match i.Instr.op with Opcode.Ld (_, Opcode.Spec_advanced) -> true | _ -> false
+    in
+    if Instr.is_store a && advanced b then false
+    else
+      match (Instr.is_store a, Instr.is_store b) with
+      | false, false -> false (* load-load: never ordered *)
+      | _ -> may_alias a b

@@ -1,0 +1,16 @@
+(** Memory-dependence queries over the points-to tags (Section 2.2 "false
+    dependences"): only the true, minimum set of arcs is drawn among loads,
+    stores and calls. *)
+
+(** Do two tag sets possibly overlap?  [None] is unknown and overlaps all. *)
+val tags_may_alias : int list option -> int list option -> bool
+
+val may_alias : Epic_ir.Instr.t -> Epic_ir.Instr.t -> bool
+
+val intrinsic_touches_memory : Epic_ir.Intrinsics.kind -> bool
+val call_touches_memory : Epic_ir.Instr.t -> bool
+
+(** Ordering requirement between two memory-ish instructions, [a] preceding
+    [b] in program order.  Advanced (data-speculated) loads are exempt from
+    store→load ordering — that is the freedom ld.a/chk.a buys. *)
+val must_order : Epic_ir.Instr.t -> Epic_ir.Instr.t -> bool

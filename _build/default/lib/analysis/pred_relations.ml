@@ -1,0 +1,70 @@
+(* Lightweight predicate-relation analysis, a simplified cousin of the
+   BDD-based predicate analysis of Sias et al. [MICRO-33], used by the
+   dependence-DAG builder and register allocator: two instructions guarded by
+   provably-disjoint predicates can never both execute, so output/anti
+   dependences between them may be dropped and their live ranges may share a
+   register. *)
+
+open Epic_ir
+
+type def_info = {
+  cmp_id : int; (* the compare instruction defining the predicate *)
+  polarity : bool; (* true = the "true" target, false = the complement *)
+  guard : Reg.t option; (* the compare's own qualifying predicate *)
+}
+
+type t = { defs : def_info Reg.Tbl.t }
+
+(* Scan a block (typically a hyperblock) and record, for each predicate
+   register, its unique defining compare, when it has exactly one. *)
+let of_block (b : Block.t) =
+  let defs = Reg.Tbl.create 16 in
+  let multiply_defined = Reg.Tbl.create 16 in
+  List.iter
+    (fun (i : Instr.t) ->
+      match i.Instr.op with
+      | Opcode.Cmp (_, _) | Opcode.Fcmp (_, _) -> (
+          match i.Instr.dsts with
+          | [ pt; pf ] ->
+              List.iter
+                (fun (r, pol) ->
+                  if Reg.Tbl.mem defs r || Reg.Tbl.mem multiply_defined r then begin
+                    Reg.Tbl.remove defs r;
+                    Reg.Tbl.replace multiply_defined r ()
+                  end
+                  else
+                    Reg.Tbl.replace defs r
+                      { cmp_id = i.Instr.id; polarity = pol; guard = i.Instr.pred })
+                [ (pt, true); (pf, false) ]
+          | _ -> ())
+      | _ ->
+          (* any other def of a predicate register invalidates tracking *)
+          List.iter
+            (fun (r : Reg.t) ->
+              if r.Reg.cls = Reg.Prd then begin
+                Reg.Tbl.remove defs r;
+                Reg.Tbl.replace multiply_defined r ()
+              end)
+            i.Instr.dsts)
+    b.Block.instrs;
+  { defs }
+
+(* Are [p] and [q] provably disjoint (never simultaneously true)?  True when
+   they are the two targets of the same compare, under the same guard. *)
+let disjoint t (p : Reg.t) (q : Reg.t) =
+  if Reg.equal p q then false
+  else
+    match (Reg.Tbl.find_opt t.defs p, Reg.Tbl.find_opt t.defs q) with
+    | Some a, Some b ->
+        a.cmp_id = b.cmp_id && a.polarity <> b.polarity
+        && (match (a.guard, b.guard) with
+           | None, None -> true
+           | Some g1, Some g2 -> Reg.equal g1 g2
+           | _ -> false)
+    | _ -> false
+
+(* Disjointness lifted to instructions via their guards. *)
+let instrs_disjoint t (a : Instr.t) (b : Instr.t) =
+  match (a.Instr.pred, b.Instr.pred) with
+  | Some p, Some q -> disjoint t p q
+  | _ -> false

@@ -1,0 +1,1 @@
+lib/core/driver.ml: Config Epic_analysis Epic_frontend Epic_ilp Epic_ir Epic_opt Epic_sched Epic_sim Interp List Program Verify

@@ -1,0 +1,1 @@
+lib/core/driver.mli: Config Epic_ir Epic_sched Epic_sim

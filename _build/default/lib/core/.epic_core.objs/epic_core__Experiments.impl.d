@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Accounting Array Config Driver Epic_frontend Epic_ilp Epic_ir Epic_sim Epic_workloads Fmt List Machine Metrics Printf Suite Workload

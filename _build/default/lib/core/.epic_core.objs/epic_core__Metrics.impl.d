@@ -1,0 +1,1 @@
+lib/core/metrics.ml: Accounting Array Branch_pred Cache Config Driver Epic_sim Hashtbl List Machine Rse Tlb

@@ -1,0 +1,1 @@
+lib/core/metrics.mli: Config Driver Epic_sim

@@ -1,0 +1,1 @@
+lib/core/random_program.ml: Config Driver Epic_frontend Epic_ilp Epic_ir Epic_sim Printexc Printf QCheck String

@@ -1,0 +1,1 @@
+lib/core/report.ml: Accounting Array Config Epic_sim Experiments List Printf String

@@ -1,0 +1,67 @@
+(* Compilation configurations.  The four levels reproduce the paper's
+   columns: a GCC-like traditional compiler, IMPACT classical (O-NS), ILP
+   transformation without control speculation (ILP-NS), and with it
+   (ILP-CS).  All IMPACT levels share inlining, indirect-call specialization
+   and interprocedural pointer analysis, exactly as the paper holds those
+   constant across its comparison. *)
+
+type level = Gcc_like | O_NS | ILP_NS | ILP_CS
+
+type t = {
+  level : level;
+  spec_model : Epic_ilp.Speculate.model; (* ILP-CS only *)
+  pointer_analysis : bool; (* disabled for eon/perlbmk in the paper *)
+  inline_budget : float;
+  superblock : Epic_ilp.Superblock.params;
+  hyperblock : Epic_ilp.Hyperblock.params;
+  peel : Epic_ilp.Peel.params;
+  unroll : Epic_ilp.Unroll.params;
+  enable_peel : bool;
+  enable_unroll : bool;
+  enable_hyperblock : bool;
+  enable_superblock : bool;
+  enable_height_reduction : bool;
+  enable_data_speculation : bool;
+      (* extension (paper Section 2: not used by IMPACT's main results;
+         "a limited initial application is providing a 5% speedup" on gap) *)
+}
+
+let make ?(spec_model = Epic_ilp.Speculate.General) ?(pointer_analysis = true)
+    ?(inline_budget = 1.6) level =
+  {
+    level;
+    spec_model;
+    pointer_analysis;
+    inline_budget;
+    superblock = Epic_ilp.Superblock.default_params;
+    hyperblock = Epic_ilp.Hyperblock.default_params;
+    peel = Epic_ilp.Peel.default_params;
+    unroll = Epic_ilp.Unroll.default_params;
+    enable_peel = true;
+    enable_unroll = true;
+    enable_hyperblock = true;
+    enable_superblock = true;
+    enable_height_reduction = true;
+    enable_data_speculation = false;
+  }
+
+let gcc_like = make Gcc_like
+let o_ns = make O_NS
+let ilp_ns = make ILP_NS
+let ilp_cs = make ILP_CS
+
+let level_name = function
+  | Gcc_like -> "GCC"
+  | O_NS -> "O-NS"
+  | ILP_NS -> "ILP-NS"
+  | ILP_CS -> "ILP-CS"
+
+let name c =
+  level_name c.level
+  ^
+  match (c.level, c.spec_model) with
+  | ILP_CS, Epic_ilp.Speculate.Sentinel -> "(sentinel)"
+  | _ -> ""
+
+let is_ilp c = match c.level with ILP_NS | ILP_CS -> true | Gcc_like | O_NS -> false
+let has_speculation c = c.level = ILP_CS

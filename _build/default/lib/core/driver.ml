@@ -1,0 +1,179 @@
+(* The compilation driver: runs the phase sequence of the paper's Figure 4
+   for a given configuration, producing a scheduled, register-allocated,
+   laid-out binary image ready for the machine simulator. *)
+
+open Epic_ir
+
+type compiled = {
+  program : Program.t;
+  layout : Epic_sched.Layout.t;
+  config : Config.t;
+  transform_stats : transform_stats;
+}
+
+and transform_stats = {
+  instrs_after_frontend : int;
+  instrs_after_classical : int;
+  instrs_final : int;
+  inlined_sites : int;
+  specialized_calls : int;
+  peeled_loops : int;
+  unrolled_loops : int;
+  hyperblocks : int;
+  superblocks : int;
+  tail_dup_instrs : int;
+  peel_instrs : int;
+  promoted_loads : int;
+  marked_spec_loads : int;
+  advanced_loads : int;
+  static_bundles : int;
+  code_bytes : int;
+}
+
+let reset_pass_stats () =
+  Epic_ilp.Superblock.reset_stats ();
+  Epic_ilp.Hyperblock.reset_stats ();
+  Epic_ilp.Peel.reset_stats ();
+  Epic_ilp.Unroll.reset_stats ();
+  Epic_ilp.Speculate.reset_stats ();
+  Epic_ilp.Data_spec.reset_stats ();
+  Epic_ilp.Height.reset_stats ();
+  Epic_sched.Regalloc.reset_stats ()
+
+(* Compile IR under [config], profiling with [train] input. *)
+let compile_ir ?(config = Config.o_ns) ~(train : int64 array) (p : Program.t) =
+  reset_pass_stats ();
+  Verify.check_program p;
+  let n0 = Program.instr_count p in
+  let inlined = ref 0 and specialized = ref 0 in
+  let peeled = ref 0 and unrolled = ref 0 in
+  (match config.Config.level with
+  | Config.Gcc_like ->
+      (* traditional compilation: classical optimization only, no profile
+         feedback, no inlining, no interprocedural analysis *)
+      Epic_opt.Pipeline.run_classical p
+  | Config.O_NS | Config.ILP_NS | Config.ILP_CS ->
+      (* high-level phase: profile, specialize indirect calls, inline *)
+      let prof = Epic_analysis.Profile.profile_and_annotate p train in
+      specialized := Epic_opt.Indirect_call.run p prof;
+      if !specialized > 0 then Epic_analysis.Profile.reprofile p train;
+      inlined := Epic_opt.Inline.run ~budget:config.Config.inline_budget p;
+      Epic_analysis.Profile.reprofile p train;
+      (* interprocedural pointer analysis annotates memory dependence tags *)
+      ignore (Epic_analysis.Points_to.analyze ~enabled:config.Config.pointer_analysis p);
+      Epic_opt.Pipeline.run_classical p;
+      Epic_analysis.Profile.reprofile p train);
+  let n1 = Program.instr_count p in
+  (* low-level ILP phase *)
+  if Config.is_ilp config then begin
+    if config.Config.enable_peel then begin
+      peeled := Epic_ilp.Peel.run ~params:config.Config.peel p;
+      if !peeled > 0 then begin
+        Verify.check_program p;
+        Epic_analysis.Profile.reprofile p train
+      end
+    end;
+    if config.Config.enable_hyperblock then begin
+      Epic_ilp.Hyperblock.run ~params:config.Config.hyperblock p;
+      Verify.check_program p;
+      Epic_analysis.Profile.reprofile p train
+    end;
+    if config.Config.enable_superblock then begin
+      Epic_ilp.Superblock.run ~params:config.Config.superblock p;
+      Verify.check_program p;
+      Epic_analysis.Profile.reprofile p train
+    end;
+    if config.Config.enable_unroll then begin
+      unrolled := Epic_ilp.Unroll.run ~params:config.Config.unroll p;
+      if !unrolled > 0 then begin
+        Verify.check_program p;
+        Epic_analysis.Profile.reprofile p train
+      end
+    end;
+    (* post-region cleanup *)
+    Epic_opt.Pipeline.run_classical p;
+    (* data-height reduction of the accumulator chains exposed by region
+       formation and unrolling *)
+    if config.Config.enable_height_reduction then begin
+      if Epic_ilp.Height.run p then begin
+        Verify.check_program p;
+        Epic_opt.Pipeline.run_classical p
+      end
+    end;
+    Epic_analysis.Profile.reprofile p train;
+    if Config.has_speculation config then begin
+      Epic_ilp.Speculate.run
+        ~params:
+          {
+            Epic_ilp.Speculate.default_params with
+            Epic_ilp.Speculate.model = config.Config.spec_model;
+          }
+        p;
+      Verify.check_program p
+    end;
+    (* extension: data speculation (ld.a / chk.a through the ALAT) *)
+    if config.Config.enable_data_speculation then begin
+      Epic_ilp.Data_spec.run p;
+      Verify.check_program p
+    end
+  end;
+  (* code generation: cold-code sinking, register allocation, scheduling,
+     bundling and layout *)
+  List.iter Epic_sched.Layout.sink_cold_blocks p.Program.funcs;
+  Epic_sched.Regalloc.run p;
+  (* the GCC-like configuration performs no instruction reordering *)
+  Epic_sched.List_sched.run ~reorder:(config.Config.level <> Config.Gcc_like) p;
+  Verify.check_program p;
+  let layout = Epic_sched.Layout.build p in
+  {
+    program = p;
+    layout;
+    config;
+    transform_stats =
+      {
+        instrs_after_frontend = n0;
+        instrs_after_classical = n1;
+        instrs_final = Program.instr_count p;
+        inlined_sites = !inlined;
+        specialized_calls = !specialized;
+        peeled_loops = !peeled;
+        unrolled_loops = !unrolled;
+        hyperblocks = Epic_ilp.Hyperblock.stats.Epic_ilp.Hyperblock.regions_converted;
+        superblocks = Epic_ilp.Superblock.stats.Epic_ilp.Superblock.traces_formed;
+        tail_dup_instrs = Epic_ilp.Superblock.stats.Epic_ilp.Superblock.tail_dup_instrs;
+        peel_instrs = Epic_ilp.Peel.stats.Epic_ilp.Peel.peel_instrs;
+        promoted_loads = Epic_ilp.Speculate.stats.Epic_ilp.Speculate.promoted;
+        marked_spec_loads = Epic_ilp.Speculate.stats.Epic_ilp.Speculate.marked;
+        advanced_loads = Epic_ilp.Data_spec.stats.Epic_ilp.Data_spec.advanced;
+        static_bundles = Epic_sched.Layout.static_bundles layout;
+        code_bytes = layout.Epic_sched.Layout.code_bytes;
+      };
+  }
+
+(* Compile mini-C source text.  If the structural transforms of an ILP
+   configuration blow the (finite) predicate file — possible for adversarial
+   inputs despite the hyperblock pressure guard — fall back to progressively
+   less aggressive region formation rather than failing the compile. *)
+let compile ?(config = Config.o_ns) ~(train : int64 array) (src : string) =
+  let attempt config =
+    let p = Epic_frontend.Lower.compile_source src in
+    compile_ir ~config ~train p
+  in
+  try attempt config
+  with Epic_sched.Regalloc.Out_of_registers _ -> (
+    try
+      attempt
+        { config with Config.enable_unroll = false; Config.enable_hyperblock = false }
+    with Epic_sched.Regalloc.Out_of_registers _ ->
+      attempt { config with Config.level = Config.O_NS })
+
+(* Run a compiled binary on the machine simulator. *)
+let run ?fuel (c : compiled) (input : int64 array) =
+  Epic_sim.Machine.run ?fuel c.program c.layout input
+
+(* Reference semantics: the pre-backend program still runs on the
+   high-level interpreter (scheduling does not change IR meaning), so a
+   compiled program can always be cross-checked. *)
+let run_reference ?fuel (c : compiled) (input : int64 array) =
+  let code, out, _ = Interp.run ?fuel c.program input in
+  (code, out)

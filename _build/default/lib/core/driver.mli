@@ -1,0 +1,58 @@
+(** The compilation driver: the phase sequence of the paper's Figure 4,
+    from mini-C source (or IR) to a scheduled, register-allocated, laid-out
+    binary image, plus runners for the simulator and for the reference
+    interpreter. *)
+
+type compiled = {
+  program : Epic_ir.Program.t;  (** the final (scheduled, allocated) IR *)
+  layout : Epic_sched.Layout.t;  (** bundles and code addresses *)
+  config : Config.t;
+  transform_stats : transform_stats;
+}
+
+(** Static statistics of one compilation, feeding the code-growth numbers of
+    Sections 3.2 and 4.1. *)
+and transform_stats = {
+  instrs_after_frontend : int;
+  instrs_after_classical : int;
+  instrs_final : int;
+  inlined_sites : int;
+  specialized_calls : int;
+  peeled_loops : int;
+  unrolled_loops : int;
+  hyperblocks : int;
+  superblocks : int;
+  tail_dup_instrs : int;
+  peel_instrs : int;
+  promoted_loads : int;
+  marked_spec_loads : int;
+  advanced_loads : int;
+  static_bundles : int;
+  code_bytes : int;
+}
+
+(** Reset the per-pass statistics counters (done automatically by
+    [compile]). *)
+val reset_pass_stats : unit -> unit
+
+(** Compile an already-lowered program under [config], profiling on the
+    [train] input.  The program is transformed in place. *)
+val compile_ir :
+  ?config:Config.t -> train:int64 array -> Epic_ir.Program.t -> compiled
+
+(** Compile mini-C source text.  ILP configurations degrade gracefully
+    (less aggressive region formation) if the structural transforms would
+    exhaust the predicate register file. *)
+val compile : ?config:Config.t -> train:int64 array -> string -> compiled
+
+(** Run a compiled binary on the Itanium-2-class simulator; returns
+    (exit code, program output, final machine state with all counters). *)
+val run :
+  ?fuel:int ->
+  compiled ->
+  int64 array ->
+  int * string * Epic_sim.Machine.t
+
+(** Run the compiled program's IR on the reference interpreter (scheduling
+    does not change IR meaning, so this cross-checks the simulator). *)
+val run_reference : ?fuel:int -> compiled -> int64 array -> int * string

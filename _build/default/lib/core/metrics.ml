@@ -1,0 +1,85 @@
+(* Measurements extracted from one simulated run — the counter set the paper
+   reads from Pfmon, plus compiler-side statistics. *)
+
+type run = {
+  workload : string;
+  config : Config.t;
+  cycles : float;
+  planned : float; (* unstalled + scoreboard categories (footnote 4) *)
+  categories : float array; (* the 9 accounting categories *)
+  useful_ops : int;
+  squashed_ops : int;
+  nop_ops : int;
+  kernel_ops : int;
+  branches : int;
+  predictions : int;
+  mispredictions : int;
+  l1i_accesses : int;
+  l1i_misses : int;
+  l1d_accesses : int;
+  l1d_misses : int;
+  dtlb_misses : int;
+  wild_loads : int;
+  spec_loads : int;
+  chk_recoveries : int;
+  rse_spills : int;
+  groups : int;
+  by_func : (string * float array) list; (* per-function category cycles *)
+  stats : Driver.transform_stats;
+  output_matches : bool; (* simulator output == reference interpreter output *)
+}
+
+let of_machine ~(workload : string) (compiled : Driver.compiled)
+    (st : Epic_sim.Machine.t) ~(output_matches : bool) =
+  let open Epic_sim in
+  let acc = st.Machine.acc in
+  {
+    workload;
+    config = compiled.Driver.config;
+    cycles = Accounting.total acc;
+    planned = Accounting.planned acc;
+    categories = Array.copy acc.Accounting.totals;
+    useful_ops = st.Machine.c.Machine.useful_ops;
+    squashed_ops = st.Machine.c.Machine.squashed_ops;
+    nop_ops = st.Machine.c.Machine.nop_ops;
+    kernel_ops = st.Machine.c.Machine.kernel_ops;
+    branches = st.Machine.c.Machine.branches;
+    predictions = st.Machine.bp.Branch_pred.predictions;
+    mispredictions = st.Machine.bp.Branch_pred.mispredictions;
+    l1i_accesses = st.Machine.l1i.Cache.accesses;
+    l1i_misses = st.Machine.l1i.Cache.misses;
+    l1d_accesses = st.Machine.l1d.Cache.accesses;
+    l1d_misses = st.Machine.l1d.Cache.misses;
+    dtlb_misses = st.Machine.dtlb.Tlb.misses;
+    wild_loads = st.Machine.c.Machine.wild_loads;
+    spec_loads = st.Machine.c.Machine.spec_loads;
+    chk_recoveries = st.Machine.c.Machine.chk_recoveries;
+    rse_spills = st.Machine.rse.Rse.spills;
+    groups = st.Machine.c.Machine.groups;
+    by_func =
+      Hashtbl.fold (fun f b acc -> (f, Array.copy b) :: acc)
+        acc.Accounting.by_func [];
+    stats = compiled.Driver.transform_stats;
+    output_matches;
+  }
+
+(* Planned IPC: useful operations per anticipated cycle (the paper's 2.63
+   for ILP-CS); achieved IPC: useful operations per actual cycle (1.23). *)
+let planned_ipc r =
+  if r.planned > 0. then float_of_int r.useful_ops /. r.planned else 0.
+
+let achieved_ipc r =
+  if r.cycles > 0. then float_of_int r.useful_ops /. r.cycles else 0.
+
+let branch_prediction_rate r =
+  if r.predictions = 0 then 1.0
+  else 1.0 -. (float_of_int r.mispredictions /. float_of_int r.predictions)
+
+let category r cat = r.categories.(Epic_sim.Accounting.index cat)
+
+let geomean xs =
+  match xs with
+  | [] -> 0.
+  | _ ->
+      let n = float_of_int (List.length xs) in
+      exp (List.fold_left (fun acc x -> acc +. log (max x 1e-9)) 0. xs /. n)

@@ -1,0 +1,50 @@
+(** Measurements extracted from one simulated run — the counter set the
+    paper reads from Pfmon, plus compiler-side statistics — and the derived
+    quantities the figures plot. *)
+
+type run = {
+  workload : string;
+  config : Config.t;
+  cycles : float;
+  planned : float;  (** unstalled + scoreboard categories (footnote 4) *)
+  categories : float array;  (** the 9 accounting categories *)
+  useful_ops : int;
+  squashed_ops : int;
+  nop_ops : int;
+  kernel_ops : int;
+  branches : int;
+  predictions : int;
+  mispredictions : int;
+  l1i_accesses : int;
+  l1i_misses : int;
+  l1d_accesses : int;
+  l1d_misses : int;
+  dtlb_misses : int;
+  wild_loads : int;
+  spec_loads : int;
+  chk_recoveries : int;
+  rse_spills : int;
+  groups : int;
+  by_func : (string * float array) list;
+  stats : Driver.transform_stats;
+  output_matches : bool;
+      (** simulator output equalled the reference interpreter's *)
+}
+
+val of_machine :
+  workload:string ->
+  Driver.compiled ->
+  Epic_sim.Machine.t ->
+  output_matches:bool ->
+  run
+
+(** Useful operations per statically-anticipated cycle (paper: 2.63 for
+    ILP-CS). *)
+val planned_ipc : run -> float
+
+(** Useful operations per actual cycle (paper: 1.23). *)
+val achieved_ipc : run -> float
+
+val branch_prediction_rate : run -> float
+val category : run -> Epic_sim.Accounting.category -> float
+val geomean : float list -> float

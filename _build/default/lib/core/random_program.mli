@@ -1,0 +1,29 @@
+(** Random mini-C program generation and whole-pipeline differential
+    checking, shared by the test suite's qcheck property and by the
+    standalone fuzzer (bin/fuzz.exe).  Generated programs always
+    terminate. *)
+
+module Gen : sig
+  (** A random, terminating mini-C program as source text. *)
+  val program : string QCheck.Gen.t
+end
+
+(** The configurations a program is checked under: the paper's four levels
+    plus the sentinel- and data-speculation variants. *)
+val configs : (string * Config.t) list
+
+type outcome =
+  | Agree
+  | Skipped  (** the reference ran out of fuel; vacuous *)
+  | Mismatch of { config : string; ir_ok : bool; machine_ok : bool }
+  | Crash of { config : string; exn : string }
+
+(** Unoptimized reference behaviour: (exit code, output). *)
+val reference : ?fuel:int -> string -> int64 array -> int * string
+
+(** Compile at every configuration; compare interpreter and machine
+    behaviour against the reference. *)
+val check : ?fuel:int -> string -> int64 array -> outcome
+
+(** [Agree] or [Skipped]. *)
+val agrees : ?fuel:int -> string -> int64 array -> bool

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Array Ast Builder Epic_ir Fmt Func Hashtbl Instr Int64 Intrinsics List Opcode Operand Parser Program Reg

@@ -1,0 +1,87 @@
+(* Abstract syntax of mini-C, the small imperative language the workload
+   suite is written in.  It is a C subset with 64-bit ints, floats, pointers
+   (with free int<->pointer conversion, needed to model the pointer/integer
+   union types behind the paper's "wild loads"), arrays, and function
+   pointers via C-style indirect calls. *)
+
+type ty = Tint | Tfloat | Tptr of ty | Tvoid
+
+type unop = Neg | Lognot | Bitnot | Deref | Addr
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Band | Bor | Bxor | Shl | Shr
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | Land | Lor (* short-circuit *)
+
+type expr = {
+  desc : expr_desc;
+  line : int;
+}
+
+and expr_desc =
+  | Num of int64
+  | Fnum of float
+  | Var of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Index of expr * expr (* a[i] *)
+  | Call of callee * expr list
+  | Cast of ty * expr
+  | Ternary of expr * expr * expr (* c ? a : b *)
+
+and callee =
+  | Direct of string
+  | Indirect of expr (* call through a function pointer expression *)
+
+type lvalue =
+  | Lvar of string
+  | Lderef of expr
+  | Lindex of expr * expr
+
+type stmt = {
+  sdesc : stmt_desc;
+  sline : int;
+}
+
+and stmt_desc =
+  | Sdecl of ty * string * int option * expr option
+      (* type, name, array length, scalar initializer *)
+  | Sassign of lvalue * expr
+  | Sexpr of expr
+  | Sif of expr * stmt list * stmt list
+  | Swhile of expr * stmt list
+  | Sdo of stmt list * expr (* do { } while (e); *)
+  | Sfor of stmt option * expr option * stmt option * stmt list
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+
+type func = {
+  fname : string;
+  ret : ty;
+  params : (ty * string) list;
+  body : stmt list;
+  fline : int;
+}
+
+type global = {
+  gty : ty;
+  gname : string;
+  array_len : int option;
+  ginit : int64 array option;
+  gfinit : float array option;
+}
+
+type decl = Dfunc of func | Dglobal of global
+
+type program = decl list
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tfloat -> "float"
+  | Tptr t -> ty_to_string t ^ "*"
+  | Tvoid -> "void"
+
+(* Element size for pointer arithmetic: all our element types are 8 bytes. *)
+let elem_size (_ : ty) = 8

@@ -1,0 +1,211 @@
+(* Hand-written lexer for mini-C. *)
+
+type token =
+  | INT_KW | FLOAT_KW | VOID_KW
+  | IF | ELSE | WHILE | DO | FOR | RETURN | BREAK | CONTINUE
+  | IDENT of string
+  | NUM of int64
+  | FNUM of float
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | SHL_OP | SHR_OP
+  | LT_OP | LE_OP | GT_OP | GE_OP | EQ_OP | NE_OP
+  | ANDAND | OROR | BANG
+  | ASSIGN
+  | QUESTION | COLON
+  | EOF
+
+exception Lex_error of string * int (* message, line *)
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let create src = { src; pos = 0; line = 1 }
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance lx =
+  (if lx.pos < String.length lx.src && lx.src.[lx.pos] = '\n' then
+     lx.line <- lx.line + 1);
+  lx.pos <- lx.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || is_digit c
+
+let keyword = function
+  | "int" -> Some INT_KW
+  | "float" -> Some FLOAT_KW
+  | "void" -> Some VOID_KW
+  | "if" -> Some IF
+  | "else" -> Some ELSE
+  | "while" -> Some WHILE
+  | "do" -> Some DO
+  | "for" -> Some FOR
+  | "return" -> Some RETURN
+  | "break" -> Some BREAK
+  | "continue" -> Some CONTINUE
+  | _ -> None
+
+let rec skip_ws_and_comments lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance lx;
+      skip_ws_and_comments lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+      while peek_char lx <> None && peek_char lx <> Some '\n' do
+        advance lx
+      done;
+      skip_ws_and_comments lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '*' ->
+      advance lx;
+      advance lx;
+      let rec go () =
+        match peek_char lx with
+        | None -> raise (Lex_error ("unterminated comment", lx.line))
+        | Some '*' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+            advance lx;
+            advance lx
+        | Some _ ->
+            advance lx;
+            go ()
+      in
+      go ();
+      skip_ws_and_comments lx
+  | _ -> ()
+
+let lex_number lx =
+  let start = lx.pos in
+  while (match peek_char lx with Some c -> is_digit c | None -> false) do
+    advance lx
+  done;
+  let is_float =
+    match peek_char lx with
+    | Some '.' when lx.pos + 1 < String.length lx.src && is_digit lx.src.[lx.pos + 1] ->
+        advance lx;
+        while (match peek_char lx with Some c -> is_digit c | None -> false) do
+          advance lx
+        done;
+        true
+    | _ -> false
+  in
+  let s = String.sub lx.src start (lx.pos - start) in
+  if is_float then FNUM (float_of_string s) else NUM (Int64.of_string s)
+
+(* Returns (token, line-where-it-started). *)
+let next lx =
+  skip_ws_and_comments lx;
+  let line = lx.line in
+  let two t =
+    advance lx;
+    advance lx;
+    (t, line)
+  in
+  let one t =
+    advance lx;
+    (t, line)
+  in
+  match peek_char lx with
+  | None -> (EOF, line)
+  | Some c when is_digit c -> (lex_number lx, line)
+  | Some c when is_ident_start c ->
+      let start = lx.pos in
+      while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+        advance lx
+      done;
+      let s = String.sub lx.src start (lx.pos - start) in
+      ((match keyword s with Some k -> k | None -> IDENT s), line)
+  | Some c -> (
+      let next_is ch = lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = ch in
+      match c with
+      | '(' -> one LPAREN
+      | ')' -> one RPAREN
+      | '{' -> one LBRACE
+      | '}' -> one RBRACE
+      | '[' -> one LBRACKET
+      | ']' -> one RBRACKET
+      | ';' -> one SEMI
+      | ',' -> one COMMA
+      | '+' -> one PLUS
+      | '-' -> one MINUS
+      | '*' -> one STAR
+      | '/' -> one SLASH
+      | '%' -> one PERCENT
+      | '~' -> one TILDE
+      | '^' -> one CARET
+      | '?' -> one QUESTION
+      | ':' -> one COLON
+      | '&' -> if next_is '&' then two ANDAND else one AMP
+      | '|' -> if next_is '|' then two OROR else one PIPE
+      | '<' ->
+          if next_is '=' then two LE_OP
+          else if next_is '<' then two SHL_OP
+          else one LT_OP
+      | '>' ->
+          if next_is '=' then two GE_OP
+          else if next_is '>' then two SHR_OP
+          else one GT_OP
+      | '=' -> if next_is '=' then two EQ_OP else one ASSIGN
+      | '!' -> if next_is '=' then two NE_OP else one BANG
+      | _ -> raise (Lex_error (Printf.sprintf "unexpected character %c" c, line)))
+
+(* Tokenize the whole input, attaching line numbers. *)
+let tokenize src =
+  let lx = create src in
+  let rec go acc =
+    let t, line = next lx in
+    match t with EOF -> List.rev ((EOF, line) :: acc) | _ -> go ((t, line) :: acc)
+  in
+  go []
+
+let token_to_string = function
+  | INT_KW -> "int"
+  | FLOAT_KW -> "float"
+  | VOID_KW -> "void"
+  | IF -> "if"
+  | ELSE -> "else"
+  | WHILE -> "while"
+  | DO -> "do"
+  | FOR -> "for"
+  | RETURN -> "return"
+  | BREAK -> "break"
+  | CONTINUE -> "continue"
+  | IDENT s -> s
+  | NUM n -> Int64.to_string n
+  | FNUM f -> string_of_float f
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | SEMI -> ";"
+  | COMMA -> ","
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | STAR -> "*"
+  | SLASH -> "/"
+  | PERCENT -> "%"
+  | AMP -> "&"
+  | PIPE -> "|"
+  | CARET -> "^"
+  | TILDE -> "~"
+  | SHL_OP -> "<<"
+  | SHR_OP -> ">>"
+  | LT_OP -> "<"
+  | LE_OP -> "<="
+  | GT_OP -> ">"
+  | GE_OP -> ">="
+  | EQ_OP -> "=="
+  | NE_OP -> "!="
+  | ANDAND -> "&&"
+  | OROR -> "||"
+  | BANG -> "!"
+  | ASSIGN -> "="
+  | QUESTION -> "?"
+  | COLON -> ":"
+  | EOF -> "<eof>"

@@ -1,0 +1,641 @@
+(* Lowering from the mini-C AST to the low-level IR (the "Pcode generation /
+   lowering" phases of Figure 4 in the paper).  The output is unoptimized,
+   three-operand, virtual-register code: one IR function per source function,
+   globals placed in the program's data segment, local arrays in the memory
+   stack frame, scalars in virtual registers. *)
+
+open Epic_ir
+open Ast
+
+exception Lower_error of string * int
+
+let err line fmt = Fmt.kstr (fun s -> raise (Lower_error (s, line))) fmt
+
+type binding =
+  | Breg of Reg.t * ty (* scalar local or parameter *)
+  | Bframe of int * ty (* local array: offset within the frame *)
+  | Bglobal of Program.global * ty * bool (* global; bool = is_array *)
+  | Bfunc of ty (* function name; value = code address *)
+
+type env = {
+  program : Program.t;
+  fsigs : (string, ty * ty list) Hashtbl.t;
+  mutable scopes : (string, binding) Hashtbl.t list;
+  bld : Builder.t;
+  mutable loop_stack : (string * string) list; (* (break_lbl, continue_lbl) *)
+  mutable frame_off : int;
+  ret_ty : ty;
+}
+
+let push_scope env = env.scopes <- Hashtbl.create 16 :: env.scopes
+let pop_scope env =
+  match env.scopes with _ :: tl -> env.scopes <- tl | [] -> ()
+
+let bind env name b =
+  match env.scopes with
+  | s :: _ -> Hashtbl.replace s name b
+  | [] -> invalid_arg "Lower.bind: no scope"
+
+let rec lookup_scopes name = function
+  | [] -> None
+  | s :: tl -> (
+      match Hashtbl.find_opt s name with
+      | Some b -> Some b
+      | None -> lookup_scopes name tl)
+
+let lookup env line name =
+  match lookup_scopes name env.scopes with
+  | Some b -> b
+  | None -> err line "undefined identifier %s" name
+
+let is_float_ty = function Tfloat -> true | _ -> false
+
+let reg_class ty = if is_float_ty ty then Reg.Flt else Reg.Int
+
+(* --- Expression lowering ------------------------------------------------ *)
+
+(* Result of lowering an expression: an operand plus its static type. *)
+type rvalue = Operand.t * ty
+
+let fresh_for env ty = Builder.fresh env.bld (reg_class ty)
+
+let to_float env ((o, ty) : rvalue) : Operand.t =
+  if is_float_ty ty then o
+  else
+    match o with
+    | Operand.Imm i -> Operand.Fimm (Int64.to_float i)
+    | _ ->
+        let d = Builder.fresh env.bld Reg.Flt in
+        ignore (Builder.emit env.bld Opcode.Cvt_if ~dsts:[ d ] ~srcs:[ o ]);
+        Operand.Reg d
+
+let to_int env ((o, ty) : rvalue) : Operand.t =
+  if not (is_float_ty ty) then o
+  else
+    match o with
+    | Operand.Fimm f -> Operand.imm64 (Int64.of_float f)
+    | _ ->
+        let d = Builder.fresh env.bld Reg.Int in
+        ignore (Builder.emit env.bld Opcode.Cvt_fi ~dsts:[ d ] ~srcs:[ o ]);
+        Operand.Reg d
+
+let int_op_of_binop = function
+  | Add -> Opcode.Add
+  | Sub -> Opcode.Sub
+  | Mul -> Opcode.Mul
+  | Div -> Opcode.Div
+  | Mod -> Opcode.Rem
+  | Band -> Opcode.And
+  | Bor -> Opcode.Or
+  | Bxor -> Opcode.Xor
+  | Shl -> Opcode.Shl
+  | Shr -> Opcode.Sra (* C-style: arithmetic shift on signed ints *)
+  | _ -> invalid_arg "int_op_of_binop"
+
+let flt_op_of_binop = function
+  | Add -> Opcode.Fadd
+  | Sub -> Opcode.Fsub
+  | Mul -> Opcode.Fmul
+  | Div -> Opcode.Fdiv
+  | _ -> invalid_arg "flt_op_of_binop"
+
+let icmp_of_binop = function
+  | Lt -> Opcode.Lt
+  | Le -> Opcode.Le
+  | Gt -> Opcode.Gt
+  | Ge -> Opcode.Ge
+  | Eq -> Opcode.Eq
+  | Ne -> Opcode.Ne
+  | _ -> invalid_arg "icmp_of_binop"
+
+let is_cmp_binop = function
+  | Lt | Le | Gt | Ge | Eq | Ne -> true
+  | _ -> false
+
+(* Address of an lvalue-ish expression; returns the address operand and the
+   element type accessed through it. *)
+let rec lower_address env (e : expr) : Operand.t * ty =
+  match e.desc with
+  | Var name -> (
+      match lookup env e.line name with
+      | Bframe (off, ty) ->
+          let d = Builder.fresh env.bld Reg.Int in
+          Builder.add env.bld d (Operand.Reg Reg.sp) (Operand.imm off);
+          (Operand.Reg d, ty)
+      | Bglobal (g, ty, _) ->
+          let d = Builder.fresh env.bld Reg.Int in
+          Builder.lea env.bld d g.Program.gname 0;
+          (Operand.Reg d, ty)
+      | Breg _ -> err e.line "cannot take the address of scalar local %s" name
+      | Bfunc ty ->
+          let d = Builder.fresh env.bld Reg.Int in
+          Builder.lea env.bld d name 0;
+          (Operand.Reg d, ty))
+  | Unary (Deref, e') ->
+      let o, ty = lower_expr env e' in
+      let elem = match ty with Tptr t -> t | _ -> Tint in
+      (to_int env (o, ty), elem)
+  | Index (a, i) ->
+      let base, bty = lower_base_address env a in
+      let elem = match bty with Tptr t -> t | _ -> Tint in
+      let iv = to_int env (lower_expr env i) in
+      let scaled = Builder.fresh env.bld Reg.Int in
+      Builder.binop env.bld Opcode.Shl scaled iv (Operand.imm 3);
+      let addr = Builder.fresh env.bld Reg.Int in
+      Builder.add env.bld addr base (Operand.Reg scaled);
+      (Operand.Reg addr, elem)
+  | _ -> err e.line "expression is not addressable"
+
+(* The base address used by indexing: arrays decay to their address, pointer
+   variables are read for their value. *)
+and lower_base_address env (a : expr) : Operand.t * ty =
+  match a.desc with
+  | Var name -> (
+      match lookup env a.line name with
+      | Bframe (off, ty) ->
+          let d = Builder.fresh env.bld Reg.Int in
+          Builder.add env.bld d (Operand.Reg Reg.sp) (Operand.imm off);
+          (Operand.Reg d, Tptr ty)
+      | Bglobal (g, ty, true) ->
+          let d = Builder.fresh env.bld Reg.Int in
+          Builder.lea env.bld d g.Program.gname 0;
+          (Operand.Reg d, Tptr ty)
+      | Bglobal (_, ty, false) | Breg (_, ty) ->
+          let o, t = lower_expr env a in
+          (to_int env (o, t), if t = Tint then Tptr Tint else t)
+          |> fun (o', _) -> (o', match ty with Tptr _ -> ty | _ -> Tptr Tint)
+      | Bfunc _ -> err a.line "cannot index a function")
+  | _ ->
+      let o, t = lower_expr env a in
+      (to_int env (o, t), match t with Tptr _ -> t | _ -> Tptr Tint)
+
+and lower_expr env (e : expr) : rvalue =
+  match e.desc with
+  | Num n -> (Operand.imm64 n, Tint)
+  | Fnum f -> (Operand.Fimm f, Tfloat)
+  | Var name -> (
+      match lookup env e.line name with
+      | Breg (r, ty) -> (Operand.Reg r, ty)
+      | Bglobal (g, ty, false) ->
+          let a = Builder.fresh env.bld Reg.Int in
+          Builder.lea env.bld a g.Program.gname 0;
+          let d = fresh_for env ty in
+          ignore (Builder.load env.bld d (Operand.Reg a));
+          (Operand.Reg d, ty)
+      | Bglobal (g, ty, true) ->
+          (* array decays to pointer *)
+          let a = Builder.fresh env.bld Reg.Int in
+          Builder.lea env.bld a g.Program.gname 0;
+          (Operand.Reg a, Tptr ty)
+      | Bframe (off, ty) ->
+          let d = Builder.fresh env.bld Reg.Int in
+          Builder.add env.bld d (Operand.Reg Reg.sp) (Operand.imm off);
+          (Operand.Reg d, Tptr ty)
+      | Bfunc ty ->
+          let d = Builder.fresh env.bld Reg.Int in
+          Builder.lea env.bld d name 0;
+          (Operand.Reg d, ty))
+  | Unary (Neg, e') ->
+      let o, ty = lower_expr env e' in
+      if is_float_ty ty then begin
+        let d = Builder.fresh env.bld Reg.Flt in
+        ignore (Builder.emit env.bld Opcode.Fneg ~dsts:[ d ] ~srcs:[ to_float env (o, ty) ]);
+        (Operand.Reg d, Tfloat)
+      end
+      else begin
+        let d = Builder.fresh env.bld Reg.Int in
+        Builder.sub env.bld d (Operand.imm 0) o;
+        (Operand.Reg d, ty)
+      end
+  | Unary (Bitnot, e') ->
+      let o, ty = lower_expr env e' in
+      let d = Builder.fresh env.bld Reg.Int in
+      Builder.binop env.bld Opcode.Xor d (to_int env (o, ty)) (Operand.imm (-1));
+      (Operand.Reg d, Tint)
+  | Unary (Lognot, _) | Binary ((Land | Lor), _, _) | Binary ((Lt | Le | Gt | Ge | Eq | Ne), _, _)
+    ->
+      (* Boolean in a value position: materialize 0/1 through control flow. *)
+      lower_bool_value env e
+  | Unary (Deref, e') ->
+      let o, ty = lower_expr env e' in
+      let elem = match ty with Tptr t -> t | _ -> Tint in
+      let d = fresh_for env elem in
+      ignore (Builder.load env.bld d (to_int env (o, ty)));
+      (Operand.Reg d, elem)
+  | Unary (Addr, e') ->
+      let addr, ty = lower_address env e' in
+      (addr, Tptr ty)
+  | Binary (op, a, b) when not (is_cmp_binop op) -> (
+      let ra = lower_expr env a in
+      let rb = lower_expr env b in
+      let fa = is_float_ty (snd ra) and fb = is_float_ty (snd rb) in
+      if fa || fb then begin
+        let d = Builder.fresh env.bld Reg.Flt in
+        Builder.binop env.bld (flt_op_of_binop op) d (to_float env ra) (to_float env rb);
+        (Operand.Reg d, Tfloat)
+      end
+      else
+        (* pointer arithmetic: scale the integer side by the element size *)
+        let scale side =
+          let o = to_int env side in
+          let s = Builder.fresh env.bld Reg.Int in
+          Builder.binop env.bld Opcode.Shl s o (Operand.imm 3);
+          Operand.Reg s
+        in
+        match (op, snd ra, snd rb) with
+        | Add, Tptr t, _ ->
+            let d = Builder.fresh env.bld Reg.Int in
+            Builder.add env.bld d (fst ra) (scale rb);
+            (Operand.Reg d, Tptr t)
+        | Add, _, Tptr t ->
+            let d = Builder.fresh env.bld Reg.Int in
+            Builder.add env.bld d (scale ra) (fst rb);
+            (Operand.Reg d, Tptr t)
+        | Sub, Tptr t, (Tint | Tfloat | Tvoid) ->
+            let d = Builder.fresh env.bld Reg.Int in
+            Builder.sub env.bld d (fst ra) (scale rb);
+            (Operand.Reg d, Tptr t)
+        | _ ->
+            let d = Builder.fresh env.bld Reg.Int in
+            Builder.binop env.bld (int_op_of_binop op) d (to_int env ra) (to_int env rb);
+            (Operand.Reg d, Tint))
+  | Binary (_, _, _) -> lower_bool_value env e
+  | Index (_, _) ->
+      let addr, elem = lower_address env e in
+      let d = fresh_for env elem in
+      ignore (Builder.load env.bld d addr);
+      (Operand.Reg d, elem)
+  | Cast (ty, e') ->
+      let o, t = lower_expr env e' in
+      if is_float_ty ty && not (is_float_ty t) then (to_float env (o, t), Tfloat)
+      else if (not (is_float_ty ty)) && is_float_ty t then (to_int env (o, t), ty)
+      else (o, ty)
+  | Ternary (c, a, b) ->
+      let then_l = Builder.fresh_label env.bld "tern_t" in
+      let else_l = Builder.fresh_label env.bld "tern_f" in
+      let join_l = Builder.fresh_label env.bld "tern_j" in
+      (* Result class decided by a quick type scan of the arms. *)
+      let ty = if expr_is_float env a || expr_is_float env b then Tfloat else Tint in
+      let d = fresh_for env ty in
+      lower_cond env c ~if_true:then_l ~if_false:else_l;
+      ignore (Builder.start_block env.bld then_l);
+      let ra = lower_expr env a in
+      Builder.mov env.bld d (if is_float_ty ty then to_float env ra else to_int env ra);
+      Builder.br env.bld join_l;
+      ignore (Builder.start_block env.bld else_l);
+      let rb = lower_expr env b in
+      Builder.mov env.bld d (if is_float_ty ty then to_float env rb else to_int env rb);
+      ignore (Builder.start_block env.bld join_l);
+      (Operand.Reg d, ty)
+  | Call (callee, args) -> lower_call env e.line callee args
+
+and expr_is_float env (e : expr) =
+  match e.desc with
+  | Fnum _ -> true
+  | Num _ -> false
+  | Var name -> (
+      match lookup_scopes name env.scopes with
+      | Some (Breg (_, t) | Bframe (_, t) | Bglobal (_, t, false)) -> is_float_ty t
+      | _ -> false)
+  | Binary ((Add | Sub | Mul | Div), a, b) -> expr_is_float env a || expr_is_float env b
+  | Unary (Neg, a) -> expr_is_float env a
+  | Cast (t, _) -> is_float_ty t
+  | Ternary (_, a, b) -> expr_is_float env a || expr_is_float env b
+  | Call (Direct f, _) -> (
+      match Hashtbl.find_opt env.fsigs f with
+      | Some (rt, _) -> is_float_ty rt
+      | None -> false)
+  | _ -> false
+
+and lower_call env line callee args : rvalue =
+  let argv =
+    List.map
+      (fun a ->
+        let r = lower_expr env a in
+        (* pass floats as floats, everything else as int *)
+        if is_float_ty (snd r) then to_float env r else to_int env r)
+      args
+  in
+  let ret_ty, direct_name =
+    match callee with
+    | Direct name -> (
+        match Hashtbl.find_opt env.fsigs name with
+        | Some (rt, _) -> (rt, Some name)
+        | None -> (
+            match Intrinsics.of_name name with
+            | Some k ->
+                let rt =
+                  match k with
+                  | Intrinsics.Malloc | Intrinsics.Input | Intrinsics.Input_len -> Tint
+                  | _ -> Tvoid
+                in
+                (rt, Some name)
+            | None -> (
+                (* variable holding a function pointer: indirect call *)
+                match lookup_scopes name env.scopes with
+                | Some _ -> (Tint, None)
+                | None -> err line "call to undefined function %s" name)))
+    | Indirect _ -> (Tint, None)
+  in
+  let dsts = match ret_ty with Tvoid -> [] | t -> [ fresh_for env t ] in
+  (match (direct_name, callee) with
+  | Some name, _ -> ignore (Builder.call env.bld ~dsts name argv)
+  | None, Direct name ->
+      let fo, ft = lower_expr env { desc = Var name; line } in
+      let target = Builder.fresh env.bld Reg.Int in
+      Builder.mov env.bld target (to_int env (fo, ft));
+      ignore (Builder.call_indirect env.bld ~dsts target argv)
+  | None, Indirect fe ->
+      let fo, ft = lower_expr env fe in
+      let target = Builder.fresh env.bld Reg.Int in
+      Builder.mov env.bld target (to_int env (fo, ft));
+      ignore (Builder.call_indirect env.bld ~dsts target argv));
+  match dsts with
+  | [ d ] -> (Operand.Reg d, ret_ty)
+  | _ -> (Operand.imm 0, Tvoid)
+
+(* Lower a condition, branching to [if_true] or [if_false].  Handles
+   short-circuit && / || by chaining blocks, comparisons directly via
+   cmp+branch, everything else by comparing against zero.  Leaves the builder
+   positioned in a dead block, so callers must start a block right after. *)
+and lower_cond env (e : expr) ~if_true ~if_false =
+  match e.desc with
+  | Binary (Land, a, b) ->
+      let mid = Builder.fresh_label env.bld "and_rhs" in
+      lower_cond env a ~if_true:mid ~if_false;
+      ignore (Builder.start_block env.bld mid);
+      lower_cond env b ~if_true ~if_false
+  | Binary (Lor, a, b) ->
+      let mid = Builder.fresh_label env.bld "or_rhs" in
+      lower_cond env a ~if_true ~if_false:mid;
+      ignore (Builder.start_block env.bld mid);
+      lower_cond env b ~if_true ~if_false
+  | Unary (Lognot, a) -> lower_cond env a ~if_true:if_false ~if_false:if_true
+  | Binary (op, a, b) when is_cmp_binop op ->
+      let ra = lower_expr env a in
+      let rb = lower_expr env b in
+      let pt = Builder.fresh_pred env.bld and pf = Builder.fresh_pred env.bld in
+      if is_float_ty (snd ra) || is_float_ty (snd rb) then
+        ignore
+          (Builder.emit env.bld
+             (Opcode.Fcmp (icmp_of_binop op, Opcode.Norm))
+             ~dsts:[ pt; pf ]
+             ~srcs:[ to_float env ra; to_float env rb ])
+      else
+        Builder.cmp env.bld (icmp_of_binop op) pt pf (to_int env ra) (to_int env rb);
+      ignore (Builder.emit ~pred:pt env.bld Opcode.Br ~srcs:[ Operand.Label if_true ]);
+      Builder.br env.bld if_false
+  | _ ->
+      let o, ty = lower_expr env e in
+      let pt = Builder.fresh_pred env.bld and pf = Builder.fresh_pred env.bld in
+      Builder.cmp env.bld Opcode.Ne pt pf (to_int env (o, ty)) (Operand.imm 0);
+      ignore (Builder.emit ~pred:pt env.bld Opcode.Br ~srcs:[ Operand.Label if_true ]);
+      Builder.br env.bld if_false
+
+(* Materialize a boolean expression as 0/1. *)
+and lower_bool_value env (e : expr) : rvalue =
+  let d = Builder.fresh env.bld Reg.Int in
+  let t_l = Builder.fresh_label env.bld "bool_t" in
+  let f_l = Builder.fresh_label env.bld "bool_f" in
+  let j_l = Builder.fresh_label env.bld "bool_j" in
+  lower_cond env e ~if_true:t_l ~if_false:f_l;
+  ignore (Builder.start_block env.bld t_l);
+  Builder.movi env.bld d 1;
+  Builder.br env.bld j_l;
+  ignore (Builder.start_block env.bld f_l);
+  Builder.movi env.bld d 0;
+  ignore (Builder.start_block env.bld j_l);
+  (Operand.Reg d, Tint)
+
+(* --- Statement lowering ------------------------------------------------- *)
+
+let emit_epilogue_and_ret env vals =
+  if env.frame_off > 0 then
+    Builder.add env.bld Reg.sp (Operand.Reg Reg.sp) (Operand.imm env.frame_off);
+  Builder.ret env.bld vals
+
+let rec lower_stmts env stmts = List.iter (lower_stmt env) stmts
+
+and lower_stmt env (s : stmt) =
+  match s.sdesc with
+  | Sdecl (ty, name, None, init) ->
+      let r = Builder.fresh env.bld (reg_class ty) in
+      bind env name (Breg (r, ty));
+      (match init with
+      | Some e ->
+          let rv = lower_expr env e in
+          Builder.mov env.bld r (if is_float_ty ty then to_float env rv else to_int env rv)
+      | None -> ())
+  | Sdecl (ty, name, Some n, _) ->
+      (* Local array: carved from the pre-reserved stack frame.  Offsets were
+         assigned in a pre-scan (see [lower_func]); look it up. *)
+      ignore ty;
+      ignore n;
+      (match lookup_scopes name env.scopes with
+      | Some (Bframe _) -> () (* already bound by the pre-scan *)
+      | _ -> err s.sline "array %s missing from frame pre-scan" name)
+  | Sassign (lv, e) -> (
+      let rv = lower_expr env e in
+      match lv with
+      | Lvar name -> (
+          match lookup env s.sline name with
+          | Breg (r, ty) ->
+              Builder.mov env.bld r (if is_float_ty ty then to_float env rv else to_int env rv)
+          | Bglobal (g, ty, false) ->
+              let a = Builder.fresh env.bld Reg.Int in
+              Builder.lea env.bld a g.Program.gname 0;
+              let v = if is_float_ty ty then to_float env rv else to_int env rv in
+              ignore (Builder.store env.bld (Operand.Reg a) v)
+          | Bglobal (_, _, true) | Bframe _ -> err s.sline "cannot assign to array %s" name
+          | Bfunc _ -> err s.sline "cannot assign to function %s" name)
+      | Lderef e' ->
+          let o, ty = lower_expr env e' in
+          let elem = match ty with Tptr t -> t | _ -> Tint in
+          let v = if is_float_ty elem then to_float env rv else to_int env rv in
+          ignore (Builder.store env.bld (to_int env (o, ty)) v)
+      | Lindex (a, i) ->
+          let addr, elem =
+            lower_address env { desc = Index (a, i); line = s.sline }
+          in
+          let v = if is_float_ty elem then to_float env rv else to_int env rv in
+          ignore (Builder.store env.bld addr v))
+  | Sexpr e -> ignore (lower_expr env e)
+  | Sif (c, thn, els) ->
+      let t_l = Builder.fresh_label env.bld "if_t" in
+      let f_l = Builder.fresh_label env.bld "if_f" in
+      let j_l = Builder.fresh_label env.bld "if_j" in
+      lower_cond env c ~if_true:t_l ~if_false:(if els = [] then j_l else f_l);
+      ignore (Builder.start_block env.bld t_l);
+      push_scope env;
+      lower_stmts env thn;
+      pop_scope env;
+      Builder.br env.bld j_l;
+      if els <> [] then begin
+        ignore (Builder.start_block env.bld f_l);
+        push_scope env;
+        lower_stmts env els;
+        pop_scope env;
+        Builder.br env.bld j_l
+      end;
+      ignore (Builder.start_block env.bld j_l)
+  | Swhile (c, body) ->
+      let head_l = Builder.fresh_label env.bld "wh_head" in
+      let body_l = Builder.fresh_label env.bld "wh_body" in
+      let exit_l = Builder.fresh_label env.bld "wh_exit" in
+      Builder.br env.bld head_l;
+      ignore (Builder.start_block env.bld head_l);
+      lower_cond env c ~if_true:body_l ~if_false:exit_l;
+      ignore (Builder.start_block env.bld body_l);
+      env.loop_stack <- (exit_l, head_l) :: env.loop_stack;
+      push_scope env;
+      lower_stmts env body;
+      pop_scope env;
+      env.loop_stack <- List.tl env.loop_stack;
+      Builder.br env.bld head_l;
+      ignore (Builder.start_block env.bld exit_l)
+  | Sdo (body, c) ->
+      let body_l = Builder.fresh_label env.bld "do_body" in
+      let cont_l = Builder.fresh_label env.bld "do_cont" in
+      let exit_l = Builder.fresh_label env.bld "do_exit" in
+      Builder.br env.bld body_l;
+      ignore (Builder.start_block env.bld body_l);
+      env.loop_stack <- (exit_l, cont_l) :: env.loop_stack;
+      push_scope env;
+      lower_stmts env body;
+      pop_scope env;
+      env.loop_stack <- List.tl env.loop_stack;
+      Builder.br env.bld cont_l;
+      ignore (Builder.start_block env.bld cont_l);
+      lower_cond env c ~if_true:body_l ~if_false:exit_l;
+      ignore (Builder.start_block env.bld exit_l)
+  | Sfor (init, cond, step, body) ->
+      push_scope env;
+      (match init with Some s' -> lower_stmt env s' | None -> ());
+      let head_l = Builder.fresh_label env.bld "for_head" in
+      let body_l = Builder.fresh_label env.bld "for_body" in
+      let cont_l = Builder.fresh_label env.bld "for_cont" in
+      let exit_l = Builder.fresh_label env.bld "for_exit" in
+      Builder.br env.bld head_l;
+      ignore (Builder.start_block env.bld head_l);
+      (match cond with
+      | Some c -> lower_cond env c ~if_true:body_l ~if_false:exit_l
+      | None -> Builder.br env.bld body_l);
+      ignore (Builder.start_block env.bld body_l);
+      env.loop_stack <- (exit_l, cont_l) :: env.loop_stack;
+      push_scope env;
+      lower_stmts env body;
+      pop_scope env;
+      env.loop_stack <- List.tl env.loop_stack;
+      Builder.br env.bld cont_l;
+      ignore (Builder.start_block env.bld cont_l);
+      (match step with Some s' -> lower_stmt env s' | None -> ());
+      Builder.br env.bld head_l;
+      ignore (Builder.start_block env.bld exit_l);
+      pop_scope env
+  | Sreturn e ->
+      let vals =
+        match e with
+        | Some e' ->
+            let rv = lower_expr env e' in
+            [ (if is_float_ty env.ret_ty then to_float env rv else to_int env rv) ]
+        | None -> []
+      in
+      emit_epilogue_and_ret env vals;
+      (* continue in a fresh (dead) block for any trailing code *)
+      ignore (Builder.start_block env.bld (Builder.fresh_label env.bld "dead"))
+  | Sbreak -> (
+      match env.loop_stack with
+      | (brk, _) :: _ ->
+          Builder.br env.bld brk;
+          ignore (Builder.start_block env.bld (Builder.fresh_label env.bld "dead"))
+      | [] -> err s.sline "break outside loop")
+  | Scontinue -> (
+      match env.loop_stack with
+      | (_, cont) :: _ ->
+          Builder.br env.bld cont;
+          ignore (Builder.start_block env.bld (Builder.fresh_label env.bld "dead"))
+      | [] -> err s.sline "continue outside loop")
+
+(* Pre-scan a function body for local array declarations, assigning frame
+   offsets.  Arrays keep their offsets across scopes (no reuse — simple and
+   predictable). *)
+let rec scan_arrays env stmts =
+  List.iter
+    (fun (s : stmt) ->
+      match s.sdesc with
+      | Sdecl (ty, name, Some n, _) ->
+          let off = env.frame_off in
+          env.frame_off <- off + (8 * n);
+          bind env name (Bframe (off, ty))
+      | Sif (_, a, b) ->
+          scan_arrays env a;
+          scan_arrays env b
+      | Swhile (_, b) | Sdo (b, _) -> scan_arrays env b
+      | Sfor (_, _, _, b) -> scan_arrays env b
+      | Sdecl _ | Sassign _ | Sexpr _ | Sreturn _ | Sbreak | Scontinue -> ())
+    stmts
+
+let lower_func_with_globals program fsigs global_bindings (f : Ast.func) =
+  let irf = Func.create f.fname [] in
+  let bld = Builder.create irf in
+  let env =
+    { program; fsigs; scopes = [ Hashtbl.create 16; global_bindings ];
+      bld; loop_stack = []; frame_off = 0; ret_ty = f.ret }
+  in
+  let param_regs =
+    List.map
+      (fun (ty, name) ->
+        let r = Func.fresh_reg irf (reg_class ty) in
+        bind env name (Breg (r, ty));
+        r)
+      f.params
+  in
+  irf.Func.params <- param_regs;
+  ignore (Builder.start_block bld "entry");
+  scan_arrays env f.body;
+  irf.Func.frame_bytes <- env.frame_off;
+  if env.frame_off > 0 then
+    Builder.sub bld Reg.sp (Operand.Reg Reg.sp) (Operand.imm env.frame_off);
+  irf.Func.returns_float <- is_float_ty f.ret;
+  lower_stmts env f.body;
+  emit_epilogue_and_ret env (if f.ret = Tvoid then [] else [ Operand.imm 0 ]);
+  Func.remove_unreachable irf;
+  irf
+
+let lower_program (ast : Ast.program) : Program.t =
+  Instr.reset_ids ();
+  let program = Program.create () in
+  let fsigs = Hashtbl.create 16 in
+  (* First pass: declare globals and function signatures. *)
+  let global_bindings = Hashtbl.create 64 in
+  List.iter
+    (function
+      | Dglobal g ->
+          let len = match g.array_len with Some n -> n | None -> 1 in
+          let init =
+            match (g.ginit, g.gfinit) with
+            | Some ws, _ -> Some ws
+            | None, Some fs -> Some (Array.map Int64.bits_of_float fs)
+            | None, None -> None
+          in
+          let pg = Program.add_global program ?init g.gname ~size:(8 * len) in
+          Hashtbl.replace global_bindings g.gname
+            (Bglobal (pg, g.gty, g.array_len <> None))
+      | Dfunc f ->
+          Hashtbl.replace fsigs f.fname (f.ret, List.map fst f.params);
+          Hashtbl.replace global_bindings f.fname (Bfunc Tint))
+    ast;
+  (* Second pass: lower function bodies. *)
+  List.iter
+    (function
+      | Dglobal _ -> ()
+      | Dfunc f ->
+          Program.add_func program
+            (lower_func_with_globals program fsigs global_bindings f))
+    ast;
+  Program.assign_addresses program;
+  program
+
+(* Convenience: parse and lower source text in one step. *)
+let compile_source (src : string) : Program.t =
+  lower_program (Parser.parse_program src)

@@ -1,0 +1,443 @@
+(* Recursive-descent parser for mini-C. *)
+
+open Ast
+
+exception Parse_error of string * int
+
+type t = {
+  toks : (Lexer.token * int) array;
+  mutable cur : int;
+}
+
+let create toks = { toks = Array.of_list toks; cur = 0 }
+
+let peek p = fst p.toks.(p.cur)
+let peek2 p = if p.cur + 1 < Array.length p.toks then fst p.toks.(p.cur + 1) else Lexer.EOF
+let line p = snd p.toks.(p.cur)
+
+let advance p = if p.cur + 1 < Array.length p.toks then p.cur <- p.cur + 1
+
+let error p msg =
+  raise (Parse_error (Printf.sprintf "%s (found '%s')" msg (Lexer.token_to_string (peek p)), line p))
+
+let expect p tok msg =
+  if peek p = tok then advance p else error p ("expected " ^ msg)
+
+let is_type_kw = function
+  | Lexer.INT_KW | Lexer.FLOAT_KW | Lexer.VOID_KW -> true
+  | _ -> false
+
+let parse_type p =
+  let base =
+    match peek p with
+    | Lexer.INT_KW -> Tint
+    | Lexer.FLOAT_KW -> Tfloat
+    | Lexer.VOID_KW -> Tvoid
+    | _ -> error p "expected type"
+  in
+  advance p;
+  let rec stars t = if peek p = Lexer.STAR then (advance p; stars (Tptr t)) else t in
+  stars base
+
+let parse_ident p =
+  match peek p with
+  | Lexer.IDENT s ->
+      advance p;
+      s
+  | _ -> error p "expected identifier"
+
+(* --- Expressions ------------------------------------------------------- *)
+
+let mk line desc = { desc; line }
+
+let rec parse_expr p = parse_ternary p
+
+and parse_ternary p =
+  let c = parse_lor p in
+  if peek p = Lexer.QUESTION then begin
+    let ln = line p in
+    advance p;
+    let a = parse_expr p in
+    expect p Lexer.COLON "':'";
+    let b = parse_ternary p in
+    mk ln (Ternary (c, a, b))
+  end
+  else c
+
+and parse_binary_level p ops sub =
+  let lhs = sub p in
+  let rec go lhs =
+    match List.assoc_opt (peek p) ops with
+    | Some op ->
+        let ln = line p in
+        advance p;
+        let rhs = sub p in
+        go (mk ln (Binary (op, lhs, rhs)))
+    | None -> lhs
+  in
+  go lhs
+
+and parse_lor p = parse_binary_level p [ (Lexer.OROR, Lor) ] parse_land
+and parse_land p = parse_binary_level p [ (Lexer.ANDAND, Land) ] parse_bor
+and parse_bor p = parse_binary_level p [ (Lexer.PIPE, Bor) ] parse_bxor
+and parse_bxor p = parse_binary_level p [ (Lexer.CARET, Bxor) ] parse_band
+and parse_band p = parse_binary_level p [ (Lexer.AMP, Band) ] parse_eq
+
+and parse_eq p =
+  parse_binary_level p [ (Lexer.EQ_OP, Eq); (Lexer.NE_OP, Ne) ] parse_rel
+
+and parse_rel p =
+  parse_binary_level p
+    [ (Lexer.LT_OP, Lt); (Lexer.LE_OP, Le); (Lexer.GT_OP, Gt); (Lexer.GE_OP, Ge) ]
+    parse_shift
+
+and parse_shift p =
+  parse_binary_level p [ (Lexer.SHL_OP, Shl); (Lexer.SHR_OP, Shr) ] parse_addsub
+
+and parse_addsub p =
+  parse_binary_level p [ (Lexer.PLUS, Add); (Lexer.MINUS, Sub) ] parse_muldiv
+
+and parse_muldiv p =
+  parse_binary_level p
+    [ (Lexer.STAR, Mul); (Lexer.SLASH, Div); (Lexer.PERCENT, Mod) ]
+    parse_unary
+
+and parse_unary p =
+  let ln = line p in
+  match peek p with
+  | Lexer.MINUS ->
+      advance p;
+      mk ln (Unary (Neg, parse_unary p))
+  | Lexer.BANG ->
+      advance p;
+      mk ln (Unary (Lognot, parse_unary p))
+  | Lexer.TILDE ->
+      advance p;
+      mk ln (Unary (Bitnot, parse_unary p))
+  | Lexer.STAR ->
+      advance p;
+      mk ln (Unary (Deref, parse_unary p))
+  | Lexer.AMP ->
+      advance p;
+      mk ln (Unary (Addr, parse_unary p))
+  | Lexer.LPAREN when is_type_kw (peek2 p) ->
+      (* cast *)
+      advance p;
+      let t = parse_type p in
+      expect p Lexer.RPAREN "')'";
+      mk ln (Cast (t, parse_unary p))
+  | _ -> parse_postfix p
+
+and parse_postfix p =
+  let e = parse_primary p in
+  let rec go e =
+    match peek p with
+    | Lexer.LBRACKET ->
+        let ln = line p in
+        advance p;
+        let i = parse_expr p in
+        expect p Lexer.RBRACKET "']'";
+        go (mk ln (Index (e, i)))
+    | Lexer.LPAREN ->
+        let ln = line p in
+        advance p;
+        let args = parse_args p in
+        let callee =
+          match e.desc with Var s -> Direct s | _ -> Indirect e
+        in
+        go (mk ln (Call (callee, args)))
+    | _ -> e
+  in
+  go e
+
+and parse_args p =
+  if peek p = Lexer.RPAREN then begin
+    advance p;
+    []
+  end
+  else
+    let rec go acc =
+      let e = parse_expr p in
+      match peek p with
+      | Lexer.COMMA ->
+          advance p;
+          go (e :: acc)
+      | Lexer.RPAREN ->
+          advance p;
+          List.rev (e :: acc)
+      | _ -> error p "expected ',' or ')'"
+    in
+    go []
+
+and parse_primary p =
+  let ln = line p in
+  match peek p with
+  | Lexer.NUM n ->
+      advance p;
+      mk ln (Num n)
+  | Lexer.FNUM f ->
+      advance p;
+      mk ln (Fnum f)
+  | Lexer.IDENT s ->
+      advance p;
+      mk ln (Var s)
+  | Lexer.LPAREN ->
+      advance p;
+      let e = parse_expr p in
+      expect p Lexer.RPAREN "')'";
+      e
+  | _ -> error p "expected expression"
+
+(* --- Statements -------------------------------------------------------- *)
+
+let expr_to_lvalue _p (e : expr) =
+  match e.desc with
+  | Var s -> Lvar s
+  | Unary (Deref, e') -> Lderef e'
+  | Index (a, i) -> Lindex (a, i)
+  | _ -> raise (Parse_error ("invalid assignment target", e.line))
+
+let mks line sdesc = { sdesc; sline = line }
+
+let rec parse_stmt p =
+  let ln = line p in
+  match peek p with
+  | t when is_type_kw t ->
+      let ty = parse_type p in
+      let name = parse_ident p in
+      let alen =
+        if peek p = Lexer.LBRACKET then begin
+          advance p;
+          match peek p with
+          | Lexer.NUM n ->
+              advance p;
+              expect p Lexer.RBRACKET "']'";
+              Some (Int64.to_int n)
+          | _ -> error p "expected array length"
+        end
+        else None
+      in
+      let init =
+        if peek p = Lexer.ASSIGN then begin
+          advance p;
+          Some (parse_expr p)
+        end
+        else None
+      in
+      expect p Lexer.SEMI "';'";
+      mks ln (Sdecl (ty, name, alen, init))
+  | Lexer.IF ->
+      advance p;
+      expect p Lexer.LPAREN "'('";
+      let c = parse_expr p in
+      expect p Lexer.RPAREN "')'";
+      let thn = parse_stmt_or_block p in
+      let els =
+        if peek p = Lexer.ELSE then begin
+          advance p;
+          parse_stmt_or_block p
+        end
+        else []
+      in
+      mks ln (Sif (c, thn, els))
+  | Lexer.WHILE ->
+      advance p;
+      expect p Lexer.LPAREN "'('";
+      let c = parse_expr p in
+      expect p Lexer.RPAREN "')'";
+      let body = parse_stmt_or_block p in
+      mks ln (Swhile (c, body))
+  | Lexer.DO ->
+      advance p;
+      let body = parse_stmt_or_block p in
+      expect p Lexer.WHILE "'while'";
+      expect p Lexer.LPAREN "'('";
+      let c = parse_expr p in
+      expect p Lexer.RPAREN "')'";
+      expect p Lexer.SEMI "';'";
+      mks ln (Sdo (body, c))
+  | Lexer.FOR ->
+      advance p;
+      expect p Lexer.LPAREN "'('";
+      let init = if peek p = Lexer.SEMI then None else Some (parse_simple p) in
+      expect p Lexer.SEMI "';'";
+      let cond = if peek p = Lexer.SEMI then None else Some (parse_expr p) in
+      expect p Lexer.SEMI "';'";
+      let step = if peek p = Lexer.RPAREN then None else Some (parse_simple p) in
+      expect p Lexer.RPAREN "')'";
+      let body = parse_stmt_or_block p in
+      mks ln (Sfor (init, cond, step, body))
+  | Lexer.RETURN ->
+      advance p;
+      let e = if peek p = Lexer.SEMI then None else Some (parse_expr p) in
+      expect p Lexer.SEMI "';'";
+      mks ln (Sreturn e)
+  | Lexer.BREAK ->
+      advance p;
+      expect p Lexer.SEMI "';'";
+      mks ln Sbreak
+  | Lexer.CONTINUE ->
+      advance p;
+      expect p Lexer.SEMI "';'";
+      mks ln Scontinue
+  | _ ->
+      let s = parse_simple p in
+      expect p Lexer.SEMI "';'";
+      s
+
+(* An assignment or expression without the trailing semicolon (also used in
+   for-headers). *)
+and parse_simple p =
+  let ln = line p in
+  let e = parse_expr p in
+  if peek p = Lexer.ASSIGN then begin
+    advance p;
+    let rhs = parse_expr p in
+    mks ln (Sassign (expr_to_lvalue p e, rhs))
+  end
+  else mks ln (Sexpr e)
+
+and parse_stmt_or_block p =
+  if peek p = Lexer.LBRACE then begin
+    advance p;
+    let rec go acc =
+      if peek p = Lexer.RBRACE then begin
+        advance p;
+        List.rev acc
+      end
+      else go (parse_stmt p :: acc)
+    in
+    go []
+  end
+  else [ parse_stmt p ]
+
+(* --- Top level --------------------------------------------------------- *)
+
+let parse_global_init p ty =
+  if peek p = Lexer.ASSIGN then begin
+    advance p;
+    if peek p = Lexer.LBRACE then begin
+      advance p;
+      let rec go acc =
+        let v =
+          match peek p with
+          | Lexer.NUM n ->
+              advance p;
+              Int64.to_float n
+          | Lexer.FNUM f ->
+              advance p;
+              f
+          | Lexer.MINUS ->
+              advance p;
+              (match peek p with
+              | Lexer.NUM n ->
+                  advance p;
+                  Int64.to_float (Int64.neg n)
+              | Lexer.FNUM f ->
+                  advance p;
+                  -.f
+              | _ -> error p "expected number")
+          | _ -> error p "expected number"
+        in
+        match peek p with
+        | Lexer.COMMA ->
+            advance p;
+            go (v :: acc)
+        | Lexer.RBRACE ->
+            advance p;
+            List.rev (v :: acc)
+        | _ -> error p "expected ',' or '}'"
+      in
+      Some (go [])
+    end
+    else
+      match peek p with
+      | Lexer.NUM n ->
+          advance p;
+          Some [ Int64.to_float n ]
+      | Lexer.FNUM f ->
+          advance p;
+          Some [ f ]
+      | Lexer.MINUS ->
+          advance p;
+          (match peek p with
+          | Lexer.NUM n ->
+              advance p;
+              Some [ Int64.to_float (Int64.neg n) ]
+          | Lexer.FNUM f ->
+              advance p;
+              Some [ -.f ]
+          | _ -> error p "expected number")
+      | _ -> error p "expected initializer"
+  end
+  else ignore ty |> fun () -> None
+
+let parse_decl p =
+  let ln = line p in
+  let ty = parse_type p in
+  let name = parse_ident p in
+  if peek p = Lexer.LPAREN then begin
+    (* function *)
+    advance p;
+    let params =
+      if peek p = Lexer.RPAREN then begin
+        advance p;
+        []
+      end
+      else
+        let rec go acc =
+          let pt = parse_type p in
+          let pn = parse_ident p in
+          match peek p with
+          | Lexer.COMMA ->
+              advance p;
+              go ((pt, pn) :: acc)
+          | Lexer.RPAREN ->
+              advance p;
+              List.rev ((pt, pn) :: acc)
+          | _ -> error p "expected ',' or ')'"
+        in
+        go []
+    in
+    expect p Lexer.LBRACE "'{'";
+    let rec go acc =
+      if peek p = Lexer.RBRACE then begin
+        advance p;
+        List.rev acc
+      end
+      else go (parse_stmt p :: acc)
+    in
+    let body = go [] in
+    Dfunc { fname = name; ret = ty; params; body; fline = ln }
+  end
+  else begin
+    (* global variable *)
+    let alen =
+      if peek p = Lexer.LBRACKET then begin
+        advance p;
+        match peek p with
+        | Lexer.NUM n ->
+            advance p;
+            expect p Lexer.RBRACKET "']'";
+            Some (Int64.to_int n)
+        | _ -> error p "expected array length"
+      end
+      else None
+    in
+    let init = parse_global_init p ty in
+    expect p Lexer.SEMI "';'";
+    let ginit, gfinit =
+      match (init, ty) with
+      | None, _ -> (None, None)
+      | Some vs, Tfloat -> (None, Some (Array.of_list vs))
+      | Some vs, _ -> (Some (Array.of_list (List.map Int64.of_float vs)), None)
+    in
+    Dglobal { gty = ty; gname = name; array_len = alen; ginit; gfinit }
+  end
+
+let parse_program src =
+  let p = create (Lexer.tokenize src) in
+  let rec go acc =
+    if peek p = Lexer.EOF then List.rev acc else go (parse_decl p :: acc)
+  in
+  go []

@@ -1,0 +1,1 @@
+lib/ilp/data_spec.ml: Array Block Epic_analysis Epic_ir Func Instr List Memdep Opcode Operand Program

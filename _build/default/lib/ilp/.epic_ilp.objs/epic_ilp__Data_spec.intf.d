@@ -1,0 +1,1 @@
+lib/ilp/data_spec.mli: Epic_ir

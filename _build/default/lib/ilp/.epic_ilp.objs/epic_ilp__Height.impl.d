@@ -1,0 +1,1 @@
+lib/ilp/height.ml: Array Block Epic_analysis Epic_ir Func Instr List Liveness Opcode Operand Program Reg

@@ -1,0 +1,1 @@
+lib/ilp/height.mli: Epic_analysis Epic_ir

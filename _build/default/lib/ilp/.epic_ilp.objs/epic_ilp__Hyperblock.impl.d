@@ -1,0 +1,1 @@
+lib/ilp/hyperblock.ml: Block Epic_ir Epic_opt Func Hashtbl Instr Jumpopt List Opcode Operand Option Program Reg Region_util

@@ -1,0 +1,1 @@
+lib/ilp/hyperblock.mli: Epic_ir

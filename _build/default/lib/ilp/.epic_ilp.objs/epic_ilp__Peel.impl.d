@@ -1,0 +1,1 @@
+lib/ilp/peel.ml: Block Epic_analysis Epic_ir Epic_opt Func Hashtbl Instr Jumpopt List Natural_loops Operand Program Region_util

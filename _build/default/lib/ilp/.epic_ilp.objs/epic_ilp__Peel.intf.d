@@ -1,0 +1,1 @@
+lib/ilp/peel.mli: Epic_ir

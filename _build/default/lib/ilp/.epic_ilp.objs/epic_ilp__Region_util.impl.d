@@ -1,0 +1,1 @@
+lib/ilp/region_util.ml: Block Epic_ir Func Hashtbl Instr List Opcode Operand Reg

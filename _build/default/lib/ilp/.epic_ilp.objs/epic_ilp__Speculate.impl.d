@@ -1,0 +1,1 @@
+lib/ilp/speculate.ml: Block Epic_ir Func Instr List Opcode Operand Program Reg

@@ -1,0 +1,1 @@
+lib/ilp/speculate.mli: Epic_ir

@@ -1,0 +1,1 @@
+lib/ilp/superblock.ml: Block Epic_ir Epic_opt Func Hashtbl Hyperblock Instr Jumpopt List Opcode Operand Option Program Region_util

@@ -1,0 +1,1 @@
+lib/ilp/superblock.mli: Epic_ir

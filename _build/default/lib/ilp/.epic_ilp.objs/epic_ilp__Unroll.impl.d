@@ -1,0 +1,1 @@
+lib/ilp/unroll.ml: Block Epic_ir Epic_opt Func Hyperblock Instr Jumpopt List Opcode Operand Program

@@ -1,0 +1,1 @@
+lib/ilp/unroll.mli: Epic_ir

@@ -1,0 +1,16 @@
+(** Data-height reduction (Section 3.2): serial chains of associative
+    integer operations — the accumulator updates region formation and
+    unrolling line up — are rebalanced into trees, halving dependence
+    height.  Only provably-safe chains are rewritten (single-use unguarded
+    links, dead outside the block). *)
+
+type stats = { mutable chains_rebalanced : int; mutable links_rewritten : int }
+
+val stats : stats
+val reset_stats : unit -> unit
+
+val run_block :
+  Epic_ir.Func.t -> Epic_analysis.Liveness.t -> Epic_ir.Block.t -> bool
+
+val run_func : Epic_ir.Func.t -> bool
+val run : Epic_ir.Program.t -> bool

@@ -1,0 +1,135 @@
+(* Shared machinery for the structural (region-forming) transformations:
+   block duplication with label/branch remapping, and profile-derived edge
+   probabilities. *)
+
+open Epic_ir
+
+(* Probability of each successor edge of [b]: walk the block accumulating the
+   probability of reaching each branch, splitting by taken probability. *)
+let edge_probs (f : Func.t) (b : Block.t) =
+  let probs : (string, float) Hashtbl.t = Hashtbl.create 4 in
+  let add l p =
+    let cur = match Hashtbl.find_opt probs l with Some x -> x | None -> 0. in
+    Hashtbl.replace probs l (cur +. p)
+  in
+  let reach = ref 1.0 in
+  List.iter
+    (fun (i : Instr.t) ->
+      match i.Instr.op with
+      | Opcode.Br -> (
+          match Instr.branch_target i with
+          | Some t ->
+              let tp =
+                if i.Instr.pred = None then 1.0 else i.Instr.attrs.Instr.taken_prob
+              in
+              add t (!reach *. tp);
+              reach := !reach *. (1. -. tp)
+          | None -> ())
+      | Opcode.Br_ret -> if i.Instr.pred = None then reach := 0.
+      | _ -> ())
+    b.Block.instrs;
+  (match Func.fallthrough f b with
+  | Some n when !reach > 0. -> add n.Block.label !reach
+  | _ -> ());
+  probs
+
+(* The likeliest successor of [b] with its probability. *)
+let best_successor (f : Func.t) (b : Block.t) =
+  let probs = edge_probs f b in
+  Hashtbl.fold
+    (fun l p acc ->
+      match acc with
+      | Some (_, bp) when bp >= p -> acc
+      | _ -> Some (l, p))
+    probs None
+
+(* Approximate probability of the specific edge [b] -> [succ]. *)
+let edge_prob (f : Func.t) (b : Block.t) (succ : string) =
+  match Hashtbl.find_opt (edge_probs f b) succ with Some p -> p | None -> 0.
+
+(* Copy a list of blocks, renaming labels with [prefix] and remapping
+   branches whose targets are inside the copied set.  Registers are NOT
+   renamed: the copies compute the same values, and the IR is not SSA.
+   Returns the copies in the same order plus the label map. *)
+let duplicate_blocks (f : Func.t) ?(weight_scale = 1.0) (blocks : Block.t list) =
+  ignore f;
+  let label_map = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Block.t) ->
+      Hashtbl.replace label_map b.Block.label
+        (Func.fresh_label f (b.Block.label ^ "_dup")))
+    blocks;
+  let copies =
+    List.map
+      (fun (b : Block.t) ->
+        let nb =
+          Block.create ~kind:b.Block.kind (Hashtbl.find label_map b.Block.label)
+        in
+        nb.Block.weight <- b.Block.weight *. weight_scale;
+        nb.Block.cold <- b.Block.cold;
+        nb.Block.instrs <-
+          List.map
+            (fun (i : Instr.t) ->
+              let c = Instr.copy i in
+              c.Instr.srcs <-
+                List.map
+                  (function
+                    | Operand.Label l as o -> (
+                        match Hashtbl.find_opt label_map l with
+                        | Some l' -> Operand.Label l'
+                        | None -> o)
+                    | o -> o)
+                  c.Instr.srcs;
+              (match c.Instr.attrs.Instr.recovery with
+              | Some l -> (
+                  match Hashtbl.find_opt label_map l with
+                  | Some l' -> c.Instr.attrs.Instr.recovery <- Some l'
+                  | None -> ())
+              | None -> ());
+              c.Instr.attrs.Instr.weight <-
+                c.Instr.attrs.Instr.weight *. weight_scale;
+              c)
+            b.Block.instrs;
+        nb)
+      blocks
+  in
+  (copies, label_map)
+
+(* Retarget every branch in the function that targets [from_l] and whose
+   source block satisfies [when_src] to [to_l]. *)
+let retarget_branches (f : Func.t) ~from_l ~to_l ~when_src =
+  List.iter
+    (fun (b : Block.t) ->
+      if when_src b then
+        List.iter
+          (fun (i : Instr.t) ->
+            match Instr.branch_target i with
+            | Some t when t = from_l -> i.Instr.srcs <- [ Operand.Label to_l ]
+            | _ -> ())
+          b.Block.instrs)
+    f.Func.blocks
+
+(* Approximate dependence height of a block: length of the longest chain of
+   register RAW dependences, with unit latencies.  Used by the hyperblock
+   compatibility heuristics. *)
+let dependence_height (b : Block.t) =
+  let depth : int Reg.Tbl.t = Reg.Tbl.create 16 in
+  let height = ref 0 in
+  List.iter
+    (fun (i : Instr.t) ->
+      let in_depth =
+        List.fold_left
+          (fun acc r ->
+            match Reg.Tbl.find_opt depth r with
+            | Some d -> max acc d
+            | None -> acc)
+          0 (Instr.uses i)
+      in
+      let d = in_depth + 1 in
+      List.iter (fun r -> Reg.Tbl.replace depth r d) i.Instr.dsts;
+      if d > !height then height := d)
+    b.Block.instrs;
+  !height
+
+(* Static code size of a function, in instructions. *)
+let code_size (f : Func.t) = Func.instr_count f

@@ -1,0 +1,28 @@
+(** Superblock formation [Hwu et al., JoS'93]: profile-selected traces
+    (mutual-most-likely), side entrances removed by tail duplication under
+    a static-growth budget (the paper reports 21% average growth), traces
+    merged into single-entry blocks with side exits. *)
+
+type params = {
+  min_edge_prob : float;
+  min_block_weight : float;
+  growth_budget : float;  (** max fractional code growth from duplication *)
+  max_trace_len : int;
+}
+
+val default_params : params
+
+type stats = {
+  mutable traces_formed : int;
+  mutable blocks_merged : int;
+  mutable tail_dup_instrs : int;
+}
+
+val stats : stats
+val reset_stats : unit -> unit
+
+val select_traces : Epic_ir.Func.t -> params -> string list list
+val remove_side_entrances : Epic_ir.Func.t -> params -> string list -> string list
+val merge_trace : Epic_ir.Func.t -> string list -> unit
+val run_func : ?params:params -> Epic_ir.Func.t -> unit
+val run : ?params:params -> Epic_ir.Program.t -> unit

@@ -1,0 +1,1 @@
+lib/ir/builder.ml: Block Func Instr Opcode Operand Reg

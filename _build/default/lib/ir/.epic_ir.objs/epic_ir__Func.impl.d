@@ -1,0 +1,1 @@
+lib/ir/func.ml: Block Fmt Hashtbl Instr List Printf Reg

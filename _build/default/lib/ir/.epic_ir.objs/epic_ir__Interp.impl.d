@@ -1,0 +1,1 @@
+lib/ir/interp.ml: Array Block Buffer Char Func Instr Int64 Intrinsics List Memimage Opcode Operand Printf Program Reg

@@ -1,0 +1,1 @@
+lib/ir/memimage.ml: Array Bytes Char Hashtbl Int64 List Program

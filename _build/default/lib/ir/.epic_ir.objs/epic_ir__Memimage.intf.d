@@ -1,0 +1,1 @@
+lib/ir/memimage.mli: Program

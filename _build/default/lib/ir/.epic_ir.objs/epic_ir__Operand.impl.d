@@ -1,0 +1,1 @@
+lib/ir/operand.ml: Float Fmt Int64 Reg String

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Fmt Func Int64 List Option

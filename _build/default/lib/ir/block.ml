@@ -1,0 +1,53 @@
+(* Basic blocks — or, after structural transformation, superblocks and
+   hyperblocks.  A block is a straight-line sequence of instructions that may
+   contain internal side-exit branches (superblocks) and predicated
+   instructions (hyperblocks).  Control that does not take any branch falls
+   through to the next block in the function's layout order; layout order is
+   therefore meaningful both for semantics and for instruction-cache
+   behaviour. *)
+
+type kind =
+  | Plain
+  | Super (* single-entry trace formed by superblock formation *)
+  | Hyper (* if-converted predicated region *)
+  | Recovery (* sentinel-speculation recovery code; laid out cold *)
+
+type t = {
+  label : string;
+  mutable instrs : Instr.t list;
+  mutable weight : float; (* profiled entry count *)
+  mutable kind : kind;
+  mutable cold : bool; (* laid out in the cold section at the function end *)
+}
+
+let create ?(kind = Plain) label = { label; instrs = []; weight = 0.; kind; cold = false }
+
+let append b i = b.instrs <- b.instrs @ [ i ]
+
+let instr_count b = List.length b.instrs
+
+(* The labels this block can branch to, in instruction order.  The
+   fall-through successor is not included; see [Func.successors]. *)
+let branch_targets b =
+  List.filter_map Instr.branch_target b.instrs
+
+(* True when control cannot fall through past the end of this block. *)
+let ends_in_unconditional b =
+  match List.rev b.instrs with
+  | last :: _ -> (
+      match last.Instr.op with
+      | Opcode.Br_ret -> last.Instr.pred = None
+      | Opcode.Br -> last.Instr.pred = None
+      | _ -> false)
+  | [] -> false
+
+let kind_to_string = function
+  | Plain -> "plain"
+  | Super -> "superblock"
+  | Hyper -> "hyperblock"
+  | Recovery -> "recovery"
+
+let pp ppf b =
+  Fmt.pf ppf ".%s:  ; %s w=%.0f%s@." b.label (kind_to_string b.kind) b.weight
+    (if b.cold then " cold" else "");
+  List.iter (fun i -> Fmt.pf ppf "  %a@." Instr.pp i) b.instrs

@@ -1,0 +1,149 @@
+(* IR instructions.  Instructions are mutable records: the structural
+   transformation passes of the compiler rewrite them in place, following the
+   Lcode tradition.  Each instruction carries a unique id used for profile
+   annotation, memory-dependence tags and performance-monitor attribution. *)
+
+type attrs = {
+  mutable mem_tag : int list option;
+      (* sorted abstract-location ids this memory op may touch; [None] means
+         unknown (conservatively aliases everything) *)
+  mutable taken_prob : float; (* branches: profiled probability of taking *)
+  mutable weight : float; (* profiled dynamic execution count *)
+  mutable recovery : string option; (* Chk: label of the recovery block *)
+  mutable check_reg : Reg.t option; (* sentinel load: register chk.s tests *)
+  mutable frame_in : int; (* Alloc: incoming (param) stacked registers *)
+  mutable frame_local : int; (* Alloc: local stacked registers *)
+  mutable speculated : bool; (* hoisted or promoted above original guard *)
+  mutable promoted : bool; (* speculated via predicate promotion *)
+  mutable origin : int; (* id of the source instruction this was copied from *)
+}
+
+type t = {
+  id : int;
+  mutable op : Opcode.t;
+  mutable dsts : Reg.t list;
+  mutable srcs : Operand.t list;
+  mutable pred : Reg.t option; (* guarding predicate; [None] = always *)
+  mutable cycle : int; (* issue cycle within the block; -1 = unscheduled *)
+  attrs : attrs;
+}
+
+let default_attrs () =
+  {
+    mem_tag = None;
+    taken_prob = 0.5;
+    weight = 0.;
+    recovery = None;
+    check_reg = None;
+    frame_in = 0;
+    frame_local = 0;
+    speculated = false;
+    promoted = false;
+    origin = -1;
+  }
+
+let counter = ref 0
+
+let reset_ids () = counter := 0
+
+let fresh_id () =
+  incr counter;
+  !counter
+
+let create ?pred ?(dsts = []) ?(srcs = []) op =
+  let id = fresh_id () in
+  { id; op; dsts; srcs; pred; cycle = -1; attrs = default_attrs () }
+
+(* A structural copy with a fresh id; [origin] records provenance so that
+   profile weights and performance samples can be traced across duplication
+   (tail duplication, peeling, inlining). *)
+let copy i =
+  let a = i.attrs in
+  {
+    id = fresh_id ();
+    op = i.op;
+    dsts = i.dsts;
+    srcs = i.srcs;
+    pred = i.pred;
+    cycle = i.cycle;
+    attrs =
+      {
+        mem_tag = a.mem_tag;
+        taken_prob = a.taken_prob;
+        weight = a.weight;
+        recovery = a.recovery;
+        check_reg = a.check_reg;
+        frame_in = a.frame_in;
+        frame_local = a.frame_local;
+        speculated = a.speculated;
+        promoted = a.promoted;
+        origin = (if a.origin >= 0 then a.origin else i.id);
+      };
+  }
+
+let is_branch i = Opcode.is_branch i.op
+let is_call i = Opcode.is_call i.op
+let is_load i = Opcode.is_load i.op
+let is_store i = Opcode.is_store i.op
+let is_mem i = Opcode.is_mem i.op
+
+(* Does executing this instruction depend on control reaching it on the
+   original path?  Speculative loads and pure computations may be hoisted. *)
+let may_fault i = Opcode.may_fault i.op
+
+(* Registers read by the instruction, including the guard predicate. *)
+let uses i =
+  let srcs =
+    List.filter_map (function Operand.Reg r -> Some r | _ -> None) i.srcs
+  in
+  match i.pred with Some p -> p :: srcs | None -> srcs
+
+let defs i = i.dsts
+
+(* Branch target label, if this is a direct branch. *)
+let branch_target i =
+  match i.op with
+  | Opcode.Br -> (
+      match i.srcs with
+      | Operand.Label l :: _ -> Some l
+      | _ -> None)
+  | _ -> None
+
+(* Callee symbol, if this is a direct call. *)
+let callee i =
+  match i.op with
+  | Opcode.Br_call -> (
+      match i.srcs with Operand.Sym f :: _ -> Some f | _ -> None)
+  | _ -> None
+
+let substitute_uses subst i =
+  i.srcs <-
+    List.map
+      (function
+        | Operand.Reg r as o -> (
+            match subst r with Some r' -> Operand.Reg r' | None -> o)
+        | o -> o)
+      i.srcs;
+  match i.pred with
+  | Some p -> ( match subst p with Some p' -> i.pred <- Some p' | None -> ())
+  | None -> ()
+
+let substitute_defs subst i =
+  i.dsts <- List.map (fun r -> match subst r with Some r' -> r' | None -> r) i.dsts
+
+let pp ppf i =
+  let pp_pred ppf = function
+    | Some p -> Fmt.pf ppf "(%a) " Reg.pp p
+    | None -> Fmt.pf ppf "     "
+  in
+  let pp_dsts ppf = function
+    | [] -> ()
+    | ds -> Fmt.pf ppf "%a = " Fmt.(list ~sep:(any ", ") Reg.pp) ds
+  in
+  Fmt.pf ppf "%a%a%a %a" pp_pred i.pred pp_dsts i.dsts Opcode.pp i.op
+    Fmt.(list ~sep:(any ", ") Operand.pp)
+    i.srcs;
+  if i.attrs.speculated then Fmt.pf ppf "  ;spec";
+  if i.cycle >= 0 then Fmt.pf ppf "  ;c%d" i.cycle
+
+let to_string i = Fmt.str "%a" pp i

@@ -1,0 +1,536 @@
+(* High-level IR interpreter.  Executes the (virtual-register) IR directly,
+   at any point of the compilation pipeline before register allocation.  It
+   is the reference semantics for differential testing of transformations,
+   and — instrumented through the [hooks] — the engine behind control-flow
+   profiling (Section 3.1 of the paper).
+
+   It models the pieces of IA-64 semantics the structural transforms rely on:
+   predicated execution, NaT bits produced by control-speculative loads to
+   invalid addresses, speculation checks, and compare types. *)
+
+type value = Vi of int64 | Vf of float | Vp of bool | Vnat
+
+exception Fault of string
+exception Exit_program of int
+exception Out_of_fuel
+
+type hooks = {
+  on_block : Func.t -> Block.t -> unit;
+  on_branch : Func.t -> Instr.t -> bool -> unit; (* executed branch, taken? *)
+  on_call : string -> unit;
+  on_indirect : Instr.t -> string -> unit; (* indirect call site -> callee *)
+}
+
+let no_hooks =
+  {
+    on_block = (fun _ _ -> ());
+    on_branch = (fun _ _ _ -> ());
+    on_call = (fun _ -> ());
+    on_indirect = (fun _ _ -> ());
+  }
+
+type state = {
+  program : Program.t;
+  mem : Memimage.t;
+  mutable heap : int64;
+  output : Buffer.t;
+  input : int64 array;
+  mutable fuel : int; (* remaining dynamic instructions *)
+  mutable executed : int;
+  mutable nat_faults : int; (* NaT consumed by a non-speculative op *)
+  mutable wild_loads : int; (* speculative accesses to unmapped pages *)
+  mutable alat_recoveries : int; (* chk.a found its entry invalidated *)
+  hooks : hooks;
+}
+
+(* One ALAT per frame would be unsound across our per-frame register files;
+   like the hardware we keep one ALAT, keyed by destination register, and
+   conservatively flush it at calls. *)
+
+
+type frame = {
+  env : value Reg.Tbl.t;
+  func : Func.t;
+  alat : (int64 * int) Reg.Tbl.t; (* advanced-load entries: reg -> (addr, size) *)
+}
+
+let create ?(hooks = no_hooks) ?(fuel = 400_000_000) program input =
+  Program.assign_addresses program;
+  let mem = Memimage.create () in
+  Memimage.load_program mem program;
+  {
+    program;
+    mem;
+    heap = Program.heap_base;
+    output = Buffer.create 256;
+    input;
+    fuel;
+    executed = 0;
+    nat_faults = 0;
+    wild_loads = 0;
+    alat_recoveries = 0;
+    hooks;
+  }
+
+let read_reg fr (r : Reg.t) =
+  if Reg.equal r Reg.r0 then Vi 0L
+  else if Reg.equal r Reg.p0 then Vp true
+  else
+    match Reg.Tbl.find_opt fr.env r with
+    | Some v -> v
+    | None -> ( match r.Reg.cls with Reg.Prd -> Vp false | Reg.Flt -> Vf 0. | _ -> Vi 0L)
+
+let write_reg fr (r : Reg.t) v =
+  if Reg.equal r Reg.r0 || Reg.equal r Reg.p0 then ()
+  else Reg.Tbl.replace fr.env r v
+
+let as_int = function
+  | Vi i -> `I i
+  | Vnat -> `Nat
+  | Vf f -> `I (Int64.of_float f)
+  | Vp b -> `I (if b then 1L else 0L)
+
+let as_float = function
+  | Vf f -> `F f
+  | Vi i -> `F (Int64.to_float i)
+  | Vnat -> `Nat
+  | Vp b -> `F (if b then 1. else 0.)
+
+let as_pred = function
+  | Vp b -> b
+  | Vi i -> not (Int64.equal i 0L)
+  | Vf _ | Vnat -> false
+
+let operand_value st fr (o : Operand.t) =
+  match o with
+  | Operand.Reg r -> read_reg fr r
+  | Operand.Imm i -> Vi i
+  | Operand.Fimm f -> Vf f
+  | Operand.Label _ -> Vi 0L
+  | Operand.Sym s -> (
+      match Program.find_global st.program s with
+      | Some g -> Vi g.Program.address
+      | None -> Vi (Program.func_address st.program s))
+
+(* Integer binary operation with NaT propagation. *)
+let int_binop op a b =
+  match (a, b) with
+  | `Nat, _ | _, `Nat -> Vnat
+  | `I x, `I y -> (
+      match op with
+      | Opcode.Add -> Vi (Int64.add x y)
+      | Opcode.Sub -> Vi (Int64.sub x y)
+      | Opcode.Mul -> Vi (Int64.mul x y)
+      | Opcode.Div ->
+          if Int64.equal y 0L then raise (Fault "division by zero")
+          else Vi (Int64.div x y)
+      | Opcode.Rem ->
+          if Int64.equal y 0L then raise (Fault "remainder by zero")
+          else Vi (Int64.rem x y)
+      | Opcode.And -> Vi (Int64.logand x y)
+      | Opcode.Or -> Vi (Int64.logor x y)
+      | Opcode.Xor -> Vi (Int64.logxor x y)
+      | Opcode.Shl -> Vi (Int64.shift_left x (Int64.to_int y land 63))
+      | Opcode.Shr -> Vi (Int64.shift_right_logical x (Int64.to_int y land 63))
+      | Opcode.Sra -> Vi (Int64.shift_right x (Int64.to_int y land 63))
+      | _ -> invalid_arg "int_binop")
+
+let flt_binop op a b =
+  match (a, b) with
+  | `Nat, _ | _, `Nat -> Vnat
+  | `F x, `F y -> (
+      match op with
+      | Opcode.Fadd -> Vf (x +. y)
+      | Opcode.Fsub -> Vf (x -. y)
+      | Opcode.Fmul -> Vf (x *. y)
+      | Opcode.Fdiv -> Vf (x /. y)
+      | _ -> invalid_arg "flt_binop")
+
+let print_int_value st (i : int64) =
+  Buffer.add_string st.output (Int64.to_string i);
+  Buffer.add_char st.output '\n'
+
+let do_intrinsic st (k : Intrinsics.kind) (args : value list) =
+  let geti n =
+    match List.nth_opt args n with
+    | Some v -> (
+        match as_int v with
+        | `I i -> i
+        | `Nat ->
+            st.nat_faults <- st.nat_faults + 1;
+            0L)
+    | None -> 0L
+  in
+  match k with
+  | Intrinsics.Print_int ->
+      print_int_value st (geti 0);
+      []
+  | Intrinsics.Print_char ->
+      Buffer.add_char st.output (Char.chr (Int64.to_int (geti 0) land 0xff));
+      []
+  | Intrinsics.Malloc ->
+      let bytes = Int64.to_int (geti 0) in
+      let bytes = max 8 ((bytes + 15) / 16 * 16) in
+      let addr = st.heap in
+      st.heap <- Int64.add st.heap (Int64.of_int bytes);
+      Memimage.map_range st.mem addr bytes;
+      [ Vi addr ]
+  | Intrinsics.Input ->
+      let i = Int64.to_int (geti 0) in
+      if i >= 0 && i < Array.length st.input then [ Vi st.input.(i) ] else [ Vi 0L ]
+  | Intrinsics.Input_len -> [ Vi (Int64.of_int (Array.length st.input)) ]
+  | Intrinsics.Memcpy ->
+      let dst = geti 0 and src = geti 1 and n = Int64.to_int (geti 2) in
+      for i = 0 to n - 1 do
+        let b = Memimage.read st.mem (Int64.add src (Int64.of_int i)) 1 in
+        Memimage.write st.mem (Int64.add dst (Int64.of_int i)) 1 b
+      done;
+      []
+  | Intrinsics.Memset ->
+      let dst = geti 0 and v = geti 1 and n = Int64.to_int (geti 2) in
+      for i = 0 to n - 1 do
+        Memimage.write st.mem (Int64.add dst (Int64.of_int i)) 1 v
+      done;
+      []
+  | Intrinsics.Exit -> raise (Exit_program (Int64.to_int (geti 0)))
+
+(* Execute a load, applying the speculation model.  A non-speculative access
+   to an unmapped or NULL page is a fatal fault; a speculative one yields NaT
+   ("deferred exception") and is counted as a wild load when off the NULL
+   page. *)
+let do_load st (spec : Opcode.spec_kind) (addr : int64) size =
+  match Memimage.classify st.mem addr with
+  | Memimage.Ok -> Vi (Memimage.read st.mem addr size)
+  | Memimage.Null_page -> (
+      match spec with
+      | Opcode.Nonspec | Opcode.Spec_advanced ->
+          raise (Fault (Printf.sprintf "load from NULL page 0x%Lx" addr))
+      | Opcode.Spec_general | Opcode.Spec_sentinel -> Vnat)
+  | Memimage.Unmapped -> (
+      match spec with
+      | Opcode.Nonspec | Opcode.Spec_advanced ->
+          raise (Fault (Printf.sprintf "load from unmapped 0x%Lx" addr))
+      | Opcode.Spec_general | Opcode.Spec_sentinel ->
+          st.wild_loads <- st.wild_loads + 1;
+          Vnat)
+
+(* Execute one function invocation; returns the list of returned values. *)
+let rec exec_call st (fname : string) (args : value list) (caller_sp : int64) =
+  st.hooks.on_call fname;
+  match Intrinsics.of_name fname with
+  | Some k -> do_intrinsic st k args
+  | None ->
+      let f = Program.find_func_exn st.program fname in
+      let fr = { env = Reg.Tbl.create 64; func = f; alat = Reg.Tbl.create 8 } in
+      List.iteri
+        (fun i p -> match List.nth_opt args i with
+          | Some v -> write_reg fr p v
+          | None -> ())
+        f.Func.params;
+      write_reg fr Reg.sp (Vi caller_sp);
+      exec_block st fr (Func.entry f)
+
+and exec_block st fr (b : Block.t) =
+  st.hooks.on_block fr.func b;
+  exec_instrs st fr b b.Block.instrs
+
+and exec_instrs st fr (b : Block.t) = function
+  | [] -> (
+      (* Fall through to the next block in layout order. *)
+      match Func.fallthrough fr.func b with
+      | Some nb -> exec_block st fr nb
+      | None -> raise (Fault (fr.func.Func.name ^ ": fell off the end of " ^ b.Block.label)))
+  | (i : Instr.t) :: rest -> (
+      if st.fuel <= 0 then raise Out_of_fuel;
+      st.fuel <- st.fuel - 1;
+      st.executed <- st.executed + 1;
+      let guard = match i.Instr.pred with None -> true | Some p -> as_pred (read_reg fr p) in
+      let continue () = exec_instrs st fr b rest in
+      let goto label =
+        match Func.find_block fr.func label with
+        | Some nb -> exec_block st fr nb
+        | None -> raise (Fault ("branch to unknown label " ^ label))
+      in
+      match i.Instr.op with
+      | Opcode.Cmp (c, ct) | Opcode.Fcmp (c, ct) -> (
+          let fcmp = match i.Instr.op with Opcode.Fcmp _ -> true | _ -> false in
+          let pt, pf =
+            match i.Instr.dsts with
+            | [ pt; pf ] -> (pt, pf)
+            | _ -> raise (Fault "cmp without two destinations")
+          in
+          let cond () =
+            match i.Instr.srcs with
+            | [ a; b' ] ->
+                if fcmp then (
+                  match (as_float (operand_value st fr a), as_float (operand_value st fr b')) with
+                  | `F x, `F y -> Some (Opcode.eval_fcmp c x y)
+                  | _ -> None)
+                else (
+                  match (as_int (operand_value st fr a), as_int (operand_value st fr b')) with
+                  | `I x, `I y -> Some (Opcode.eval_icmp c x y)
+                  | _ -> None (* NaT input: both targets cleared *))
+            | _ -> raise (Fault "cmp arity")
+          in
+          match ct with
+          | Opcode.Norm ->
+              if guard then (
+                match cond () with
+                | Some r ->
+                    write_reg fr pt (Vp r);
+                    write_reg fr pf (Vp (not r))
+                | None ->
+                    write_reg fr pt (Vp false);
+                    write_reg fr pf (Vp false));
+              continue ()
+          | Opcode.Unc ->
+              (* unc clears both targets even when the guard is false *)
+              write_reg fr pt (Vp false);
+              write_reg fr pf (Vp false);
+              if guard then (
+                match cond () with
+                | Some r ->
+                    write_reg fr pt (Vp r);
+                    write_reg fr pf (Vp (not r))
+                | None -> ());
+              continue ()
+          | Opcode.Orform ->
+              if guard then (
+                match cond () with
+                | Some true ->
+                    write_reg fr pt (Vp true);
+                    write_reg fr pf (Vp true)
+                | Some false | None -> ());
+              continue ())
+      | _ when not guard ->
+          (* predicate-squashed: fetched but not executed *)
+          (match i.Instr.op with
+          | Opcode.Br -> st.hooks.on_branch fr.func i false
+          | _ -> ());
+          continue ()
+      | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem
+      | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Shl | Opcode.Shr
+      | Opcode.Sra -> (
+          match (i.Instr.dsts, i.Instr.srcs) with
+          | [ d ], [ a; b' ] ->
+              let va = as_int (operand_value st fr a)
+              and vb = as_int (operand_value st fr b') in
+              (* Div/Rem by zero under speculation must defer, not kill. *)
+              let v =
+                try int_binop i.Instr.op va vb
+                with Fault _ when i.Instr.attrs.Instr.speculated -> Vnat
+              in
+              write_reg fr d v;
+              continue ()
+          | _ -> raise (Fault ("bad ALU instruction " ^ Instr.to_string i)))
+      | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv -> (
+          match (i.Instr.dsts, i.Instr.srcs) with
+          | [ d ], [ a; b' ] ->
+              let v =
+                flt_binop i.Instr.op
+                  (as_float (operand_value st fr a))
+                  (as_float (operand_value st fr b'))
+              in
+              write_reg fr d v;
+              continue ()
+          | _ -> raise (Fault "bad FP instruction"))
+      | Opcode.Fneg -> (
+          match (i.Instr.dsts, i.Instr.srcs) with
+          | [ d ], [ a ] ->
+              (match as_float (operand_value st fr a) with
+              | `F x -> write_reg fr d (Vf (-.x))
+              | `Nat -> write_reg fr d Vnat);
+              continue ()
+          | _ -> raise (Fault "bad fneg"))
+      | Opcode.Cvt_fi -> (
+          match (i.Instr.dsts, i.Instr.srcs) with
+          | [ d ], [ a ] ->
+              (match as_float (operand_value st fr a) with
+              | `F x -> write_reg fr d (Vi (Int64.of_float x))
+              | `Nat -> write_reg fr d Vnat);
+              continue ()
+          | _ -> raise (Fault "bad cvt.fi"))
+      | Opcode.Cvt_if -> (
+          match (i.Instr.dsts, i.Instr.srcs) with
+          | [ d ], [ a ] ->
+              (match as_int (operand_value st fr a) with
+              | `I x -> write_reg fr d (Vf (Int64.to_float x))
+              | `Nat -> write_reg fr d Vnat);
+              continue ()
+          | _ -> raise (Fault "bad cvt.if"))
+      | Opcode.Mov | Opcode.Sxt _ -> (
+          match (i.Instr.dsts, i.Instr.srcs) with
+          | [ d ], [ a ] ->
+              let v = operand_value st fr a in
+              let v =
+                match (i.Instr.op, v) with
+                | Opcode.Sxt sz, Vi x ->
+                    let bits = 8 * Opcode.size_bytes sz in
+                    Vi (Int64.shift_right (Int64.shift_left x (64 - bits)) (64 - bits))
+                | _ -> v
+              in
+              write_reg fr d v;
+              continue ()
+          | _ -> raise (Fault "bad mov"))
+      | Opcode.Lea -> (
+          match (i.Instr.dsts, i.Instr.srcs) with
+          | [ d ], [ base; off ] ->
+              let b' =
+                match operand_value st fr base with
+                | Vi x -> x
+                | _ -> raise (Fault "lea base")
+              in
+              let o =
+                match operand_value st fr off with Vi x -> x | _ -> 0L
+              in
+              write_reg fr d (Vi (Int64.add b' o));
+              continue ()
+          | _ -> raise (Fault "bad lea"))
+      | Opcode.Ld (sz, spec) -> (
+          match (i.Instr.dsts, i.Instr.srcs) with
+          | [ d ], [ a ] ->
+              (match as_int (operand_value st fr a) with
+              | `I addr ->
+                  let v = do_load st spec addr (Opcode.size_bytes sz) in
+                  (* Floats live in memory as IEEE-754 bit patterns. *)
+                  let v =
+                    match (v, d.Reg.cls) with
+                    | Vi bits, Reg.Flt -> Vf (Int64.float_of_bits bits)
+                    | _ -> v
+                  in
+                  if spec = Opcode.Spec_advanced then
+                    Reg.Tbl.replace fr.alat d (addr, Opcode.size_bytes sz);
+                  write_reg fr d v
+              | `Nat ->
+                  (* address is NaT: propagate (speculative chains) *)
+                  if spec = Opcode.Nonspec then st.nat_faults <- st.nat_faults + 1;
+                  write_reg fr d Vnat);
+              continue ()
+          | _ -> raise (Fault "bad load"))
+      | Opcode.St sz -> (
+          match i.Instr.srcs with
+          | [ a; v ] ->
+              let stored =
+                match operand_value st fr v with
+                | Vf f -> Vi (Int64.bits_of_float f)
+                | x -> x
+              in
+              (match (as_int (operand_value st fr a), as_int stored) with
+              | `I addr, `I x -> (
+                  (* invalidate overlapping advanced-load entries *)
+                  let bytes = Opcode.size_bytes sz in
+                  let stale =
+                    Reg.Tbl.fold
+                      (fun r (a, n) acc ->
+                        let lo = max (Int64.to_int a) (Int64.to_int addr) in
+                        let hi =
+                          min
+                            (Int64.to_int a + n)
+                            (Int64.to_int addr + bytes)
+                        in
+                        if lo < hi then r :: acc else acc)
+                      fr.alat []
+                  in
+                  List.iter (Reg.Tbl.remove fr.alat) stale;
+                  match Memimage.classify st.mem addr with
+                  | Memimage.Ok -> Memimage.write st.mem addr (Opcode.size_bytes sz) x
+                  | Memimage.Null_page | Memimage.Unmapped ->
+                      raise (Fault (Printf.sprintf "store to invalid 0x%Lx" addr)))
+              | `Nat, _ | _, `Nat -> st.nat_faults <- st.nat_faults + 1);
+              continue ()
+          | _ -> raise (Fault "bad store"))
+      | Opcode.Chk sz -> (
+          match i.Instr.srcs with
+          | [ Operand.Reg r; a ] -> (
+              match read_reg fr r with
+              | Vnat ->
+                  (* recovery: reload non-speculatively *)
+                  (match as_int (operand_value st fr a) with
+                  | `I addr ->
+                      let v = do_load st Opcode.Nonspec addr (Opcode.size_bytes sz) in
+                      let v =
+                        match (v, r.Reg.cls) with
+                        | Vi bits, Reg.Flt -> Vf (Int64.float_of_bits bits)
+                        | _ -> v
+                      in
+                      write_reg fr r v
+                  | `Nat -> st.nat_faults <- st.nat_faults + 1);
+                  continue ()
+              | _ -> continue ())
+          | _ -> raise (Fault "bad chk"))
+      | Opcode.Chka sz -> (
+          match i.Instr.srcs with
+          | [ Operand.Reg r; a ] ->
+              if Reg.Tbl.mem fr.alat r then continue ()
+              else begin
+                (* entry invalidated by an intervening store: recover *)
+                st.alat_recoveries <- st.alat_recoveries + 1;
+                (match as_int (operand_value st fr a) with
+                | `I addr ->
+                    let v = do_load st Opcode.Nonspec addr (Opcode.size_bytes sz) in
+                    let v =
+                      match (v, r.Reg.cls) with
+                      | Vi bits, Reg.Flt -> Vf (Int64.float_of_bits bits)
+                      | _ -> v
+                    in
+                    write_reg fr r v
+                | `Nat -> st.nat_faults <- st.nat_faults + 1);
+                continue ()
+              end
+          | _ -> raise (Fault "bad chk.a"))
+      | Opcode.Br -> (
+          match i.Instr.srcs with
+          | [ Operand.Label l ] ->
+              st.hooks.on_branch fr.func i true;
+              goto l
+          | _ -> raise (Fault "bad br"))
+      | Opcode.Br_call -> (
+          match i.Instr.srcs with
+          | target :: args ->
+              let argv = List.map (operand_value st fr) args in
+              let sp =
+                match as_int (read_reg fr Reg.sp) with `I s -> s | `Nat -> 0L
+              in
+              let results =
+                match target with
+                | Operand.Sym fname -> exec_call st fname argv sp
+                | Operand.Reg r -> (
+                    match as_int (read_reg fr r) with
+                    | `I addr -> (
+                        match Program.func_at_address st.program addr with
+                        | Some fname ->
+                            st.hooks.on_indirect i fname;
+                            exec_call st fname argv sp
+                        | None ->
+                            raise (Fault (Printf.sprintf "indirect call to 0x%Lx" addr)))
+                    | `Nat -> raise (Fault "indirect call through NaT"))
+                | _ -> raise (Fault "bad call target")
+              in
+              Reg.Tbl.reset fr.alat;
+              List.iteri
+                (fun n d ->
+                  match List.nth_opt results n with
+                  | Some v -> write_reg fr d v
+                  | None -> write_reg fr d (Vi 0L))
+                i.Instr.dsts;
+              continue ()
+          | [] -> raise (Fault "bad call"))
+      | Opcode.Br_ret -> List.map (operand_value st fr) i.Instr.srcs
+      | Opcode.Alloc | Opcode.Nop -> continue ())
+
+(* Run the whole program; returns (exit_code, output). *)
+let run ?hooks ?fuel (p : Program.t) (input : int64 array) =
+  let st = create ?hooks ?fuel p input in
+  let init_sp = Int64.sub Program.stack_top 128L in
+  let code, st =
+    try
+      let results = exec_call st p.Program.entry [] init_sp in
+      let code =
+        match results with
+        | Vi i :: _ -> Int64.to_int i
+        | _ -> 0
+      in
+      (code, st)
+    with Exit_program c -> (c, st)
+  in
+  (code, Buffer.contents st.output, st)

@@ -1,0 +1,40 @@
+(* Runtime intrinsics: the small set of externally-provided operations the
+   mini-C runtime offers.  Both the high-level interpreter and the machine
+   simulator implement these directly; they stand in for the gcc-compiled
+   system libraries the paper observes (Section 4.5) and are therefore never
+   optimized by the compiler. *)
+
+type kind =
+  | Print_int (* print_int(x): append "<x>\n" to program output *)
+  | Print_char (* print_char(c) *)
+  | Malloc (* malloc(bytes) -> pointer; bump allocator *)
+  | Input (* input(i) -> i-th word of the input vector, 0 past the end *)
+  | Input_len (* input_len() -> number of input words *)
+  | Memcpy (* memcpy(dst, src, bytes) *)
+  | Memset (* memset(dst, byte, bytes) *)
+  | Exit (* exit(code): stop the program *)
+
+let all =
+  [
+    ("print_int", Print_int);
+    ("print_char", Print_char);
+    ("malloc", Malloc);
+    ("input", Input);
+    ("input_len", Input_len);
+    ("memcpy", Memcpy);
+    ("memset", Memset);
+    ("exit", Exit);
+  ]
+
+let of_name n = List.assoc_opt n all
+let is_intrinsic n = of_name n <> None
+
+(* Latency charged by the timing model for one intrinsic call, standing in
+   for the unoptimizable gcc-compiled library code of Section 4.5.  memcpy
+   and memset additionally pay a per-byte cost in the simulator. *)
+let base_cost = function
+  | Print_int | Print_char -> 40
+  | Malloc -> 60
+  | Input | Input_len -> 10
+  | Memcpy | Memset -> 30
+  | Exit -> 1

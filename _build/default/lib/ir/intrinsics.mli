@@ -1,0 +1,20 @@
+(** Runtime intrinsics: the externally-provided operations of the mini-C
+    runtime, standing in for the gcc-compiled system libraries the paper
+    observes as unoptimizable (Section 4.5). *)
+
+type kind =
+  | Print_int
+  | Print_char
+  | Malloc
+  | Input  (** input(i): the i-th word of the input vector, 0 past the end *)
+  | Input_len
+  | Memcpy
+  | Memset
+  | Exit
+
+val all : (string * kind) list
+val of_name : string -> kind option
+val is_intrinsic : string -> bool
+
+(** Base cycle cost charged by the timing model per call. *)
+val base_cost : kind -> int

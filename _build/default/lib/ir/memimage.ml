@@ -1,0 +1,100 @@
+(* A sparse, paged, byte-addressed memory image shared by the high-level IR
+   interpreter and (as the backing store) by the machine simulator.  Pages
+   must be explicitly mapped; accesses to unmapped pages are reported to the
+   caller so that speculative "wild loads" (Section 4.3 of the paper) can be
+   modelled rather than silently absorbed. *)
+
+let page_bits = 9
+let page_size = 1 lsl page_bits (* 512 B; scaled from 16 kB (see DESIGN.md) *)
+
+type t = {
+  pages : (int, Bytes.t) Hashtbl.t;
+  mutable mapped_count : int;
+}
+
+type access = Ok | Unmapped | Null_page
+
+let create () = { pages = Hashtbl.create 64; mapped_count = 0 }
+
+let page_of_addr (a : int64) = Int64.to_int (Int64.shift_right_logical a 9)
+
+let map_page t idx =
+  if not (Hashtbl.mem t.pages idx) then begin
+    Hashtbl.add t.pages idx (Bytes.make page_size '\000');
+    t.mapped_count <- t.mapped_count + 1
+  end
+
+let map_range t (addr : int64) (bytes : int) =
+  let first = page_of_addr addr in
+  let last = page_of_addr (Int64.add addr (Int64.of_int (max 0 (bytes - 1)))) in
+  for i = first to last do
+    map_page t i
+  done
+
+let is_mapped t (a : int64) = Hashtbl.mem t.pages (page_of_addr a)
+
+(* Classify an access without performing it.  The zero page is the
+   architected NaT page: speculative accesses to it complete cheaply. *)
+let classify t (a : int64) =
+  if Int64.unsigned_compare a (Int64.of_int page_size) < 0 then Null_page
+  else if is_mapped t a then Ok
+  else Unmapped
+
+let rec read_byte t (a : int64) =
+  match Hashtbl.find_opt t.pages (page_of_addr a) with
+  | Some page -> Char.code (Bytes.get page (Int64.to_int a land (page_size - 1)))
+  | None ->
+      map_page t (page_of_addr a);
+      read_byte t a
+
+let rec write_byte t (a : int64) (v : int) =
+  match Hashtbl.find_opt t.pages (page_of_addr a) with
+  | Some page -> Bytes.set page (Int64.to_int a land (page_size - 1)) (Char.chr (v land 0xff))
+  | None ->
+      map_page t (page_of_addr a);
+      write_byte t a v
+
+(* Little-endian reads/writes of 1, 4 or 8 bytes.  The caller is responsible
+   for having consulted [classify]; these map pages on demand so that the
+   interpreter and simulator never crash on technically-unmapped accesses
+   (the policy decision lives above this layer). *)
+let read t (a : int64) (size : int) =
+  let rec go i acc =
+    if i >= size then acc
+    else
+      let b = read_byte t (Int64.add a (Int64.of_int i)) in
+      go (i + 1) (Int64.logor acc (Int64.shift_left (Int64.of_int b) (8 * i)))
+  in
+  let raw = go 0 0L in
+  match size with
+  | 1 -> raw
+  | 4 ->
+      (* sign-extend 32-bit quantities *)
+      Int64.shift_right (Int64.shift_left raw 32) 32
+  | _ -> raw
+
+let write t (a : int64) (size : int) (v : int64) =
+  for i = 0 to size - 1 do
+    write_byte t
+      (Int64.add a (Int64.of_int i))
+      (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
+  done
+
+(* Initialize the image from a program's global data and map the stack and
+   the NaT page.  Returns unit; addresses must already be assigned. *)
+let load_program t (p : Program.t) =
+  map_page t 0;
+  (* architected NaT page *)
+  List.iter
+    (fun (g : Program.global) ->
+      map_range t g.Program.address g.Program.size;
+      match g.Program.init with
+      | None -> ()
+      | Some words ->
+          Array.iteri
+            (fun i w -> write t (Int64.add g.Program.address (Int64.of_int (8 * i))) 8 w)
+            words)
+    p.Program.globals;
+  (* Map an initial stack region below [stack_top]. *)
+  let stack_bytes = 64 * 1024 in
+  map_range t (Int64.sub Program.stack_top (Int64.of_int stack_bytes)) stack_bytes

@@ -1,0 +1,35 @@
+(** A sparse, paged, byte-addressed memory image shared by the reference
+    interpreter and the machine simulator.  Pages must be mapped explicitly;
+    the classification of unmapped accesses is what lets callers model
+    speculative "wild loads" (paper Section 4.3). *)
+
+val page_bits : int
+
+val page_size : int
+(** 512 bytes — scaled with the caches, see DESIGN.md. *)
+
+type t
+
+type access =
+  | Ok  (** the page is mapped *)
+  | Unmapped
+  | Null_page  (** the architected NaT page at address 0 *)
+
+val create : unit -> t
+val page_of_addr : int64 -> int
+val map_page : t -> int -> unit
+val map_range : t -> int64 -> int -> unit
+val is_mapped : t -> int64 -> bool
+
+(** Classify an access without performing it. *)
+val classify : t -> int64 -> access
+
+(** Little-endian read of 1, 4 or 8 bytes (4-byte reads sign-extend).
+    Maps pages on demand: consult {!classify} first for policy. *)
+val read : t -> int64 -> int -> int64
+
+val write : t -> int64 -> int -> int64 -> unit
+
+(** Initialize the image from a program's globals and map the stack and the
+    NaT page ([Program.assign_addresses] must have run). *)
+val load_program : t -> Program.t -> unit

@@ -1,0 +1,15 @@
+(** Instruction source operands. *)
+
+type t =
+  | Reg of Reg.t
+  | Imm of int64
+  | Fimm of float
+  | Label of string  (** a branch target: a block label within the function *)
+  | Sym of string  (** a global symbol: function or data *)
+
+val reg : Reg.t -> t
+val imm : int -> t
+val imm64 : int64 -> t
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

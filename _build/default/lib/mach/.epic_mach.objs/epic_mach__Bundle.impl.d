@@ -1,0 +1,1 @@
+lib/mach/bundle.ml: Array Epic_ir Instr Itanium List

@@ -1,0 +1,1 @@
+lib/mach/itanium.ml: Epic_ir Instr Opcode Reg

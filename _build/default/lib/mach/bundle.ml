@@ -1,0 +1,143 @@
+(* IA-64 bundles: three 41-bit slots plus a template, 16 bytes per bundle.
+   The bundler packs each scheduled issue group into bundles from the
+   architected template set, inserting explicit nop operations into slots
+   that cannot be filled — the effect the paper observes on fetch efficiency
+   (Figure 6: better-scheduled code retires fewer nops). *)
+
+open Epic_ir
+
+type slot_kind = SM | SI | SF | SB | SL
+
+(* The IA-64 template set (ignoring mid-bundle stops, which we model at
+   group granularity). *)
+let templates : (string * slot_kind array) list =
+  [
+    ("MII", [| SM; SI; SI |]);
+    ("MLX", [| SM; SL; SL |]);
+    ("MMI", [| SM; SM; SI |]);
+    ("MFI", [| SM; SF; SI |]);
+    ("MMF", [| SM; SM; SF |]);
+    ("MIB", [| SM; SI; SB |]);
+    ("MBB", [| SM; SB; SB |]);
+    ("BBB", [| SB; SB; SB |]);
+    ("MMB", [| SM; SM; SB |]);
+    ("MFB", [| SM; SF; SB |]);
+  ]
+
+type slot = Op of Instr.t | Nop_slot
+
+type t = {
+  template : string;
+  slots : slot array; (* length 3 *)
+  mutable address : int64; (* assigned by layout *)
+  mutable stop : bool; (* stop bit after this bundle (end of group) *)
+}
+
+let bundle_bytes = 16L
+
+(* Which slot kinds can hold an instruction of the given unit class? *)
+let fits (k : slot_kind) (cls : Itanium.unit_class) =
+  match (k, cls) with
+  | SM, (Itanium.UM | Itanium.UA) -> true
+  | SI, (Itanium.UI | Itanium.UA) -> true
+  | SF, Itanium.UF -> true
+  | SB, Itanium.UB -> true
+  | SL, _ -> false (* long-immediate slots: unused by our ISA subset *)
+  | (SM | SI | SF | SB), _ -> false
+
+(* Can [ops] (in order) be placed into one bundle under some template,
+   using strictly increasing slot positions?  Returns the best (template
+   name, slots) or None. *)
+let place_ops (ops : Instr.t list) =
+  let try_template (tmpl : slot_kind array) =
+    let slots = Array.make 3 Nop_slot in
+    let rec go slot_idx = function
+      | [] -> true
+      | (op : Instr.t) :: tl ->
+          if slot_idx >= 3 then false
+          else if fits tmpl.(slot_idx) (Itanium.class_of op.Instr.op) then begin
+            slots.(slot_idx) <- Op op;
+            go (slot_idx + 1) tl
+          end
+          else begin
+            slots.(slot_idx) <- Nop_slot;
+            go (slot_idx + 1) (op :: tl)
+          end
+    in
+    if go 0 ops then Some slots else None
+  in
+  let rec search = function
+    | [] -> None
+    | (name, tmpl) :: rest -> (
+        match try_template tmpl with
+        | Some slots -> Some (name, slots)
+        | None -> search rest)
+  in
+  search templates
+
+(* Pack a block's issue groups into one continuous bundle stream.  Adjacent
+   groups may share a bundle: IA-64 templates carry mid-bundle stop bits
+   (e.g. MI_I, M_MI), which we idealize as "a stop may follow any slot"
+   (documented in DESIGN.md).  Returns the bundles and, per group, the
+   (first, last) bundle indices it occupies. *)
+let pack_block (groups : Instr.t list list) : t list * (int * int) list =
+  let bundles = ref [] in
+  let n_bundles = ref 0 in
+  let cur : Instr.t list ref = ref [] in
+  let flush () =
+    if !cur <> [] then begin
+      match place_ops !cur with
+      | Some (name, slots) ->
+          bundles := { template = name; slots; address = 0L; stop = false } :: !bundles;
+          incr n_bundles;
+          cur := []
+      | None -> assert false (* cur is only grown while placeable *)
+    end
+  in
+  let ranges = ref [] in
+  List.iter
+    (fun group ->
+      let first = ref (if !cur = [] then !n_bundles else !n_bundles) in
+      let first_set = ref false in
+      List.iter
+        (fun op ->
+          (if place_ops (!cur @ [ op ]) <> None then cur := !cur @ [ op ]
+           else begin
+             flush ();
+             cur := [ op ]
+           end);
+          if not !first_set then begin
+            (* the op landed either in the in-progress bundle (!n_bundles) *)
+            first := !n_bundles;
+            first_set := true
+          end)
+        group;
+      (* stop bit after the group's last op *)
+      (match !bundles with
+      | b :: _ when !cur = [] -> b.stop <- true
+      | _ -> ());
+      let last = !n_bundles in
+      ranges := (!first, last) :: !ranges;
+      ignore first_set)
+    groups;
+  flush ();
+  (match !bundles with b :: _ -> b.stop <- true | [] -> ());
+  let bs = List.rev !bundles in
+  (* clamp ranges to the final bundle count *)
+  let total = List.length bs in
+  let ranges =
+    List.rev_map
+      (fun (f, l) -> (min f (max 0 (total - 1)), min l (max 0 (total - 1))))
+      !ranges
+  in
+  (bs, ranges)
+
+(* Legacy single-group packing (used by tests). *)
+let pack_group (group : Instr.t list) : t list =
+  let bs, _ = pack_block [ group ] in
+  bs
+
+let nop_count (b : t) =
+  Array.fold_left (fun n s -> match s with Nop_slot -> n + 1 | Op _ -> n) 0 b.slots
+
+let op_count (b : t) = 3 - nop_count b

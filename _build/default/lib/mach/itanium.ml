@@ -1,0 +1,154 @@
+(* The Itanium 2 machine model used by the scheduler and bundler: execution
+   unit classes, per-cycle issue capacities (six-issue: up to two bundles per
+   cycle), and planned operation latencies.  Figures follow the Itanium 2
+   reference manual (scaled where DESIGN.md says so). *)
+
+open Epic_ir
+
+(* IA-64 execution unit classes.  A-type ALU operations may issue on either
+   an M or an I slot, which is what makes the machine "six-ALU". *)
+type unit_class = UA | UI | UM | UF | UB
+
+let class_of (op : Opcode.t) =
+  match op with
+  | Opcode.Add | Opcode.Sub | Opcode.And | Opcode.Or | Opcode.Xor
+  | Opcode.Mov | Opcode.Lea | Opcode.Cmp _ ->
+      UA
+  | Opcode.Shl | Opcode.Shr | Opcode.Sra | Opcode.Sxt _ | Opcode.Mul
+  | Opcode.Div | Opcode.Rem ->
+      UI
+  | Opcode.Ld _ | Opcode.St _ | Opcode.Chk _ | Opcode.Chka _ | Opcode.Alloc -> UM
+  | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv | Opcode.Fneg
+  | Opcode.Fcmp _ | Opcode.Cvt_fi | Opcode.Cvt_if ->
+      UF
+  | Opcode.Br | Opcode.Br_call | Opcode.Br_ret -> UB
+  | Opcode.Nop -> UA
+
+(* Planned (static) result latency in cycles: the delay the compiler must
+   schedule between a producer and its consumer. *)
+let latency (op : Opcode.t) =
+  match op with
+  | Opcode.Add | Opcode.Sub | Opcode.And | Opcode.Or | Opcode.Xor
+  | Opcode.Mov | Opcode.Lea | Opcode.Sxt _ ->
+      1
+  | Opcode.Shl | Opcode.Shr | Opcode.Sra -> 1
+  | Opcode.Cmp _ -> 1 (* 0 to a dependent branch; see [dep_latency] *)
+  | Opcode.Mul -> 3
+  | Opcode.Div | Opcode.Rem -> 16 (* software-expanded on real HW *)
+  | Opcode.Ld (_, _) -> 1 (* Itanium 2 integer L1D load-to-use *)
+  | Opcode.St _ -> 1
+  | Opcode.Chk _ | Opcode.Chka _ -> 1
+  | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fneg | Opcode.Fcmp _ -> 4
+  | Opcode.Fdiv -> 24
+  | Opcode.Cvt_fi | Opcode.Cvt_if -> 4
+  | Opcode.Br | Opcode.Br_call | Opcode.Br_ret | Opcode.Alloc | Opcode.Nop -> 1
+
+(* Latency of a register dependence from [producer] to [consumer] through
+   register [r].  IA-64 allows a compare and a branch that consumes its
+   predicate in the same instruction group. *)
+let dep_latency (producer : Instr.t) (consumer : Instr.t) (r : Reg.t) =
+  match (producer.Instr.op, consumer.Instr.op) with
+  | (Opcode.Cmp _ | Opcode.Fcmp _), (Opcode.Br | Opcode.Br_call | Opcode.Br_ret)
+    when r.Reg.cls = Reg.Prd ->
+      0
+  | _ -> latency producer.Instr.op
+
+(* Float loads are served from L2 on Itanium 2 (no FP data in L1D). *)
+let float_load_latency = 6
+
+(* Per-cycle issue capacities (two bundles = six slots). *)
+type caps = {
+  mutable total : int;
+  mutable m : int; (* memory slots *)
+  mutable i : int;
+  mutable f : int;
+  mutable b : int;
+  mutable ld : int; (* load pipes within M *)
+  mutable st : int; (* store pipes within M *)
+}
+
+let fresh_caps () = { total = 6; m = 4; i = 2; f = 2; b = 3; ld = 2; st = 2 }
+
+(* Try to account one instruction against [caps]; true if it fits. *)
+let take caps (i : Instr.t) =
+  if caps.total = 0 then false
+  else
+    let ok =
+      match class_of i.Instr.op with
+      | UM ->
+          if Instr.is_load i then
+            if caps.m > 0 && caps.ld > 0 then (
+              caps.m <- caps.m - 1;
+              caps.ld <- caps.ld - 1;
+              true)
+            else false
+          else if Instr.is_store i then
+            if caps.m > 0 && caps.st > 0 then (
+              caps.m <- caps.m - 1;
+              caps.st <- caps.st - 1;
+              true)
+            else false
+          else if caps.m > 0 then (
+            caps.m <- caps.m - 1;
+            true)
+          else false
+      | UI ->
+          if caps.i > 0 then (
+            caps.i <- caps.i - 1;
+            true)
+          else false
+      | UA ->
+          (* A-type: prefer an I slot, fall back to M *)
+          if caps.i > 0 then (
+            caps.i <- caps.i - 1;
+            true)
+          else if caps.m > 0 then (
+            caps.m <- caps.m - 1;
+            true)
+          else false
+      | UF ->
+          if caps.f > 0 then (
+            caps.f <- caps.f - 1;
+            true)
+          else false
+      | UB ->
+          if caps.b > 0 then (
+            caps.b <- caps.b - 1;
+            true)
+          else false
+    in
+    if ok then caps.total <- caps.total - 1;
+    ok
+
+(* --- Memory hierarchy parameters (scaled; see DESIGN.md section 5.4) --- *)
+
+let l1i_size = 2048
+let l1i_line = 64
+let l1i_assoc = 4
+let l1d_size = 2048
+let l1d_line = 64
+let l1d_assoc = 4
+let l2_size = 16 * 1024
+let l2_line = 128
+let l2_assoc = 8
+let l3_size = 128 * 1024
+let l3_line = 128
+let l3_assoc = 12
+
+let l2_latency = 5
+let l3_latency = 12
+let mem_latency = 140
+
+let dtlb_entries = 32
+let vhpt_walk_cycles = 25 (* hardware walker, successful *)
+let wild_walk_cycles = 80 (* failed walk + uncached page-table query *)
+let nat_page_cycles = 2 (* architected NaT page at address 0 *)
+let page_fault_cycles = 400 (* OS fault handler (kernel time) *)
+
+let branch_mispredict_penalty = 6
+let call_overhead = 2 (* br.call pipeline redirect + alloc *)
+let return_overhead = 2 (* br.ret redirect + RSE bookkeeping *)
+let chk_recovery_penalty = 8 (* pipeline redirect into recovery *)
+
+(* Register stack: 96 physical stacked registers back r32-r127. *)
+let rse_spill_cost_per_reg = 1 (* cycles per mandatory spill/fill *)

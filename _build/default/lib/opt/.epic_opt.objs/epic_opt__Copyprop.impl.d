@@ -1,0 +1,1 @@
+lib/opt/copyprop.ml: Block Epic_ir Func Instr List Opcode Operand Program Reg

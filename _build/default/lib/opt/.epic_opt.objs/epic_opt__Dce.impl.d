@@ -1,0 +1,1 @@
+lib/opt/dce.ml: Block Epic_analysis Epic_ir Func Instr List Liveness Opcode Program Reg

@@ -1,0 +1,1 @@
+lib/opt/indirect_call.ml: Block Epic_analysis Epic_ir Func Instr List Opcode Operand Profile Program Reg

@@ -1,0 +1,1 @@
+lib/opt/indirect_call.mli: Epic_analysis Epic_ir

@@ -1,0 +1,1 @@
+lib/opt/inline.ml: Block Callgraph Epic_analysis Epic_ir Fun Func Hashtbl Instr Intrinsics List Opcode Operand Printf Program Reg

@@ -1,0 +1,1 @@
+lib/opt/jumpopt.ml: Block Epic_ir Func Hashtbl Instr List Opcode Operand Program

@@ -1,0 +1,1 @@
+lib/opt/licm.ml: Block Dominance Epic_analysis Epic_ir Func Instr List Liveness Memdep Natural_loops Opcode Operand Option Program Reg

@@ -1,0 +1,1 @@
+lib/opt/local_cse.ml: Block Epic_analysis Epic_ir Func Hashtbl Instr List Memdep Opcode Operand Program Reg

@@ -1,0 +1,1 @@
+lib/opt/pipeline.ml: Constfold Copyprop Dce Epic_ir Jumpopt Licm Local_cse Program Strength Verify

@@ -1,0 +1,1 @@
+lib/opt/strength.ml: Block Epic_ir Func Instr Int64 List Opcode Operand Program

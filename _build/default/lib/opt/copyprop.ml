@@ -1,0 +1,42 @@
+(* Local copy propagation: after [d = mov s] (unguarded, register source),
+   later uses of [d] in the block are rewritten to [s] until either is
+   redefined. *)
+
+open Epic_ir
+
+let run_block (b : Block.t) =
+  let copies : Reg.t Reg.Tbl.t = Reg.Tbl.create 16 in
+  let changed = ref false in
+  let kill (r : Reg.t) =
+    Reg.Tbl.remove copies r;
+    (* drop entries whose source is r *)
+    let stale =
+      Reg.Tbl.fold (fun d s acc -> if Reg.equal s r then d :: acc else acc) copies []
+    in
+    List.iter (Reg.Tbl.remove copies) stale
+  in
+  List.iter
+    (fun (i : Instr.t) ->
+      let subst r =
+        match Reg.Tbl.find_opt copies r with
+        | Some s ->
+            changed := true;
+            Some s
+        | None -> None
+      in
+      Instr.substitute_uses subst i;
+      List.iter kill i.Instr.dsts;
+      match (i.Instr.op, i.Instr.dsts, i.Instr.srcs, i.Instr.pred) with
+      | Opcode.Mov, [ d ], [ Operand.Reg s ], None
+        when d.Reg.cls = s.Reg.cls && not (Reg.equal d s) ->
+          (* do not propagate through the hardwired registers *)
+          if not (Reg.equal s Reg.sp) then Reg.Tbl.replace copies d s
+      | _ -> ())
+    b.Block.instrs;
+  !changed
+
+let run_func (f : Func.t) =
+  List.fold_left (fun acc b -> run_block b || acc) false f.Func.blocks
+
+let run (p : Program.t) =
+  List.fold_left (fun acc f -> run_func f || acc) false p.Program.funcs

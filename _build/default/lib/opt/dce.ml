@@ -1,0 +1,65 @@
+(* Global dead-code elimination driven by liveness: an instruction with no
+   side effects whose definitions are all dead after it is removed.  Iterates
+   to a fixed point (removals expose more dead code). *)
+
+open Epic_ir
+open Epic_analysis
+
+let has_side_effect (i : Instr.t) =
+  match i.Instr.op with
+  | Opcode.St _ | Opcode.Br | Opcode.Br_call | Opcode.Br_ret | Opcode.Chk _
+  | Opcode.Chka _
+  | Opcode.Alloc ->
+      true
+  | Opcode.Div | Opcode.Rem ->
+      (* may fault; keep unless proven safe — conservative *)
+      true
+  | Opcode.Ld (_, Opcode.Nonspec) -> true (* may fault *)
+  | Opcode.Ld (_, (Opcode.Spec_general | Opcode.Spec_sentinel)) ->
+      false (* speculative loads never fault and are removable when dead *)
+  | _ -> false
+
+let run_func (f : Func.t) =
+  let changed = ref false in
+  let rec pass () =
+    let live = Liveness.compute f in
+    let pass_changed = ref false in
+    List.iter
+      (fun (b : Block.t) ->
+        let per = Liveness.per_instr live f b in
+        (* [per] has live-before each instr; we need live-after: pair instr k
+           with live-before of instr k+1 (or block live-out for the last). *)
+        let live_afters =
+          match per with
+          | [] -> []
+          | _ :: tl -> tl @ [ Liveness.live_out live b.Block.label ]
+        in
+        let keep =
+          List.map2
+            (fun (i : Instr.t) after ->
+              if has_side_effect i then true
+              else if i.Instr.dsts = [] then
+                (* no side effect and defines nothing: dead (e.g. nop) *)
+                i.Instr.op = Opcode.Nop
+              else
+                List.exists
+                  (fun (d : Reg.t) ->
+                    Reg.Set.mem d after || Reg.equal d Reg.sp)
+                  i.Instr.dsts)
+            b.Block.instrs live_afters
+        in
+        let before = List.length b.Block.instrs in
+        b.Block.instrs <-
+          List.filteri (fun k _ -> List.nth keep k) b.Block.instrs;
+        if List.length b.Block.instrs <> before then pass_changed := true)
+      f.Func.blocks;
+    if !pass_changed then begin
+      changed := true;
+      pass ()
+    end
+  in
+  pass ();
+  !changed
+
+let run (p : Program.t) =
+  List.fold_left (fun acc f -> run_func f || acc) false p.Program.funcs

@@ -1,0 +1,91 @@
+(* Indirect-call specialization (Section 3.1): profile-selected indirect
+   call sites are converted to a compare against the most popular callee's
+   address plus a "specialized" direct call, with the original indirect call
+   kept as the fallback.  The direct call may then be inlined normally —
+   important for workloads, like eon and gap, that make heavily biased use of
+   indirect calls. *)
+
+open Epic_ir
+open Epic_analysis
+
+let specialize_site (caller : Func.t) (site : Instr.t) (target : string) =
+  let rec find_block = function
+    | [] -> None
+    | (b : Block.t) :: tl ->
+        if List.exists (fun i -> i == site) b.Block.instrs then Some b
+        else find_block tl
+  in
+  match (find_block caller.Func.blocks, site.Instr.srcs) with
+  | Some host, Operand.Reg fp :: args ->
+      let rec split acc = function
+        | [] -> (List.rev acc, [])
+        | i :: tl when i == site -> (List.rev acc, tl)
+        | i :: tl -> split (i :: acc) tl
+      in
+      let before, after = split [] host.Block.instrs in
+      let direct_l = Func.fresh_label caller "icsp_dir" in
+      let indirect_l = Func.fresh_label caller "icsp_ind" in
+      let cont_l = Func.fresh_label caller "icsp_cont" in
+      let taddr = Func.fresh_reg caller Reg.Int in
+      let pt = Func.fresh_reg caller Reg.Prd in
+      let pf = Func.fresh_reg caller Reg.Prd in
+      host.Block.instrs <-
+        before
+        @ [
+            Instr.create Opcode.Lea ~dsts:[ taddr ]
+              ~srcs:[ Operand.Sym target; Operand.imm 0 ];
+            Instr.create (Opcode.Cmp (Opcode.Eq, Opcode.Norm)) ~dsts:[ pt; pf ]
+              ~srcs:[ Operand.Reg fp; Operand.Reg taddr ];
+            Instr.create ~pred:pf Opcode.Br ~srcs:[ Operand.Label indirect_l ];
+          ];
+      let direct = Block.create direct_l in
+      direct.Block.weight <- host.Block.weight;
+      direct.Block.instrs <-
+        [
+          Instr.create Opcode.Br_call ~dsts:site.Instr.dsts
+            ~srcs:(Operand.Sym target :: args);
+          Instr.create Opcode.Br ~srcs:[ Operand.Label cont_l ];
+        ];
+      let indirect = Block.create indirect_l in
+      indirect.Block.instrs <-
+        [
+          Instr.create Opcode.Br_call ~dsts:site.Instr.dsts
+            ~srcs:(Operand.Reg fp :: args);
+          Instr.create Opcode.Br ~srcs:[ Operand.Label cont_l ];
+        ];
+      let cont = Block.create cont_l in
+      cont.Block.weight <- host.Block.weight;
+      cont.Block.instrs <- after;
+      let rec insert = function
+        | [] -> [ direct; indirect; cont ]
+        | x :: tl when x == host -> x :: direct :: indirect :: cont :: tl
+        | x :: tl -> x :: insert tl
+      in
+      caller.Func.blocks <- insert caller.Func.blocks;
+      true
+  | _ -> false
+
+(* Specialize every indirect call site whose profile shows a target taking at
+   least [threshold] of the calls.  Returns the number of sites converted. *)
+let run ?(threshold = 0.70) (p : Program.t) (prof : Profile.t) =
+  let count = ref 0 in
+  List.iter
+    (fun (f : Func.t) ->
+      let sites =
+        List.concat_map
+          (fun (b : Block.t) ->
+            List.filter
+              (fun (i : Instr.t) ->
+                Instr.is_call i && Instr.callee i = None)
+              b.Block.instrs)
+          f.Func.blocks
+      in
+      List.iter
+        (fun site ->
+          match Profile.dominant_target prof site.Instr.id ~threshold with
+          | Some (target, _) ->
+              if specialize_site f site target then incr count
+          | None -> ())
+        sites)
+    p.Program.funcs;
+  !count

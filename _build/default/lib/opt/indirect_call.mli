@@ -1,0 +1,7 @@
+(** Indirect-call specialization (Section 3.1): profile-selected indirect
+    sites become a compare against the most popular callee's address plus a
+    specialized direct call (then inlinable), with the indirect call kept as
+    fallback — the eon/gap pattern of heavily biased virtual invocation. *)
+
+(** Returns the number of sites specialized. *)
+val run : ?threshold:float -> Epic_ir.Program.t -> Epic_analysis.Profile.t -> int

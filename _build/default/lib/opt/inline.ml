@@ -1,0 +1,210 @@
+(* Profile-guided procedure inlining (Section 3.1).  Call sites are expanded
+   in priority order, priority = exec_weight / sqrt(callee_size), until the
+   touched code has grown by a factor of [budget] (the paper's empirically
+   determined 1.6).  Recursive (and mutually recursive) calls are skipped. *)
+
+open Epic_ir
+open Epic_analysis
+
+type candidate = {
+  caller : string;
+  site : Instr.t;
+  callee : string;
+  priority : float;
+  callee_size : int;
+}
+
+let copy_func_body (f : Func.t) (callee : Func.t) (site_id : int) =
+  (* Fresh labels and fresh virtual registers for the copy. *)
+  let label_map = Hashtbl.create 16 in
+  List.iter
+    (fun (b : Block.t) ->
+      Hashtbl.replace label_map b.Block.label
+        (Printf.sprintf "inl%d_%s" site_id b.Block.label))
+    callee.Func.blocks;
+  let reg_map = Reg.Tbl.create 64 in
+  let map_reg (r : Reg.t) =
+    if r.Reg.phys then r
+    else
+      match Reg.Tbl.find_opt reg_map r with
+      | Some r' -> r'
+      | None ->
+          let r' = Func.fresh_reg f r.Reg.cls in
+          Reg.Tbl.replace reg_map r r';
+          r'
+  in
+  let map_operand (o : Operand.t) =
+    match o with
+    | Operand.Reg r -> Operand.Reg (map_reg r)
+    | Operand.Label l -> Operand.Label (Hashtbl.find label_map l)
+    | _ -> o
+  in
+  let blocks =
+    List.map
+      (fun (b : Block.t) ->
+        let nb = Block.create ~kind:b.Block.kind (Hashtbl.find label_map b.Block.label) in
+        nb.Block.weight <- b.Block.weight;
+        nb.Block.instrs <-
+          List.map
+            (fun (i : Instr.t) ->
+              let c = Instr.copy i in
+              c.Instr.dsts <- List.map map_reg c.Instr.dsts;
+              c.Instr.srcs <- List.map map_operand c.Instr.srcs;
+              (match c.Instr.pred with
+              | Some p -> c.Instr.pred <- Some (map_reg p)
+              | None -> ());
+              (match c.Instr.attrs.Instr.recovery with
+              | Some l ->
+                  c.Instr.attrs.Instr.recovery <- Some (Hashtbl.find label_map l)
+              | None -> ());
+              (match c.Instr.attrs.Instr.check_reg with
+              | Some r -> c.Instr.attrs.Instr.check_reg <- Some (map_reg r)
+              | None -> ());
+              c)
+            b.Block.instrs;
+        nb)
+      callee.Func.blocks
+  in
+  (blocks, List.map map_reg callee.Func.params)
+
+(* Inline one call site.  The caller block is split at the call; the callee
+   body is spliced between the pieces; parameter moves bind arguments and
+   each return becomes moves + a branch to the continuation. *)
+let inline_site (p : Program.t) (caller : Func.t) (site : Instr.t) =
+  match Instr.callee site with
+  | None -> false
+  | Some callee_name -> (
+      match Program.find_func p callee_name with
+      | None -> false
+      | Some callee ->
+          (* locate the block and split *)
+          let rec find_block = function
+            | [] -> None
+            | (b : Block.t) :: tl ->
+                if List.exists (fun i -> i == site) b.Block.instrs then Some b
+                else find_block tl
+          in
+          (match find_block caller.Func.blocks with
+          | None -> false
+          | Some host ->
+              let rec split acc = function
+                | [] -> (List.rev acc, [])
+                | i :: tl when i == site -> (List.rev acc, tl)
+                | i :: tl -> split (i :: acc) tl
+              in
+              let before, after = split [] host.Block.instrs in
+              let cont_label = Func.fresh_label caller "inlcont" in
+              let cont = Block.create cont_label in
+              cont.Block.weight <- host.Block.weight;
+              cont.Block.instrs <- after;
+              let body, params = copy_func_body caller callee site.Instr.id in
+              (* argument moves *)
+              let args = match site.Instr.srcs with _ :: a -> a | [] -> [] in
+              let moves =
+                List.mapi
+                  (fun n (pr : Reg.t) ->
+                    match List.nth_opt args n with
+                    | Some a -> Some (Instr.create Opcode.Mov ~dsts:[ pr ] ~srcs:[ a ])
+                    | None -> None)
+                  params
+                |> List.filter_map Fun.id
+              in
+              let entry_label =
+                match body with
+                | b :: _ -> b.Block.label
+                | [] -> cont_label
+              in
+              host.Block.instrs <-
+                before @ moves
+                @ [ Instr.create Opcode.Br ~srcs:[ Operand.Label entry_label ] ];
+              (* rewrite returns in the copied body *)
+              List.iter
+                (fun (b : Block.t) ->
+                  b.Block.instrs <-
+                    List.concat_map
+                      (fun (i : Instr.t) ->
+                        match i.Instr.op with
+                        | Opcode.Br_ret ->
+                            let moves =
+                              List.mapi
+                                (fun n (d : Reg.t) ->
+                                  match List.nth_opt i.Instr.srcs n with
+                                  | Some v ->
+                                      Some (Instr.create ?pred:i.Instr.pred Opcode.Mov ~dsts:[ d ] ~srcs:[ v ])
+                                  | None -> None)
+                                site.Instr.dsts
+                              |> List.filter_map Fun.id
+                            in
+                            moves
+                            @ [
+                                Instr.create ?pred:i.Instr.pred Opcode.Br
+                                  ~srcs:[ Operand.Label cont_label ];
+                              ]
+                        | _ -> [ i ])
+                      b.Block.instrs)
+                body;
+              (* splice: host :: body :: cont :: rest *)
+              let rec insert = function
+                | [] -> body @ [ cont ]
+                | x :: tl when x == host -> (x :: body) @ (cont :: tl)
+                | x :: tl -> x :: insert tl
+              in
+              caller.Func.blocks <- insert caller.Func.blocks;
+              true))
+
+(* Collect candidates with the paper's priority function. *)
+let candidates (p : Program.t) (cg : Callgraph.t) =
+  List.concat_map
+    (fun (f : Func.t) ->
+      List.concat_map
+        (fun (b : Block.t) ->
+          List.filter_map
+            (fun (i : Instr.t) ->
+              match Instr.callee i with
+              | Some callee_name
+                when (not (Intrinsics.is_intrinsic callee_name))
+                     && callee_name <> f.Func.name
+                     && not (Callgraph.reaches cg callee_name f.Func.name) -> (
+                  match Program.find_func p callee_name with
+                  | Some callee ->
+                      let size = Func.instr_count callee in
+                      let w = i.Instr.attrs.Instr.weight in
+                      if w <= 0. || size = 0 then None
+                      else
+                        Some
+                          {
+                            caller = f.Func.name;
+                            site = i;
+                            callee = callee_name;
+                            priority = w /. sqrt (float_of_int size);
+                            callee_size = size;
+                          }
+                  | None -> None)
+              | _ -> None)
+            b.Block.instrs)
+        f.Func.blocks)
+    p.Program.funcs
+
+(* Run inlining with a code-growth budget (default 1.6, per the paper). *)
+let run ?(budget = 1.6) (p : Program.t) =
+  let cg = Callgraph.compute p in
+  let original = Program.instr_count p in
+  let allowance = int_of_float (float_of_int original *. (budget -. 1.0)) in
+  let cands =
+    List.sort (fun a b -> compare b.priority a.priority) (candidates p cg)
+  in
+  let grown = ref 0 in
+  let inlined = ref 0 in
+  List.iter
+    (fun c ->
+      if !grown + c.callee_size <= allowance then begin
+        match Program.find_func p c.caller with
+        | Some caller ->
+            if inline_site p caller c.site then begin
+              grown := !grown + c.callee_size;
+              incr inlined
+            end
+        | None -> ()
+      end)
+    cands;
+  !inlined

@@ -1,0 +1,7 @@
+(** Profile-guided procedure inlining (Section 3.1): call sites expanded in
+    priority order, priority = exec_weight / sqrt(callee_size), until the
+    touched code has grown by [budget] (the paper's empirically determined
+    1.6).  Recursive and mutually-recursive calls are skipped. *)
+
+(** Returns the number of call sites inlined. *)
+val run : ?budget:float -> Epic_ir.Program.t -> int

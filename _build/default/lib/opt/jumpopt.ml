@@ -1,0 +1,154 @@
+(* Control-flow cleanup: collapse branch chains through empty forwarding
+   blocks, delete branches to the fall-through block, merge single-entry
+   straight-line successors, and drop unreachable blocks.  Lowering produces
+   many tiny forwarding blocks; this pass restores a clean CFG before
+   profiling and region formation. *)
+
+open Epic_ir
+
+(* A block that only forwards: empty with a fall-through, or a single
+   unconditional branch.  Returns the label it forwards to. *)
+let forwards_to (f : Func.t) (b : Block.t) =
+  match b.Block.instrs with
+  | [] -> ( match Func.fallthrough f b with Some n -> Some n.Block.label | None -> None)
+  | [ i ] when i.Instr.op = Opcode.Br && i.Instr.pred = None -> Instr.branch_target i
+  | _ -> None
+
+let collapse_chains (f : Func.t) =
+  let changed = ref false in
+  (* Resolve the final target of a forwarding chain (with cycle guard). *)
+  let resolve label =
+    let rec go seen label =
+      if List.mem label seen then label
+      else
+        match Func.find_block f label with
+        | Some b -> (
+            match forwards_to f b with
+            | Some next when next <> label -> go (label :: seen) next
+            | _ -> label)
+        | None -> label
+    in
+    go [] label
+  in
+  Func.iter_instrs f (fun i ->
+      match Instr.branch_target i with
+      | Some t ->
+          let t' = resolve t in
+          if t' <> t then begin
+            i.Instr.srcs <- [ Operand.Label t' ];
+            changed := true
+          end
+      | None -> ());
+  !changed
+
+(* Delete unconditional branches that target the fall-through block. *)
+let remove_fallthrough_branches (f : Func.t) =
+  let changed = ref false in
+  List.iter
+    (fun (b : Block.t) ->
+      match Func.fallthrough f b with
+      | None -> ()
+      | Some next -> (
+          match List.rev b.Block.instrs with
+          | last :: _
+            when last.Instr.op = Opcode.Br && last.Instr.pred = None
+                 && Instr.branch_target last = Some next.Block.label ->
+              b.Block.instrs <- List.filter (fun i -> i != last) b.Block.instrs;
+              changed := true
+          | _ -> ()))
+    f.Func.blocks;
+  !changed
+
+(* Merge [b] with its unique successor when that successor has [b] as its
+   unique predecessor and [b] reaches it unconditionally. *)
+let merge_blocks (f : Func.t) =
+  let changed = ref false in
+  let preds = Func.predecessors f in
+  let rec try_merge () =
+    let merged =
+      List.exists
+        (fun (b : Block.t) ->
+          match Func.successors f b with
+          | [ s ] when s <> b.Block.label -> (
+              match Func.find_block f s with
+              | Some sb
+                when (match Hashtbl.find_opt preds s with
+                     | Some [ p ] -> p = b.Block.label
+                     | _ -> false)
+                     && sb != Func.entry f
+                     (* exactly one edge from b to s: a second (conditional)
+                        branch to s would dangle after the merge *)
+                     && List.length
+                          (List.filter
+                             (fun (i : Instr.t) -> Instr.branch_target i = Some s)
+                             b.Block.instrs)
+                        <= 1 ->
+                  (* drop a trailing unconditional branch to s, then splice *)
+                  let instrs =
+                    match List.rev b.Block.instrs with
+                    | last :: rest
+                      when last.Instr.op = Opcode.Br && last.Instr.pred = None
+                           && Instr.branch_target last = Some s ->
+                        List.rev rest
+                    | _ -> b.Block.instrs
+                  in
+                  (* a remaining (non-trailing) branch to s still dangles:
+                     only merge when none survives *)
+                  if
+                    List.exists
+                      (fun (i : Instr.t) -> Instr.branch_target i = Some s)
+                      instrs
+                  then false
+                  else begin
+                    (* the merged code leaves sb's layout slot: its implicit
+                       fall-through must become an explicit branch *)
+                    (if not (Block.ends_in_unconditional sb) then
+                       match Func.fallthrough f sb with
+                       | Some next ->
+                           Block.append sb
+                             (Instr.create Opcode.Br
+                                ~srcs:[ Operand.Label next.Block.label ])
+                       | None -> ());
+                    b.Block.instrs <- instrs @ sb.Block.instrs;
+                    f.Func.blocks <- List.filter (fun x -> x != sb) f.Func.blocks;
+                    true
+                  end
+              | _ -> false)
+          | _ -> false)
+        f.Func.blocks
+    in
+    if merged then begin
+      changed := true;
+      (* predecessor map is stale after a merge: recompute via recursion *)
+      let preds' = Func.predecessors f in
+      Hashtbl.reset preds;
+      Hashtbl.iter (Hashtbl.replace preds) preds';
+      try_merge ()
+    end
+  in
+  try_merge ();
+  !changed
+
+(* Make the fall-through edge of every block explicit with an unconditional
+   branch.  Used before layout changes (cold-code sinking). *)
+let materialize_fallthroughs (f : Func.t) =
+  List.iter
+    (fun (b : Block.t) ->
+      if not (Block.ends_in_unconditional b) then
+        match Func.fallthrough f b with
+        | Some n ->
+            Block.append b
+              (Instr.create Opcode.Br ~srcs:[ Operand.Label n.Block.label ])
+        | None -> ())
+    f.Func.blocks
+
+let run_func (f : Func.t) =
+  let c1 = collapse_chains f in
+  Func.remove_unreachable f;
+  let c2 = remove_fallthrough_branches f in
+  let c3 = merge_blocks f in
+  Func.remove_unreachable f;
+  c1 || c2 || c3
+
+let run (p : Program.t) =
+  List.fold_left (fun acc f -> run_func f || acc) false p.Program.funcs

@@ -1,0 +1,169 @@
+(* Loop-invariant code motion.  For every natural loop, a preheader is
+   created and loop-invariant computations are hoisted into it.  Pure ALU
+   operations are hoisted from any block that executes on every iteration;
+   loads are hoisted only when they also execute on loop entry (the header,
+   ahead of its exit branch) and no store or call in the loop may alias
+   them — the classically-safe subset (speculative hoisting belongs to the
+   ILP phases). *)
+
+open Epic_ir
+open Epic_analysis
+
+(* Ensure [header] has a preheader; returns it.  All entry edges from
+   outside the loop are redirected to the preheader. *)
+let get_preheader (f : Func.t) (l : Natural_loops.loop) =
+  let header = Func.find_block_exn f l.Natural_loops.header in
+  (* make fall-through edges into the header explicit *)
+  List.iter
+    (fun (b : Block.t) ->
+      if not (Block.ends_in_unconditional b) then
+        match Func.fallthrough f b with
+        | Some n when n == header ->
+            Block.append b (Instr.create Opcode.Br ~srcs:[ Operand.Label header.Block.label ])
+        | _ -> ())
+    f.Func.blocks;
+  let ph_label = Func.fresh_label f (l.Natural_loops.header ^ "_ph") in
+  let ph = Block.create ph_label in
+  (* weight: entries = header weight minus latch weights; approximate *)
+  ph.Block.weight <- 0.;
+  (* redirect non-loop branches to the header *)
+  List.iter
+    (fun (b : Block.t) ->
+      if not (Natural_loops.in_loop l b.Block.label) then
+        List.iter
+          (fun (i : Instr.t) ->
+            match Instr.branch_target i with
+            | Some t when t = l.Natural_loops.header ->
+                i.Instr.srcs <- [ Operand.Label ph_label ]
+            | _ -> ())
+          b.Block.instrs)
+    f.Func.blocks;
+  (* insert the preheader immediately before the header in layout *)
+  let rec insert = function
+    | [] -> [ ph ]
+    | x :: tl when x == header -> ph :: x :: tl
+    | x :: tl -> x :: insert tl
+  in
+  f.Func.blocks <- insert f.Func.blocks;
+  ph
+
+let is_pure (i : Instr.t) =
+  match i.Instr.op with
+  | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.And | Opcode.Or
+  | Opcode.Xor | Opcode.Shl | Opcode.Shr | Opcode.Sra | Opcode.Mov
+  | Opcode.Lea | Opcode.Sxt _ | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul
+  | Opcode.Fneg | Opcode.Cvt_fi | Opcode.Cvt_if ->
+      true
+  | _ -> false
+
+let run_loop (f : Func.t) (dom : Dominance.t) (l : Natural_loops.loop) =
+  let changed = ref false in
+  let loop_blocks =
+    List.filter_map (Func.find_block f) l.Natural_loops.body
+  in
+  (* registers defined anywhere in the loop *)
+  let defs_in_loop = Reg.Tbl.create 32 in
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          List.iter (fun d -> Reg.Tbl.replace defs_in_loop d (1 + (Option.value ~default:0 (Reg.Tbl.find_opt defs_in_loop d)))) i.Instr.dsts)
+        b.Block.instrs)
+    loop_blocks;
+  let stores_and_calls =
+    List.concat_map
+      (fun (b : Block.t) ->
+        List.filter
+          (fun (i : Instr.t) ->
+            Instr.is_store i || (Instr.is_call i && Memdep.call_touches_memory i))
+          b.Block.instrs)
+      loop_blocks
+  in
+  let live = Liveness.compute f in
+  let header_live_in = Liveness.live_in live l.Natural_loops.header in
+  let exit_live =
+    List.fold_left
+      (fun acc e -> Reg.Set.union acc (Liveness.live_in live e))
+      Reg.Set.empty
+      (Natural_loops.exits f l)
+  in
+  (* blocks executing on every iteration: dominate every latch *)
+  let every_iter label =
+    List.for_all (fun latch -> Dominance.dominates dom label latch) l.Natural_loops.back_edges
+  in
+  let hoisted = ref [] in
+  let invariant_operand (o : Operand.t) =
+    match o with
+    | Operand.Reg r ->
+        (not (Reg.Tbl.mem defs_in_loop r))
+        || List.exists (fun (h : Instr.t) -> List.exists (Reg.equal r) h.Instr.dsts) !hoisted
+    | _ -> true
+  in
+  List.iter
+    (fun (b : Block.t) ->
+      if Natural_loops.in_loop l b.Block.label && every_iter b.Block.label then begin
+        let before_branch = ref true in
+        let keep =
+          List.filter
+            (fun (i : Instr.t) ->
+              if Instr.is_branch i then before_branch := false;
+              let single_def d =
+                Reg.Tbl.find_opt defs_in_loop d = Some 1
+              in
+              let basic_ok =
+                i.Instr.pred = None
+                && (match i.Instr.dsts with [ d ] -> single_def d | _ -> false)
+                && List.for_all invariant_operand i.Instr.srcs
+                && List.for_all
+                     (fun d ->
+                       (not (Reg.Set.mem d header_live_in))
+                       && not (Reg.Set.mem d exit_live))
+                     i.Instr.dsts
+                && not (List.exists (Reg.equal Reg.sp) i.Instr.dsts)
+              in
+              let hoistable =
+                basic_ok
+                &&
+                if is_pure i then true
+                else
+                  match i.Instr.op with
+                  | Opcode.Ld (_, Opcode.Nonspec) ->
+                      (* loads: must execute on loop entry, and no aliasing
+                         store/call inside the loop *)
+                      b.Block.label = l.Natural_loops.header && !before_branch
+                      && not
+                           (List.exists
+                              (fun s ->
+                                if Instr.is_call s then true
+                                else Memdep.may_alias i s)
+                              stores_and_calls)
+                  | _ -> false
+              in
+              if hoistable then begin
+                hoisted := i :: !hoisted;
+                changed := true;
+                false
+              end
+              else true)
+            b.Block.instrs
+        in
+        b.Block.instrs <- keep
+      end)
+    loop_blocks;
+  (match !hoisted with
+  | [] -> ()
+  | hs ->
+      let ph = get_preheader f l in
+      ph.Block.instrs <- List.rev hs);
+  !changed
+
+let run_func (f : Func.t) =
+  let loops = Natural_loops.compute f in
+  let dom = Dominance.compute f in
+  List.fold_left
+    (fun acc l -> run_loop f dom l || acc)
+    false
+    (Natural_loops.innermost_first loops)
+
+let run (p : Program.t) =
+  List.fold_left (fun acc f -> run_func f || acc) false p.Program.funcs

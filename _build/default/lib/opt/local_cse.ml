@@ -1,0 +1,125 @@
+(* Local common-subexpression elimination by value numbering within a block.
+   Pure integer/float ALU expressions and Lea are candidates; redundant
+   loads within a block are also reused when no intervening may-aliasing
+   store or call occurs. *)
+
+open Epic_ir
+open Epic_analysis
+
+type key = {
+  kop : Opcode.t;
+  ksrcs : string list; (* printed operands: structural identity *)
+}
+
+let key_of (i : Instr.t) =
+  { kop = i.Instr.op; ksrcs = List.map Operand.to_string i.Instr.srcs }
+
+let is_pure_candidate (i : Instr.t) =
+  i.Instr.pred = None
+  &&
+  match i.Instr.op with
+  | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.And | Opcode.Or
+  | Opcode.Xor | Opcode.Shl | Opcode.Shr | Opcode.Sra | Opcode.Lea
+  | Opcode.Sxt _ | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Cvt_if
+  | Opcode.Cvt_fi ->
+      (* exclude sp-relative adds: sp changes at prologue boundaries *)
+      not
+        (List.exists
+           (function Operand.Reg r -> Reg.equal r Reg.sp | _ -> false)
+           i.Instr.srcs)
+      && List.length i.Instr.dsts = 1
+  | _ -> false
+
+let is_load_candidate (i : Instr.t) =
+  i.Instr.pred = None
+  && (match i.Instr.op with Opcode.Ld (_, Opcode.Nonspec) -> true | _ -> false)
+  && List.length i.Instr.dsts = 1
+
+let run_block (b : Block.t) =
+  let avail : (key, Reg.t) Hashtbl.t = Hashtbl.create 32 in
+  let avail_loads : (key, Reg.t * Instr.t) Hashtbl.t = Hashtbl.create 16 in
+  let changed = ref false in
+  let invalidate_reg (r : Reg.t) =
+    let uses_reg k =
+      List.mem (Operand.to_string (Operand.Reg r)) k.ksrcs
+    in
+    let stale = Hashtbl.fold (fun k _ acc -> if uses_reg k then k :: acc else acc) avail [] in
+    List.iter (Hashtbl.remove avail) stale;
+    let stale_l =
+      Hashtbl.fold
+        (fun k (d, _) acc -> if uses_reg k || Reg.equal d r then k :: acc else acc)
+        avail_loads []
+    in
+    List.iter (Hashtbl.remove avail_loads) stale_l;
+    (* also drop expressions whose result register is r *)
+    let stale_r = Hashtbl.fold (fun k d acc -> if Reg.equal d r then k :: acc else acc) avail [] in
+    List.iter (Hashtbl.remove avail) stale_r
+  in
+  List.iter
+    (fun (i : Instr.t) ->
+      (if is_pure_candidate i then begin
+         let k = key_of i in
+         match Hashtbl.find_opt avail k with
+         | Some prev ->
+             List.iter invalidate_reg i.Instr.dsts;
+             (match i.Instr.dsts with
+             | [ d ] when not (Reg.equal d prev) ->
+                 i.Instr.op <- Opcode.Mov;
+                 i.Instr.srcs <- [ Operand.Reg prev ];
+                 changed := true
+             | _ -> ())
+         | None -> (
+             match i.Instr.dsts with
+             | [ d ] ->
+                 List.iter invalidate_reg i.Instr.dsts;
+                 (* an expression that reads its own destination is not
+                    available afterwards *)
+                 if not (List.mem (Operand.Reg d : Operand.t) i.Instr.srcs) then
+                   Hashtbl.replace avail k d
+             | _ -> ())
+       end
+       else if is_load_candidate i then begin
+         let k = key_of i in
+         match Hashtbl.find_opt avail_loads k with
+         | Some (prev, _) ->
+             List.iter invalidate_reg i.Instr.dsts;
+             (match i.Instr.dsts with
+             | [ d ] when not (Reg.equal d prev) ->
+                 i.Instr.op <- Opcode.Mov;
+                 i.Instr.srcs <- [ Operand.Reg prev ];
+                 changed := true
+             | _ -> ())
+         | None -> (
+             match i.Instr.dsts with
+             | [ d ] ->
+                 List.iter invalidate_reg i.Instr.dsts;
+                 if not (List.mem (Operand.Reg d : Operand.t) i.Instr.srcs) then
+                   Hashtbl.replace avail_loads k (d, i)
+             | _ -> ())
+       end
+       else begin
+         (* stores and calls kill aliasing loads; everything kills its dsts *)
+         (match i.Instr.op with
+         | Opcode.St _ ->
+             let stale =
+               Hashtbl.fold
+                 (fun k (_, li) acc ->
+                   if Memdep.may_alias i li then k :: acc else acc)
+                 avail_loads []
+             in
+             List.iter (Hashtbl.remove avail_loads) stale
+         | Opcode.Br_call when Memdep.call_touches_memory i ->
+             Hashtbl.reset avail_loads
+         | _ -> ());
+         List.iter invalidate_reg i.Instr.dsts
+       end);
+      (* After processing, a guarded def still invalidates. *)
+      if i.Instr.pred <> None then List.iter invalidate_reg i.Instr.dsts)
+    b.Block.instrs;
+  !changed
+
+let run_func (f : Func.t) =
+  List.fold_left (fun acc b -> run_block b || acc) false f.Func.blocks
+
+let run (p : Program.t) =
+  List.fold_left (fun acc f -> run_func f || acc) false p.Program.funcs

@@ -1,0 +1,23 @@
+(* The classical optimization pipeline ("Classical optimization" in
+   Figure 4): iterated local cleanups plus control-flow simplification and
+   loop-invariant code motion, run to a (bounded) fixed point. *)
+
+open Epic_ir
+
+let classical_pass (p : Program.t) =
+  let c1 = Constfold.run p in
+  let c2 = Copyprop.run p in
+  let c3 = Strength.run p in
+  let c4 = Local_cse.run p in
+  let c5 = Dce.run p in
+  let c6 = Jumpopt.run p in
+  c1 || c2 || c3 || c4 || c5 || c6
+
+(* Run classical optimization to a fixed point (bounded), then LICM, then a
+   final cleanup round. *)
+let run_classical ?(max_rounds = 8) (p : Program.t) =
+  let rec go n = if n > 0 && classical_pass p then go (n - 1) in
+  go max_rounds;
+  let moved = Licm.run p in
+  if moved then go 3;
+  Verify.check_program p

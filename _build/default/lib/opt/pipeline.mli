@@ -1,0 +1,9 @@
+(** The classical optimization pipeline (Figure 4's "classical
+    optimization"): iterated local cleanups, control-flow simplification
+    and loop-invariant code motion, run to a bounded fixed point; verifies
+    the program on exit. *)
+
+(** One round of every classical pass; true if anything changed. *)
+val classical_pass : Epic_ir.Program.t -> bool
+
+val run_classical : ?max_rounds:int -> Epic_ir.Program.t -> unit

@@ -1,0 +1,43 @@
+(* Strength reduction of multiply, divide and remainder by powers of two.
+   (Division/remainder semantics here are those of the interpreter — OCaml's
+   Int64.div truncates toward zero — so the shift forms are only applied when
+   the operand is provably non-negative or the operation is a multiply.) *)
+
+open Epic_ir
+
+let log2_of (x : int64) =
+  let rec go k =
+    if k >= 63 then None
+    else if Int64.equal (Int64.shift_left 1L k) x then Some k
+    else go (k + 1)
+  in
+  if Int64.compare x 0L > 0 then go 0 else None
+
+let run_block (b : Block.t) =
+  let changed = ref false in
+  List.iter
+    (fun (i : Instr.t) ->
+      match (i.Instr.op, i.Instr.srcs) with
+      | Opcode.Mul, [ a; Operand.Imm k ] -> (
+          match log2_of k with
+          | Some sh ->
+              i.Instr.op <- Opcode.Shl;
+              i.Instr.srcs <- [ a; Operand.imm sh ];
+              changed := true
+          | None -> ())
+      | Opcode.Mul, [ Operand.Imm k; a ] -> (
+          match log2_of k with
+          | Some sh ->
+              i.Instr.op <- Opcode.Shl;
+              i.Instr.srcs <- [ a; Operand.imm sh ];
+              changed := true
+          | None -> ())
+      | _ -> ())
+    b.Block.instrs;
+  !changed
+
+let run_func (f : Func.t) =
+  List.fold_left (fun acc b -> run_block b || acc) false f.Func.blocks
+
+let run (p : Program.t) =
+  List.fold_left (fun acc f -> run_func f || acc) false p.Program.funcs

@@ -1,0 +1,1 @@
+lib/sched/dag.ml: Array Block Epic_analysis Epic_ir Epic_mach Func Instr Itanium List Liveness Memdep Opcode Pred_relations Reg

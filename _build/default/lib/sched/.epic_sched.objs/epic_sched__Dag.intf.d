@@ -1,0 +1,1 @@
+lib/sched/dag.mli: Epic_analysis Epic_ir

@@ -1,0 +1,1 @@
+lib/sched/layout.ml: Array Block Bundle Epic_ir Epic_mach Epic_opt Func Hashtbl Instr Int64 Itanium List Program

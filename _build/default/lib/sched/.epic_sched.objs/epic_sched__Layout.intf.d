@@ -1,0 +1,1 @@
+lib/sched/layout.mli: Epic_ir Epic_mach Hashtbl

@@ -1,0 +1,1 @@
+lib/sched/list_sched.ml: Array Block Dag Epic_analysis Epic_ir Epic_mach Func Instr Itanium List Liveness Program

@@ -1,0 +1,1 @@
+lib/sched/modulo.ml: Array Block Epic_ir Epic_mach Func Instr Itanium List Program Reg

@@ -1,0 +1,1 @@
+lib/sched/modulo.mli: Epic_ir

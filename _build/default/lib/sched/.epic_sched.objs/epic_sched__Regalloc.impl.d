@@ -1,0 +1,1 @@
+lib/sched/regalloc.ml: Block Epic_analysis Epic_ir Func Hashtbl Instr Int64 List Liveness Natural_loops Opcode Operand Option Program Reg

@@ -1,0 +1,1 @@
+lib/sched/regalloc.mli: Epic_ir

@@ -1,0 +1,18 @@
+(** Register allocation: linear scan over whole-function live intervals
+    (with back-edge extension for header-live values), mapping virtual
+    registers onto the IA-64 files.  Call-crossing integer values go to the
+    register stack (r32-r127) — their count, [Func.n_stacked], drives the
+    RSE cost model of Section 4.4 — and everything else prefers scratch
+    registers; overflow spills to the memory frame through reserved
+    temporaries. *)
+
+exception Out_of_registers of string
+(** Raised only for predicate-file exhaustion; [Epic_core.Driver.compile]
+    catches it and retries with less aggressive region formation. *)
+
+type stats = { mutable spilled_vregs : int; mutable spill_code : int }
+
+val stats : stats
+val reset_stats : unit -> unit
+val run_func : Epic_ir.Func.t -> unit
+val run : Epic_ir.Program.t -> unit

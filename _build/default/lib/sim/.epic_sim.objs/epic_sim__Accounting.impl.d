@@ -1,0 +1,1 @@
+lib/sim/accounting.ml: Array Fmt Hashtbl List

@@ -1,0 +1,1 @@
+lib/sim/accounting.mli: Format Hashtbl

@@ -1,0 +1,1 @@
+lib/sim/machine.mli: Accounting Branch_pred Buffer Cache Epic_ir Epic_sched Rse Tlb

@@ -1,0 +1,1 @@
+lib/sim/rse.ml: Epic_ir Epic_mach

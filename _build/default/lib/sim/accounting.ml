@@ -1,0 +1,85 @@
+(* Cycle accounting into the paper's nine categories (Figure 5), globally
+   and binned per function (the Pfmon-style address sampling behind
+   Figure 10). *)
+
+type category =
+  | Unstalled (* unstalled execution *)
+  | Float_scoreboard
+  | Misc (* int scoreboard, misc scoreboard, exception flush *)
+  | Int_load_bubble (* data cache stall on integer loads *)
+  | Micropipe (* memory-subsystem micro-stalls: DTLB walks, store buffer *)
+  | Front_end (* instruction cache / fetch bubbles *)
+  | Br_mispredict (* branch misprediction flush *)
+  | Rse (* register stack engine traffic *)
+  | Kernel (* OS time: wild-load page walks, faults *)
+
+let all_categories =
+  [
+    Unstalled; Float_scoreboard; Misc; Int_load_bubble; Micropipe; Front_end;
+    Br_mispredict; Rse; Kernel;
+  ]
+
+let index = function
+  | Unstalled -> 0
+  | Float_scoreboard -> 1
+  | Misc -> 2
+  | Int_load_bubble -> 3
+  | Micropipe -> 4
+  | Front_end -> 5
+  | Br_mispredict -> 6
+  | Rse -> 7
+  | Kernel -> 8
+
+let name = function
+  | Unstalled -> "unstalled"
+  | Float_scoreboard -> "fp-scoreboard"
+  | Misc -> "misc"
+  | Int_load_bubble -> "int-load-bubble"
+  | Micropipe -> "micropipe"
+  | Front_end -> "front-end"
+  | Br_mispredict -> "br-mispredict"
+  | Rse -> "rse"
+  | Kernel -> "kernel"
+
+type t = {
+  totals : float array; (* length 9 *)
+  by_func : (string, float array) Hashtbl.t;
+}
+
+let create () = { totals = Array.make 9 0.; by_func = Hashtbl.create 32 }
+
+let charge t (func : string) (cat : category) (cycles : int) =
+  if cycles > 0 then begin
+    let c = float_of_int cycles in
+    let k = index cat in
+    t.totals.(k) <- t.totals.(k) +. c;
+    let bins =
+      match Hashtbl.find_opt t.by_func func with
+      | Some b -> b
+      | None ->
+          let b = Array.make 9 0. in
+          Hashtbl.replace t.by_func func b;
+          b
+    in
+    bins.(k) <- bins.(k) +. c
+  end
+
+let total t = Array.fold_left ( +. ) 0. t.totals
+let get t cat = t.totals.(index cat)
+
+(* The paper's "planned" cycles (footnote 4): unstalled plus the scoreboard
+   components — everything the compiler could statically anticipate. *)
+let planned t = get t Unstalled +. get t Float_scoreboard +. get t Misc
+
+let func_total t fname =
+  match Hashtbl.find_opt t.by_func fname with
+  | Some b -> Array.fold_left ( +. ) 0. b
+  | None -> 0.
+
+let functions t = Hashtbl.fold (fun f _ acc -> f :: acc) t.by_func []
+
+let pp ppf t =
+  List.iter
+    (fun c -> Fmt.pf ppf "%-16s %12.0f@." (name c) (get t c))
+    all_categories;
+  Fmt.pf ppf "%-16s %12.0f@." "TOTAL" (total t)

@@ -1,0 +1,44 @@
+(** Cycle accounting into the paper's nine categories (Figure 5), globally
+    and binned per function (the Pfmon-style sampling behind Figure 10). *)
+
+type category =
+  | Unstalled  (** unstalled execution *)
+  | Float_scoreboard
+  | Misc  (** int scoreboard, misc scoreboard, exception flush *)
+  | Int_load_bubble  (** data-cache stalls on integer loads *)
+  | Micropipe  (** memory-subsystem micro-stalls: DTLB walks, store buffer *)
+  | Front_end  (** instruction-cache / fetch bubbles *)
+  | Br_mispredict  (** branch misprediction flush *)
+  | Rse  (** register stack engine traffic *)
+  | Kernel  (** OS time: wild-load page walks, faults *)
+
+val all_categories : category list
+
+(** Stable index of a category in [totals] (0..8). *)
+val index : category -> int
+
+val name : category -> string
+
+type t = {
+  totals : float array;  (** length 9, indexed by [index] *)
+  by_func : (string, float array) Hashtbl.t;
+}
+
+val create : unit -> t
+
+(** [charge t func cat cycles] attributes cycles globally and to [func]. *)
+val charge : t -> string -> category -> int -> unit
+
+(** Sum of all categories: the program's total cycles. *)
+val total : t -> float
+
+val get : t -> category -> float
+
+(** The paper's "planned" cycles (footnote 4): unstalled plus the
+    scoreboard components — everything the compiler could statically
+    anticipate. *)
+val planned : t -> float
+
+val func_total : t -> string -> float
+val functions : t -> string list
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,79 @@
+(* Set-associative LRU cache model. *)
+
+type t = {
+  name : string;
+  sets : int;
+  assoc : int;
+  line_bits : int;
+  tags : int64 array; (* sets * assoc; -1 = invalid *)
+  age : int array; (* LRU stamps *)
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let log2i n =
+  let rec go k v = if v >= n then k else go (k + 1) (v * 2) in
+  go 0 1
+
+let create ~name ~size ~line ~assoc =
+  let sets = max 1 (size / (line * assoc)) in
+  {
+    name;
+    sets;
+    assoc;
+    line_bits = log2i line;
+    tags = Array.make (sets * assoc) (-1L);
+    age = Array.make (sets * assoc) 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+(* Access [addr]; returns true on hit.  Misses allocate. *)
+let access t (addr : int64) =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let line = Int64.shift_right_logical addr t.line_bits in
+  let set = Int64.to_int (Int64.rem line (Int64.of_int t.sets)) in
+  let base = set * t.assoc in
+  let rec find k =
+    if k >= t.assoc then None
+    else if Int64.equal t.tags.(base + k) line then Some k
+    else find (k + 1)
+  in
+  match find 0 with
+  | Some k ->
+      t.age.(base + k) <- t.clock;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      (* evict LRU way *)
+      let victim = ref 0 in
+      for k = 1 to t.assoc - 1 do
+        if t.age.(base + k) < t.age.(base + !victim) then victim := k
+      done;
+      t.tags.(base + !victim) <- line;
+      t.age.(base + !victim) <- t.clock;
+      false
+
+(* Probe without allocating (used by tests). *)
+let probe t (addr : int64) =
+  let line = Int64.shift_right_logical addr t.line_bits in
+  let set = Int64.to_int (Int64.rem line (Int64.of_int t.sets)) in
+  let base = set * t.assoc in
+  let rec find k =
+    if k >= t.assoc then false
+    else Int64.equal t.tags.(base + k) line || find (k + 1)
+  in
+  find 0
+
+let reset t =
+  Array.fill t.tags 0 (Array.length t.tags) (-1L);
+  Array.fill t.age 0 (Array.length t.age) 0;
+  t.accesses <- 0;
+  t.misses <- 0;
+  t.clock <- 0
+
+let miss_rate t =
+  if t.accesses = 0 then 0. else float_of_int t.misses /. float_of_int t.accesses

@@ -1,0 +1,25 @@
+(** Set-associative LRU cache model, used for L1I, L1D, and the unified
+    L2/L3 levels of the scaled Itanium 2 hierarchy. *)
+
+type t = {
+  name : string;
+  sets : int;
+  assoc : int;
+  line_bits : int;
+  tags : int64 array;
+  age : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+val create : name:string -> size:int -> line:int -> assoc:int -> t
+
+(** Access an address; true on hit.  Misses allocate (evicting LRU). *)
+val access : t -> int64 -> bool
+
+(** Probe without allocating. *)
+val probe : t -> int64 -> bool
+
+val reset : t -> unit
+val miss_rate : t -> float

@@ -1,0 +1,813 @@
+(* The Itanium-2-class machine simulator: executes scheduled, register-
+   allocated code (issue groups laid out in bundles) and accounts every
+   cycle to one of the paper's nine categories.  Architectural semantics
+   match the high-level interpreter (predication, NaT deferral, speculation
+   models); timing comes from the in-order six-issue pipeline, the scaled
+   memory hierarchy, the branch predictor, the register stack engine and the
+   OS page-walk model.
+
+   Simplifications (documented in DESIGN.md): each frame has a private
+   register file (parameters/returns carried by the call), wrong-path fetch
+   is not modelled, and the fetch-decoupling buffer is ignored. *)
+
+open Epic_ir
+open Epic_mach
+open Epic_sched
+
+exception Machine_fault of string
+exception Exit_program of int
+exception Out_of_fuel
+
+type counters = {
+  mutable useful_ops : int; (* retired, qualifying predicate true, non-nop *)
+  mutable squashed_ops : int; (* retired with false qualifying predicate *)
+  mutable nop_ops : int; (* template nops fetched and retired *)
+  mutable kernel_ops : int; (* dynamic work executed in "kernel" mode *)
+  mutable branches : int; (* retired branch instructions *)
+  mutable groups : int; (* issue groups executed *)
+  mutable wild_loads : int;
+  mutable spec_loads : int; (* speculative load executions *)
+  mutable chk_recoveries : int;
+  mutable nat_consumed : int;
+  mutable calls : int;
+}
+
+let fresh_counters () =
+  {
+    useful_ops = 0;
+    squashed_ops = 0;
+    nop_ops = 0;
+    kernel_ops = 0;
+    branches = 0;
+    groups = 0;
+    wild_loads = 0;
+    spec_loads = 0;
+    chk_recoveries = 0;
+    nat_consumed = 0;
+    calls = 0;
+  }
+
+(* Stall reason attached to a not-yet-ready register. *)
+type reason = Rload | Rfload | Rlong
+
+type frame = {
+  func : Func.t;
+  ints : int64 array;
+  nat : bool array;
+  flts : float array;
+  prds : bool array;
+  iready : int array; (* global cycle at which the register's value is ready *)
+  ireason : reason array;
+  fready : int array;
+  freason : reason array;
+  alat : (int, int64 * int) Hashtbl.t; (* reg id -> (addr, bytes); flushed at calls *)
+}
+
+let fresh_frame (func : Func.t) =
+  {
+    func;
+    ints = Array.make Reg.num_int 0L;
+    nat = Array.make Reg.num_int false;
+    flts = Array.make Reg.num_flt 0.;
+    prds = Array.make Reg.num_prd false;
+    iready = Array.make Reg.num_int 0;
+    ireason = Array.make Reg.num_int Rload;
+    fready = Array.make Reg.num_flt 0;
+    freason = Array.make Reg.num_flt Rfload;
+    alat = Hashtbl.create 8;
+  }
+
+type t = {
+  program : Program.t;
+  layout : Layout.t;
+  mem : Memimage.t;
+  mutable heap : int64;
+  output : Buffer.t;
+  input : int64 array;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  dtlb : Tlb.t;
+  bp : Branch_pred.t;
+  rse : Rse.t;
+  acc : Accounting.t;
+  c : counters;
+  mutable cycle : int;
+  mutable sb_work : int; (* pending store-buffer drain work, in cycles *)
+  mutable sb_last_cycle : int;
+  mutable fuel : int;
+  mutable cur_func : string; (* for per-function attribution *)
+}
+
+let create ?(fuel = 400_000_000) (program : Program.t) (layout : Layout.t)
+    (input : int64 array) =
+  Program.assign_addresses program;
+  let mem = Memimage.create () in
+  Memimage.load_program mem program;
+  {
+    program;
+    layout;
+    mem;
+    heap = Program.heap_base;
+    output = Buffer.create 256;
+    input;
+    l1i =
+      Cache.create ~name:"L1I" ~size:Itanium.l1i_size ~line:Itanium.l1i_line
+        ~assoc:Itanium.l1i_assoc;
+    l1d =
+      Cache.create ~name:"L1D" ~size:Itanium.l1d_size ~line:Itanium.l1d_line
+        ~assoc:Itanium.l1d_assoc;
+    l2 = Cache.create ~name:"L2" ~size:Itanium.l2_size ~line:Itanium.l2_line ~assoc:Itanium.l2_assoc;
+    l3 = Cache.create ~name:"L3" ~size:Itanium.l3_size ~line:Itanium.l3_line ~assoc:Itanium.l3_assoc;
+    dtlb = Tlb.create ~entries:Itanium.dtlb_entries ();
+    bp = Branch_pred.create ();
+    rse = Rse.create ();
+    acc = Accounting.create ();
+    c = fresh_counters ();
+    cycle = 0;
+    sb_work = 0;
+    sb_last_cycle = 0;
+    fuel;
+    cur_func = "main";
+  }
+
+let charge st cat n = Accounting.charge st.acc st.cur_func cat n
+
+(* --- memory hierarchy ---------------------------------------------------- *)
+
+(* Penalty cycles beyond the planned L1 latency for a data access. *)
+let dcache_extra st (addr : int64) ~(is_float : bool) =
+  if is_float then
+    (* Itanium 2 keeps no FP data in L1D; FP loads are served from L2, and
+       the compiler plans [float_load_latency] already *)
+    if Cache.access st.l2 addr then 0
+    else if Cache.access st.l3 addr then max 0 (Itanium.l3_latency - Itanium.float_load_latency)
+    else Itanium.mem_latency - Itanium.float_load_latency
+  else if Cache.access st.l1d addr then 0
+  else if Cache.access st.l2 addr then Itanium.l2_latency - 1
+  else if Cache.access st.l3 addr then Itanium.l3_latency - 1
+  else Itanium.mem_latency
+
+let icache_penalty st (addr : int64) =
+  if Cache.access st.l1i addr then 0
+  else if Cache.access st.l2 addr then Itanium.l2_latency
+  else if Cache.access st.l3 addr then Itanium.l3_latency
+  else Itanium.mem_latency
+
+(* DTLB lookup; returns extra cycles charged appropriately.  [spec] decides
+   the policy on unmapped pages; returns [`Ok extra | `Nat extra]. *)
+let translate st (addr : int64) (spec : Opcode.spec_kind) =
+  if Tlb.lookup st.dtlb addr then `Ok 0
+  else
+    match Memimage.classify st.mem addr with
+    | Memimage.Ok -> (
+        match spec with
+        | Opcode.Spec_sentinel ->
+            (* early deferral: a DTLB miss defers rather than walking; the
+               chk's recovery will perform the real access *)
+            `Nat 0
+        | Opcode.Nonspec | Opcode.Spec_general | Opcode.Spec_advanced ->
+            Tlb.fill st.dtlb addr;
+            charge st Accounting.Micropipe Itanium.vhpt_walk_cycles;
+            st.cycle <- st.cycle + Itanium.vhpt_walk_cycles;
+            `Ok 0)
+    | Memimage.Null_page -> (
+        match spec with
+        | Opcode.Nonspec | Opcode.Spec_advanced ->
+            raise (Machine_fault (Printf.sprintf "NULL access 0x%Lx" addr))
+        | _ ->
+            (* architected NaT page: cheap *)
+            charge st Accounting.Micropipe Itanium.nat_page_cycles;
+            st.cycle <- st.cycle + Itanium.nat_page_cycles;
+            `Nat 0)
+    | Memimage.Unmapped -> (
+        match spec with
+        | Opcode.Nonspec | Opcode.Spec_advanced ->
+            raise (Machine_fault (Printf.sprintf "unmapped access 0x%Lx" addr))
+        | Opcode.Spec_general ->
+            (* wild load: failed walk + uncached page-table query (kernel) *)
+            st.c.wild_loads <- st.c.wild_loads + 1;
+            st.c.kernel_ops <- st.c.kernel_ops + Itanium.wild_walk_cycles / 4;
+            charge st Accounting.Kernel Itanium.wild_walk_cycles;
+            st.cycle <- st.cycle + Itanium.wild_walk_cycles;
+            `Nat 0
+        | Opcode.Spec_sentinel -> `Nat 0)
+
+(* --- register access ----------------------------------------------------- *)
+
+let stall_on st (fr : frame) (r : Reg.t) =
+  let ready, reason =
+    match r.Reg.cls with
+    | Reg.Flt -> (fr.fready.(r.Reg.id), fr.freason.(r.Reg.id))
+    | _ -> (fr.iready.(r.Reg.id), fr.ireason.(r.Reg.id))
+  in
+  if ready > st.cycle then begin
+    let n = ready - st.cycle in
+    let cat =
+      match reason with
+      | Rload -> Accounting.Int_load_bubble
+      | Rfload -> Accounting.Float_scoreboard
+      | Rlong -> Accounting.Misc
+    in
+    charge st cat n;
+    st.cycle <- ready
+  end
+
+let read_int st fr (r : Reg.t) =
+  stall_on st fr r;
+  if r.Reg.id = 0 then (0L, false) else (fr.ints.(r.Reg.id), fr.nat.(r.Reg.id))
+
+let read_flt st fr (r : Reg.t) =
+  stall_on st fr r;
+  fr.flts.(r.Reg.id)
+
+let read_prd st fr (r : Reg.t) =
+  stall_on st fr r;
+  if r.Reg.id = 0 then true else fr.prds.(r.Reg.id)
+
+let write_int fr (r : Reg.t) (v : int64) (n : bool) =
+  if r.Reg.id <> 0 then begin
+    fr.ints.(r.Reg.id) <- v;
+    fr.nat.(r.Reg.id) <- n
+  end
+
+let write_flt fr (r : Reg.t) (v : float) = fr.flts.(r.Reg.id) <- v
+let write_prd fr (r : Reg.t) (v : bool) = if r.Reg.id <> 0 then fr.prds.(r.Reg.id) <- v
+
+let mark_ready st fr (r : Reg.t) (extra : int) (reason : reason) =
+  match r.Reg.cls with
+  | Reg.Flt ->
+      fr.fready.(r.Reg.id) <- st.cycle + extra;
+      fr.freason.(r.Reg.id) <- reason
+  | _ ->
+      fr.iready.(r.Reg.id) <- st.cycle + extra;
+      fr.ireason.(r.Reg.id) <- reason
+
+(* Evaluate an integer-class operand: (value, nat). *)
+let operand_int st fr (o : Operand.t) =
+  match o with
+  | Operand.Reg r -> (
+      match r.Reg.cls with
+      | Reg.Flt -> (Int64.of_float (read_flt st fr r), false)
+      | Reg.Prd -> ((if read_prd st fr r then 1L else 0L), false)
+      | _ -> read_int st fr r)
+  | Operand.Imm i -> (i, false)
+  | Operand.Fimm f -> (Int64.of_float f, false)
+  | Operand.Label _ -> (0L, false)
+  | Operand.Sym s -> (
+      match Program.find_global st.program s with
+      | Some g -> (g.Program.address, false)
+      | None -> (Program.func_address st.program s, false))
+
+let operand_flt st fr (o : Operand.t) =
+  match o with
+  | Operand.Reg r -> (
+      match r.Reg.cls with
+      | Reg.Flt -> (read_flt st fr r, false)
+      | _ ->
+          let v, n = read_int st fr r in
+          (Int64.to_float v, n))
+  | Operand.Fimm f -> (f, false)
+  | Operand.Imm i -> (Int64.to_float i, false)
+  | _ -> (0., false)
+
+(* --- intrinsics ---------------------------------------------------------- *)
+
+let do_intrinsic st (k : Intrinsics.kind) (args : (int64 * bool) list) =
+  let geti n =
+    match List.nth_opt args n with
+    | Some (v, false) -> v
+    | Some (_, true) ->
+        st.c.nat_consumed <- st.c.nat_consumed + 1;
+        0L
+    | None -> 0L
+  in
+  let caller = st.cur_func in
+  let pseudo = Intrinsics.(List.find (fun (_, k') -> k' = k) all) |> fst in
+  st.cur_func <- pseudo;
+  let cost = Intrinsics.base_cost k in
+  charge st Accounting.Unstalled cost;
+  st.cycle <- st.cycle + cost;
+  let results =
+    match k with
+    | Intrinsics.Print_int ->
+        Buffer.add_string st.output (Int64.to_string (geti 0));
+        Buffer.add_char st.output '\n';
+        []
+    | Intrinsics.Print_char ->
+        Buffer.add_char st.output (Char.chr (Int64.to_int (geti 0) land 0xff));
+        []
+    | Intrinsics.Malloc ->
+        let bytes = max 8 ((Int64.to_int (geti 0) + 15) / 16 * 16) in
+        let addr = st.heap in
+        st.heap <- Int64.add st.heap (Int64.of_int bytes);
+        Memimage.map_range st.mem addr bytes;
+        [ (addr, false) ]
+    | Intrinsics.Input ->
+        let i = Int64.to_int (geti 0) in
+        if i >= 0 && i < Array.length st.input then [ (st.input.(i), false) ]
+        else [ (0L, false) ]
+    | Intrinsics.Input_len -> [ (Int64.of_int (Array.length st.input), false) ]
+    | Intrinsics.Memcpy ->
+        let dst = geti 0 and src = geti 1 and n = Int64.to_int (geti 2) in
+        for i = 0 to n - 1 do
+          let b = Memimage.read st.mem (Int64.add src (Int64.of_int i)) 1 in
+          Memimage.write st.mem (Int64.add dst (Int64.of_int i)) 1 b
+        done;
+        (* cache traffic per touched line *)
+        let lines = max 1 (n / 64) in
+        for i = 0 to lines - 1 do
+          let off = Int64.of_int (i * 64) in
+          let e1 = dcache_extra st (Int64.add src off) ~is_float:false in
+          let e2 = dcache_extra st (Int64.add dst off) ~is_float:false in
+          let e = (e1 + e2) / 4 in
+          charge st Accounting.Unstalled (1 + e);
+          st.cycle <- st.cycle + 1 + e
+        done;
+        []
+    | Intrinsics.Memset ->
+        let dst = geti 0 and v = geti 1 and n = Int64.to_int (geti 2) in
+        for i = 0 to n - 1 do
+          Memimage.write st.mem (Int64.add dst (Int64.of_int i)) 1 v
+        done;
+        let lines = max 1 (n / 64) in
+        for i = 0 to lines - 1 do
+          let e = dcache_extra st (Int64.add dst (Int64.of_int (i * 64))) ~is_float:false in
+          charge st Accounting.Unstalled (1 + (e / 4));
+          st.cycle <- st.cycle + 1 + (e / 4)
+        done;
+        []
+    | Intrinsics.Exit -> raise (Exit_program (Int64.to_int (geti 0)))
+  in
+  st.cur_func <- caller;
+  results
+
+(* --- execution ----------------------------------------------------------- *)
+
+exception Taken of string (* branch taken to label *)
+exception Returned of (int64 * bool) list
+
+let int_alu op (a : int64) (b : int64) =
+  match op with
+  | Opcode.Add -> Int64.add a b
+  | Opcode.Sub -> Int64.sub a b
+  | Opcode.Mul -> Int64.mul a b
+  | Opcode.Div -> if Int64.equal b 0L then raise (Machine_fault "div by zero") else Int64.div a b
+  | Opcode.Rem -> if Int64.equal b 0L then raise (Machine_fault "rem by zero") else Int64.rem a b
+  | Opcode.And -> Int64.logand a b
+  | Opcode.Or -> Int64.logor a b
+  | Opcode.Xor -> Int64.logxor a b
+  | Opcode.Shl -> Int64.shift_left a (Int64.to_int b land 63)
+  | Opcode.Shr -> Int64.shift_right_logical a (Int64.to_int b land 63)
+  | Opcode.Sra -> Int64.shift_right a (Int64.to_int b land 63)
+  | _ -> invalid_arg "int_alu"
+
+let flt_alu op (a : float) (b : float) =
+  match op with
+  | Opcode.Fadd -> a +. b
+  | Opcode.Fsub -> a -. b
+  | Opcode.Fmul -> a *. b
+  | Opcode.Fdiv -> a /. b
+  | _ -> invalid_arg "flt_alu"
+
+(* Perform a load's data access (translation already done, result Ok). *)
+let load_value st (addr : int64) (sz : Opcode.size) ~(is_float : bool) =
+  let extra = dcache_extra st addr ~is_float in
+  let raw = Memimage.read st.mem addr (Opcode.size_bytes sz) in
+  (raw, extra)
+
+let drain_store_buffer st =
+  let elapsed = st.cycle - st.sb_last_cycle in
+  st.sb_last_cycle <- st.cycle;
+  st.sb_work <- max 0 (st.sb_work - elapsed)
+
+(* Execute one instruction.  Raises [Taken l] for a taken branch,
+   [Returned vs] for a return. *)
+let rec exec_instr st (fr : frame) (i : Instr.t) =
+  if st.fuel <= 0 then raise Out_of_fuel;
+  st.fuel <- st.fuel - 1;
+  let guard =
+    match i.Instr.pred with None -> true | Some p -> read_prd st fr p
+  in
+  match i.Instr.op with
+  | Opcode.Cmp (cond, ct) | Opcode.Fcmp (cond, ct) -> (
+      let fcmp = match i.Instr.op with Opcode.Fcmp _ -> true | _ -> false in
+      match i.Instr.dsts with
+      | [ pt; pf ] -> (
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          let result () =
+            match i.Instr.srcs with
+            | [ a; b ] ->
+                if fcmp then (
+                  match (operand_flt st fr a, operand_flt st fr b) with
+                  | (x, false), (y, false) -> Some (Opcode.eval_fcmp cond x y)
+                  | _ -> None)
+                else (
+                  match (operand_int st fr a, operand_int st fr b) with
+                  | (x, false), (y, false) -> Some (Opcode.eval_icmp cond x y)
+                  | _ -> None)
+            | _ -> raise (Machine_fault "cmp arity")
+          in
+          match ct with
+          | Opcode.Norm ->
+              if guard then (
+                match result () with
+                | Some r ->
+                    write_prd fr pt r;
+                    write_prd fr pf (not r)
+                | None ->
+                    write_prd fr pt false;
+                    write_prd fr pf false)
+          | Opcode.Unc ->
+              write_prd fr pt false;
+              write_prd fr pf false;
+              if guard then (
+                match result () with
+                | Some r ->
+                    write_prd fr pt r;
+                    write_prd fr pf (not r)
+                | None -> ())
+          | Opcode.Orform ->
+              if guard then (
+                match result () with
+                | Some true ->
+                    write_prd fr pt true;
+                    write_prd fr pf true
+                | Some false | None -> ()))
+      | _ -> raise (Machine_fault "cmp without two dests"))
+  | _ when not guard ->
+      st.c.squashed_ops <- st.c.squashed_ops + 1;
+      if i.Instr.op = Opcode.Br then begin
+        st.c.branches <- st.c.branches + 1;
+        let correct = Branch_pred.predict_and_update st.bp i.Instr.id false in
+        if not correct then begin
+          charge st Accounting.Br_mispredict Itanium.branch_mispredict_penalty;
+          st.cycle <- st.cycle + Itanium.branch_mispredict_penalty
+        end
+      end
+  | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem
+  | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Shl | Opcode.Shr | Opcode.Sra
+    -> (
+      match (i.Instr.dsts, i.Instr.srcs) with
+      | [ d ], [ a; b ] ->
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          let va, na = operand_int st fr a in
+          let vb, nb = operand_int st fr b in
+          if na || nb then write_int fr d 0L true
+          else begin
+            (match int_alu i.Instr.op va vb with
+            | v -> write_int fr d v false
+            | exception Machine_fault _ when i.Instr.attrs.Instr.speculated ->
+                (* a speculated divide by zero defers instead of faulting *)
+                write_int fr d 0L true);
+            match i.Instr.op with
+            | Opcode.Div | Opcode.Rem -> mark_ready st fr d 4 Rlong
+            | _ -> ()
+          end
+      | _ -> raise (Machine_fault "bad ALU"))
+  | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv -> (
+      match (i.Instr.dsts, i.Instr.srcs) with
+      | [ d ], [ a; b ] ->
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          let va, _ = operand_flt st fr a in
+          let vb, _ = operand_flt st fr b in
+          write_flt fr d (flt_alu i.Instr.op va vb);
+          if i.Instr.op = Opcode.Fdiv then mark_ready st fr d 8 Rfload
+      | _ -> raise (Machine_fault "bad FP op"))
+  | Opcode.Fneg -> (
+      match (i.Instr.dsts, i.Instr.srcs) with
+      | [ d ], [ a ] ->
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          write_flt fr d (-.fst (operand_flt st fr a))
+      | _ -> raise (Machine_fault "bad fneg"))
+  | Opcode.Cvt_fi -> (
+      match (i.Instr.dsts, i.Instr.srcs) with
+      | [ d ], [ a ] ->
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          let v, n = operand_flt st fr a in
+          write_int fr d (Int64.of_float v) n
+      | _ -> raise (Machine_fault "bad cvt.fi"))
+  | Opcode.Cvt_if -> (
+      match (i.Instr.dsts, i.Instr.srcs) with
+      | [ d ], [ a ] ->
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          let v, _ = operand_int st fr a in
+          write_flt fr d (Int64.to_float v)
+      | _ -> raise (Machine_fault "bad cvt.if"))
+  | Opcode.Mov | Opcode.Sxt _ -> (
+      match (i.Instr.dsts, i.Instr.srcs) with
+      | [ d ], [ a ] ->
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          if d.Reg.cls = Reg.Flt then write_flt fr d (fst (operand_flt st fr a))
+          else begin
+            let v, n = operand_int st fr a in
+            let v =
+              match i.Instr.op with
+              | Opcode.Sxt sz ->
+                  let bits = 8 * Opcode.size_bytes sz in
+                  Int64.shift_right (Int64.shift_left v (64 - bits)) (64 - bits)
+              | _ -> v
+            in
+            write_int fr d v n
+          end
+      | _ -> raise (Machine_fault "bad mov"))
+  | Opcode.Lea -> (
+      match (i.Instr.dsts, i.Instr.srcs) with
+      | [ d ], [ base; off ] ->
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          let vb, _ = operand_int st fr base in
+          let vo, _ = operand_int st fr off in
+          write_int fr d (Int64.add vb vo) false
+      | _ -> raise (Machine_fault "bad lea"))
+  | Opcode.Ld (sz, spec) -> (
+      match (i.Instr.dsts, i.Instr.srcs) with
+      | [ d ], [ a ] -> (
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          if spec <> Opcode.Nonspec then st.c.spec_loads <- st.c.spec_loads + 1;
+          let addr, na = operand_int st fr a in
+          if na then begin
+            (* NaT address: propagate deferral *)
+            if spec = Opcode.Nonspec then st.c.nat_consumed <- st.c.nat_consumed + 1;
+            write_int fr d 0L true
+          end
+          else
+            match translate st addr spec with
+            | `Nat extra ->
+                st.cycle <- st.cycle + extra;
+                write_int fr d 0L true
+            | `Ok _ ->
+                if spec = Opcode.Spec_advanced then
+                  Hashtbl.replace fr.alat d.Reg.id (addr, Opcode.size_bytes sz);
+                let is_float = d.Reg.cls = Reg.Flt in
+                let raw, extra = load_value st addr sz ~is_float in
+                if is_float then begin
+                  write_flt fr d (Int64.float_of_bits raw);
+                  if extra > 0 then mark_ready st fr d extra Rfload
+                end
+                else begin
+                  write_int fr d raw false;
+                  if extra > 0 then mark_ready st fr d extra Rload
+                end)
+      | _ -> raise (Machine_fault "bad load"))
+  | Opcode.St sz -> (
+      match i.Instr.srcs with
+      | [ a; v ] -> (
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          let addr, na = operand_int st fr a in
+          let data, nv =
+            match v with
+            | Operand.Reg r when r.Reg.cls = Reg.Flt ->
+                (Int64.bits_of_float (read_flt st fr r), false)
+            | Operand.Fimm fv -> (Int64.bits_of_float fv, false)
+            | _ -> operand_int st fr v
+          in
+          if na || nv then begin
+            st.c.nat_consumed <- st.c.nat_consumed + 1;
+            charge st Accounting.Misc 2
+          end
+          else
+            match translate st addr Opcode.Nonspec with
+            | `Ok _ ->
+                (* ALAT snoop: stores invalidate overlapping advanced loads *)
+                let bytes = Opcode.size_bytes sz in
+                let stale =
+                  Hashtbl.fold
+                    (fun rid (a, n) acc ->
+                      let lo = max (Int64.to_int a) (Int64.to_int addr) in
+                      let hi = min (Int64.to_int a + n) (Int64.to_int addr + bytes) in
+                      if lo < hi then rid :: acc else acc)
+                    fr.alat []
+                in
+                List.iter (Hashtbl.remove fr.alat) stale;
+                Memimage.write st.mem addr (Opcode.size_bytes sz) data;
+                drain_store_buffer st;
+                let extra = dcache_extra st addr ~is_float:false in
+                if extra > 0 then begin
+                  st.sb_work <- st.sb_work + 3;
+                  if st.sb_work > 24 then begin
+                    let over = st.sb_work - 24 in
+                    charge st Accounting.Micropipe over;
+                    st.cycle <- st.cycle + over;
+                    st.sb_work <- 24
+                  end
+                end
+            | `Nat _ -> raise (Machine_fault "store deferred (impossible)"))
+      | _ -> raise (Machine_fault "bad store"))
+  | Opcode.Chk sz -> (
+      match i.Instr.srcs with
+      | [ Operand.Reg r; a ] ->
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          stall_on st fr r;
+          let is_nat =
+            match r.Reg.cls with Reg.Flt -> false | _ -> fr.nat.(r.Reg.id)
+          in
+          if is_nat then begin
+            (* recovery: pipeline redirect + non-speculative reload *)
+            st.c.chk_recoveries <- st.c.chk_recoveries + 1;
+            charge st Accounting.Misc Itanium.chk_recovery_penalty;
+            st.cycle <- st.cycle + Itanium.chk_recovery_penalty;
+            let addr, na = operand_int st fr a in
+            if na then raise (Machine_fault "chk recovery with NaT address")
+            else
+              match translate st addr Opcode.Nonspec with
+              | `Ok _ ->
+                  let raw, extra = load_value st addr sz ~is_float:(r.Reg.cls = Reg.Flt) in
+                  if r.Reg.cls = Reg.Flt then write_flt fr r (Int64.float_of_bits raw)
+                  else write_int fr r raw false;
+                  if extra > 0 then mark_ready st fr r extra Rload
+              | `Nat _ -> assert false
+          end
+      | _ -> raise (Machine_fault "bad chk"))
+  | Opcode.Chka sz -> (
+      match i.Instr.srcs with
+      | [ Operand.Reg r; a ] ->
+          st.c.useful_ops <- st.c.useful_ops + 1;
+          stall_on st fr r;
+          if not (Hashtbl.mem fr.alat r.Reg.id) then begin
+            (* the entry was invalidated: redirect + non-speculative reload *)
+            st.c.chk_recoveries <- st.c.chk_recoveries + 1;
+            charge st Accounting.Misc Itanium.chk_recovery_penalty;
+            st.cycle <- st.cycle + Itanium.chk_recovery_penalty;
+            let addr, na = operand_int st fr a in
+            if na then raise (Machine_fault "chk.a recovery with NaT address")
+            else
+              match translate st addr Opcode.Nonspec with
+              | `Ok _ ->
+                  let raw, extra = load_value st addr sz ~is_float:(r.Reg.cls = Reg.Flt) in
+                  if r.Reg.cls = Reg.Flt then write_flt fr r (Int64.float_of_bits raw)
+                  else write_int fr r raw false;
+                  if extra > 0 then mark_ready st fr r extra Rload
+              | `Nat _ -> assert false
+          end
+      | _ -> raise (Machine_fault "bad chk.a"))
+  | Opcode.Br -> (
+      st.c.useful_ops <- st.c.useful_ops + 1;
+      st.c.branches <- st.c.branches + 1;
+      match i.Instr.srcs with
+      | [ Operand.Label l ] ->
+          if i.Instr.pred = None then Branch_pred.record_unconditional st.bp
+          else begin
+            (* conditional, and the guard was true (we are here) *)
+            let correct = Branch_pred.predict_and_update st.bp i.Instr.id true in
+            if not correct then begin
+              charge st Accounting.Br_mispredict Itanium.branch_mispredict_penalty;
+              st.cycle <- st.cycle + Itanium.branch_mispredict_penalty
+            end
+          end;
+          raise (Taken l)
+      | _ -> raise (Machine_fault "bad br"))
+  | Opcode.Br_call -> (
+      st.c.useful_ops <- st.c.useful_ops + 1;
+      st.c.branches <- st.c.branches + 1;
+      st.c.calls <- st.c.calls + 1;
+      Branch_pred.record_unconditional st.bp;
+      match i.Instr.srcs with
+      | target :: args ->
+          let argv =
+            List.map
+              (fun (o : Operand.t) ->
+                match o with
+                | Operand.Reg r when r.Reg.cls = Reg.Flt ->
+                    (Int64.bits_of_float (read_flt st fr r), false)
+                | Operand.Fimm fv -> (Int64.bits_of_float fv, false)
+                | _ -> operand_int st fr o)
+              args
+          in
+          let fname =
+            match target with
+            | Operand.Sym s -> s
+            | Operand.Reg r -> (
+                let addr, na = read_int st fr r in
+                if na then raise (Machine_fault "indirect call through NaT")
+                else
+                  match Program.func_at_address st.program addr with
+                  | Some s -> s
+                  | None -> raise (Machine_fault (Printf.sprintf "indirect call to 0x%Lx" addr)))
+            | _ -> raise (Machine_fault "bad call target")
+          in
+          Hashtbl.reset fr.alat;
+          let results = exec_call st fr fname argv in
+          List.iteri
+            (fun n (d : Reg.t) ->
+              let v, na =
+                match List.nth_opt results n with Some x -> x | None -> (0L, false)
+              in
+              if d.Reg.cls = Reg.Flt then write_flt fr d (Int64.float_of_bits v)
+              else write_int fr d v na)
+            i.Instr.dsts
+      | [] -> raise (Machine_fault "bad call"))
+  | Opcode.Br_ret ->
+      st.c.useful_ops <- st.c.useful_ops + 1;
+      st.c.branches <- st.c.branches + 1;
+      Branch_pred.record_unconditional st.bp;
+      let vals =
+        List.map
+          (fun (o : Operand.t) ->
+            match o with
+            | Operand.Reg r when r.Reg.cls = Reg.Flt ->
+                (Int64.bits_of_float (read_flt st fr r), false)
+            | Operand.Fimm fv -> (Int64.bits_of_float fv, false)
+            | _ -> operand_int st fr o)
+          i.Instr.srcs
+      in
+      raise (Returned vals)
+  | Opcode.Alloc | Opcode.Nop -> st.c.useful_ops <- st.c.useful_ops + 1
+
+(* Execute one function invocation (sp inherited via the call). *)
+and exec_call st (caller_fr : frame) (fname : string) (args : (int64 * bool) list) =
+  match Intrinsics.of_name fname with
+  | Some k -> do_intrinsic st k args
+  | None ->
+      let f = Program.find_func_exn st.program fname in
+      charge st Accounting.Unstalled Itanium.call_overhead;
+      st.cycle <- st.cycle + Itanium.call_overhead;
+      (* RSE push *)
+      let spill_cycles = Rse.on_call st.rse (max 1 f.Func.n_stacked) in
+      if spill_cycles > 0 then begin
+        charge st Accounting.Rse spill_cycles;
+        st.cycle <- st.cycle + spill_cycles
+      end;
+      let fr = fresh_frame f in
+      List.iteri
+        (fun n (p : Reg.t) ->
+          match List.nth_opt args n with
+          | Some (v, na) ->
+              if p.Reg.cls = Reg.Flt then write_flt fr p (Int64.float_of_bits v)
+              else write_int fr p v na
+          | None -> ())
+        f.Func.params;
+      fr.ints.(Reg.sp.Reg.id) <- caller_fr.ints.(Reg.sp.Reg.id);
+      let saved_func = st.cur_func in
+      st.cur_func <- fname;
+      let result =
+        try
+          exec_blocks st fr (Func.entry f);
+          []
+        with Returned vs -> vs
+      in
+      st.cur_func <- saved_func;
+      charge st Accounting.Unstalled Itanium.return_overhead;
+      st.cycle <- st.cycle + Itanium.return_overhead;
+      let fill_cycles = Rse.on_return st.rse in
+      if fill_cycles > 0 then begin
+        charge st Accounting.Rse fill_cycles;
+        st.cycle <- st.cycle + fill_cycles
+      end;
+      result
+
+(* Execute from [block] until return. *)
+and exec_blocks st (fr : frame) (block : Block.t) =
+  let f = fr.func in
+  let rec run_block (b : Block.t) =
+    match Layout.block_layout st.layout f.Func.name b.Block.label with
+    | None -> raise (Machine_fault ("no layout for block " ^ b.Block.label))
+    | Some bl -> (
+        let taken = ref None in
+        (try
+           Array.iter
+             (fun (g : Layout.group) ->
+               st.c.groups <- st.c.groups + 1;
+               (* fetch: one access per 32-byte chunk of the group's bundles *)
+               let chunks = max 1 ((g.Layout.n_bundles + 1) / 2) in
+               for k = 0 to chunks - 1 do
+                 let addr = Int64.add g.Layout.addr (Int64.of_int (k * 32)) in
+                 let pen = icache_penalty st addr in
+                 if pen > 0 then begin
+                   charge st Accounting.Front_end pen;
+                   st.cycle <- st.cycle + pen
+                 end
+               done;
+               st.c.nop_ops <- st.c.nop_ops + g.Layout.n_nops;
+               (* issue: one cycle per fetch chunk *)
+               charge st Accounting.Unstalled chunks;
+               st.cycle <- st.cycle + chunks;
+               List.iter (fun i -> exec_instr st fr i) g.Layout.instrs)
+             bl.Layout.groups
+         with Taken l -> taken := Some l);
+        match !taken with
+        | Some l -> (
+            match Func.find_block f l with
+            | Some nb -> run_block nb
+            | None -> raise (Machine_fault ("branch to unknown label " ^ l)))
+        | None -> (
+            (* fall through *)
+            match Func.fallthrough f b with
+            | Some nb -> run_block nb
+            | None -> raise (Machine_fault (f.Func.name ^ ": fell off " ^ b.Block.label))))
+  in
+  run_block block
+
+(* Run a whole program; returns (exit code, output, state). *)
+let run ?fuel (p : Program.t) (layout : Layout.t) (input : int64 array) =
+  let st = create ?fuel p layout input in
+  let main_fr = fresh_frame (Program.find_func_exn p p.Program.entry) in
+  main_fr.ints.(Reg.sp.Reg.id) <- Int64.sub Program.stack_top 128L;
+  let code =
+    try
+      match exec_call st main_fr p.Program.entry [] with
+      | (v, _) :: _ -> Int64.to_int v
+      | [] -> 0
+    with Exit_program c -> c
+  in
+  (code, Buffer.contents st.output, st)

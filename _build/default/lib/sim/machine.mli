@@ -1,0 +1,67 @@
+(** The Itanium-2-class machine simulator: executes scheduled,
+    register-allocated code laid out in bundles, and accounts every cycle
+    to one of the paper's nine categories (see {!Accounting}).
+
+    Architectural semantics match the reference interpreter (predication,
+    NaT deferral, sentinel and ALAT recovery); timing comes from the
+    in-order six-issue pipeline, the scaled memory hierarchy, the branch
+    predictor, the register stack engine and the OS page-walk model. *)
+
+exception Machine_fault of string
+exception Exit_program of int
+exception Out_of_fuel
+
+(** Retired-operation and event counters (the Pfmon counter set). *)
+type counters = {
+  mutable useful_ops : int;
+      (** retired with a true qualifying predicate, non-nop *)
+  mutable squashed_ops : int;  (** retired with a false qualifying predicate *)
+  mutable nop_ops : int;  (** template nops fetched and retired *)
+  mutable kernel_ops : int;  (** work executed in "kernel" mode *)
+  mutable branches : int;
+  mutable groups : int;  (** issue groups executed *)
+  mutable wild_loads : int;
+  mutable spec_loads : int;
+  mutable chk_recoveries : int;
+  mutable nat_consumed : int;
+  mutable calls : int;
+}
+
+type reason = Rload | Rfload | Rlong
+
+(** Per-invocation register state (see DESIGN.md on the per-frame
+    simplification). *)
+type frame
+
+type t = {
+  program : Epic_ir.Program.t;
+  layout : Epic_sched.Layout.t;
+  mem : Epic_ir.Memimage.t;
+  mutable heap : int64;
+  output : Buffer.t;
+  input : int64 array;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  dtlb : Tlb.t;
+  bp : Branch_pred.t;
+  rse : Rse.t;
+  acc : Accounting.t;  (** the nine-way cycle accounting *)
+  c : counters;
+  mutable cycle : int;  (** the global clock *)
+  mutable sb_work : int;
+  mutable sb_last_cycle : int;
+  mutable fuel : int;
+  mutable cur_func : string;
+}
+
+(** Run a laid-out program on the given input; returns (exit code, printed
+    output, final machine state).  Output must equal the reference
+    interpreter's on the same program and input. *)
+val run :
+  ?fuel:int ->
+  Epic_ir.Program.t ->
+  Epic_sched.Layout.t ->
+  int64 array ->
+  int * string * t

@@ -1,0 +1,72 @@
+(* Register Stack Engine model (Section 4.4).  Each call pushes the callee's
+   stacked-register frame; when the cumulative resident count exceeds the 96
+   physical stacked registers, the RSE must spill the oldest frames to the
+   backing store (and fill them back on return), costing bus cycles that the
+   paper's Figure 5 shows as "register stack engine" time. *)
+
+type frame = { size : int; mutable resident : int }
+
+type t = {
+  mutable frames : frame list; (* innermost first *)
+  mutable resident_total : int;
+  mutable spills : int;
+  mutable fills : int;
+}
+
+let physical = Epic_ir.Reg.num_stacked_physical
+
+let create () = { frames = []; resident_total = 0; spills = 0; fills = 0 }
+
+(* Push a frame of [size] stacked registers; returns the spill cycles. *)
+let on_call t size =
+  let fr = { size; resident = size } in
+  t.frames <- fr :: t.frames;
+  t.resident_total <- t.resident_total + size;
+  let spilled = ref 0 in
+  (* spill oldest frames until we fit *)
+  let rec spill_oldest = function
+    | [] -> ()
+    | _ when t.resident_total <= physical -> ()
+    | [ oldest ] ->
+        let take = min oldest.resident (t.resident_total - physical) in
+        oldest.resident <- oldest.resident - take;
+        t.resident_total <- t.resident_total - take;
+        spilled := !spilled + take
+    | x :: tl ->
+        spill_oldest tl;
+        if t.resident_total > physical then begin
+          let take = min x.resident (t.resident_total - physical) in
+          x.resident <- x.resident - take;
+          t.resident_total <- t.resident_total - take;
+          spilled := !spilled + take
+        end
+  in
+  (match t.frames with _cur :: rest -> spill_oldest rest | [] -> ());
+  t.spills <- t.spills + !spilled;
+  !spilled * Epic_mach.Itanium.rse_spill_cost_per_reg
+
+(* Pop the current frame; the caller's frame must be fully resident again.
+   Returns the fill cycles. *)
+let on_return t =
+  match t.frames with
+  | [] -> 0
+  | cur :: rest ->
+      t.frames <- rest;
+      t.resident_total <- t.resident_total - cur.resident;
+      let fills =
+        match rest with
+        | caller :: _ ->
+            let need = caller.size - caller.resident in
+            caller.resident <- caller.size;
+            t.resident_total <- t.resident_total + need;
+            need
+        | [] -> 0
+      in
+      t.fills <- t.fills + fills;
+      fills * Epic_mach.Itanium.rse_spill_cost_per_reg
+
+let reset t =
+  t.frames <- [];
+  t.resident_total <- 0;
+  t.spills <- 0;
+  t.fills <- 0

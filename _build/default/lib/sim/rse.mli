@@ -1,0 +1,24 @@
+(** Register Stack Engine model (Section 4.4): calls push stacked-register
+    frames; when residency exceeds the 96 physical stacked registers the
+    RSE spills the oldest frames (and refills on return), costing the
+    cycles Figure 5 shows as "register stack engine". *)
+
+type frame = { size : int; mutable resident : int }
+
+type t = {
+  mutable frames : frame list;
+  mutable resident_total : int;
+  mutable spills : int;
+  mutable fills : int;
+}
+
+val physical : int
+val create : unit -> t
+
+(** Push a frame of [size] stacked registers; returns spill cycles. *)
+val on_call : t -> int -> int
+
+(** Pop the current frame, refilling the caller; returns fill cycles. *)
+val on_return : t -> int
+
+val reset : t -> unit

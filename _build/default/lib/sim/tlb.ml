@@ -1,0 +1,58 @@
+(* Fully-associative LRU data TLB (page size shared with Memimage). *)
+
+type t = {
+  entries : int;
+  pages : int64 array; (* -1 = invalid *)
+  age : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+let create ?(entries = 32) () =
+  {
+    entries;
+    pages = Array.make entries (-1L);
+    age = Array.make entries 0;
+    clock = 0;
+    accesses = 0;
+    misses = 0;
+  }
+
+let page_of (addr : int64) =
+  Int64.shift_right_logical addr Epic_ir.Memimage.page_bits
+
+(* Lookup without filling. *)
+let lookup t (addr : int64) =
+  t.accesses <- t.accesses + 1;
+  t.clock <- t.clock + 1;
+  let page = page_of addr in
+  let rec find k =
+    if k >= t.entries then None
+    else if Int64.equal t.pages.(k) page then Some k
+    else find (k + 1)
+  in
+  match find 0 with
+  | Some k ->
+      t.age.(k) <- t.clock;
+      true
+  | None ->
+      t.misses <- t.misses + 1;
+      false
+
+(* Install a translation (after a successful walk). *)
+let fill t (addr : int64) =
+  let page = page_of addr in
+  let victim = ref 0 in
+  for k = 1 to t.entries - 1 do
+    if t.age.(k) < t.age.(!victim) then victim := k
+  done;
+  t.pages.(!victim) <- page;
+  t.age.(!victim) <- t.clock
+
+let reset t =
+  Array.fill t.pages 0 t.entries (-1L);
+  Array.fill t.age 0 t.entries 0;
+  t.clock <- 0;
+  t.accesses <- 0;
+  t.misses <- 0

@@ -1,0 +1,22 @@
+(** Fully-associative LRU data TLB (page size shared with
+    [Epic_ir.Memimage]). *)
+
+type t = {
+  entries : int;
+  pages : int64 array;
+  age : int array;
+  mutable clock : int;
+  mutable accesses : int;
+  mutable misses : int;
+}
+
+val create : ?entries:int -> unit -> t
+val page_of : int64 -> int64
+
+(** Lookup without filling; counts the access. *)
+val lookup : t -> int64 -> bool
+
+(** Install a translation (after a successful walk). *)
+val fill : t -> int64 -> unit
+
+val reset : t -> unit

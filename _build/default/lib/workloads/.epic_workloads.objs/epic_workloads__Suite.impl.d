@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: List W_bzip2 W_crafty W_eon W_gap W_gcc W_gzip W_mcf W_parser W_perlbmk W_twolf W_vortex W_vpr Workload

@@ -1,0 +1,26 @@
+(* The twelve-benchmark suite in SPECint2000 order. *)
+
+let all : Workload.t list =
+  [
+    W_gzip.t;
+    W_vpr.t;
+    W_gcc.t;
+    W_mcf.t;
+    W_crafty.t;
+    W_parser.t;
+    W_eon.t;
+    W_perlbmk.t;
+    W_gap.t;
+    W_vortex.t;
+    W_bzip2.t;
+    W_twolf.t;
+  ]
+
+let find short = List.find_opt (fun (w : Workload.t) -> w.Workload.short = short) all
+
+let find_exn short =
+  match find short with
+  | Some w -> w
+  | None -> invalid_arg ("unknown workload " ^ short)
+
+let names = List.map (fun (w : Workload.t) -> w.Workload.short) all

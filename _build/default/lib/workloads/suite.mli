@@ -1,0 +1,9 @@
+(** The twelve-benchmark suite, in SPECint2000 order. *)
+
+val all : Workload.t list
+val find : string -> Workload.t option
+
+(** @raise Invalid_argument for an unknown short name. *)
+val find_exn : string -> Workload.t
+
+val names : string list

@@ -1,0 +1,105 @@
+(* 256.bzip2 stand-in: block transform compression — counting sort over
+   byte buckets, move-to-front coding and run-length emission.  Tight loops
+   with stores immediately feeding nearby loads model the store-to-load
+   micro-stalls the paper notes for bzip (micropipe category). *)
+
+let source =
+  {|
+int block[4096];
+int freq[256];
+int mtf[256];
+int out[4096];
+int rng;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int fill_block(int n, int alpha) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    block[i] = rand_next() % alpha;
+  }
+  return n;
+}
+
+// counting sort by byte value: store-then-load prefix sums
+int counting_pass(int n) {
+  int i; int acc;
+  for (i = 0; i < 256; i = i + 1) { freq[i] = 0; }
+  for (i = 0; i < n; i = i + 1) {
+    freq[block[i]] = freq[block[i]] + 1;
+  }
+  acc = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    acc = acc + freq[i];
+    freq[i] = acc;
+  }
+  return acc;
+}
+
+// move-to-front: inner shift loop, usually short for skewed data
+int mtf_pass(int n) {
+  int i; int v; int j; int prev; int cur; int sum;
+  for (i = 0; i < 256; i = i + 1) { mtf[i] = i; }
+  sum = 0;
+  for (i = 0; i < n; i = i + 1) {
+    v = block[i];
+    j = 0;
+    prev = mtf[0];
+    while (prev != v) {
+      cur = mtf[j + 1];
+      mtf[j + 1] = prev;
+      prev = cur;
+      j = j + 1;
+    }
+    mtf[0] = v;
+    out[i] = j;
+    sum = sum + j;
+  }
+  return sum;
+}
+
+// run-length emission of the MTF output
+int rle_pass(int n) {
+  int i; int runs; int run;
+  runs = 0;
+  i = 0;
+  while (i < n) {
+    run = 1;
+    while (i + run < n && out[i + run] == out[i] && run < 255) {
+      run = run + 1;
+    }
+    runs = runs + 1;
+    i = i + run;
+  }
+  return runs;
+}
+
+int main() {
+  int rounds; int n; int alpha; int r; int total;
+  rng = input(0);
+  rounds = input(1);
+  n = input(2);
+  alpha = input(3);
+  total = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    fill_block(n, alpha);
+    total = total + counting_pass(n);
+    total = total + mtf_pass(n);
+    total = total + rle_pass(n);
+    total = total % 10000000;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"256.bzip2" ~short:"bzip2"
+    ~description:"block compression: counting sort, MTF, RLE; store-to-load traffic"
+    ~source
+    ~train:[| 7L; 4L; 1200L; 10L |]
+    ~reference:[| 55L; 7L; 1800L; 14L |]
+    ()

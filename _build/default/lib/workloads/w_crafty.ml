@@ -1,0 +1,159 @@
+(* 186.crafty stand-in: chess position evaluation, the paper's motivating
+   example (Section 2.4).  Many distinct, branchy scoring routines give a
+   large instruction footprint; the piece-scan while loops typically execute
+   exactly once (ideal loop-peeling targets); evaluation is called for every
+   generated move, so I-cache behaviour under code-expanding transforms is
+   the phenomenon of interest. *)
+
+let source =
+  {|
+int board[64];
+int pawnrank[16];
+int rng;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int eval_pawns(int side) {
+  int i; int s; int p;
+  s = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    p = board[i];
+    if (p == 1 + side) {
+      s = s + 10;
+      if (pawnrank[i & 7] < (i >> 3)) { s = s + 4; } else { s = s - 2; }
+      if ((i & 7) == 0 || (i & 7) == 7) { s = s - 3; }
+    }
+  }
+  return s;
+}
+
+int eval_knights(int side) {
+  int i; int s; int p;
+  s = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    p = board[i];
+    if (p == 2 + side) {
+      s = s + 30;
+      if (i > 16 && i < 48) { s = s + 6; }
+      if (board[(i + 17) & 63] == 0) { s = s + 1; }
+      if (board[(i + 15) & 63] == 0) { s = s + 1; }
+    }
+  }
+  return s;
+}
+
+int eval_bishops(int side) {
+  int i; int s; int p; int d;
+  s = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    p = board[i];
+    if (p == 3 + side) {
+      s = s + 32;
+      d = i + 9;
+      // short diagonal scan: usually stops after one square
+      while (d < 64 && board[d] == 0) { s = s + 2; d = d + 9; }
+    }
+  }
+  return s;
+}
+
+int eval_rooks(int side) {
+  int i; int s; int p; int f;
+  s = 0;
+  for (i = 0; i < 64; i = i + 1) {
+    p = board[i];
+    if (p == 4 + side) {
+      s = s + 50;
+      f = i & 7;
+      if (pawnrank[f] == 0) { s = s + 8; }
+      if ((i >> 3) == 6) { s = s + 12; }
+    }
+  }
+  return s;
+}
+
+// the queen loops of Figure 3: each player typically has exactly one
+// queen, so each while loop body executes exactly once
+int eval_queens(int side) {
+  int sq; int s;
+  s = 0;
+  sq = 0;
+  while (sq < 64 && board[sq] != 5 + side) { sq = sq + 1; }
+  while (sq < 64) {
+    s = s + 90;
+    if (sq > 26 && sq < 37) { s = s + 5; }
+    sq = sq + 64;
+  }
+  return s;
+}
+
+int eval_king(int side) {
+  int sq; int s;
+  s = 0;
+  sq = 0;
+  while (sq < 64 && board[sq] != 6 + side) { sq = sq + 1; }
+  while (sq < 64) {
+    if ((sq & 7) > 4 || (sq & 7) < 2) { s = s + 9; } else { s = s - 6; }
+    sq = sq + 64;
+  }
+  return s;
+}
+
+int evaluate() {
+  int s;
+  s = eval_pawns(0) - eval_pawns(8);
+  s = s + eval_knights(0) - eval_knights(8);
+  s = s + eval_bishops(0) - eval_bishops(8);
+  s = s + eval_rooks(0) - eval_rooks(8);
+  s = s + eval_queens(0) - eval_queens(8);
+  s = s + eval_king(0) - eval_king(8);
+  return s;
+}
+
+// density shapes the position: piece count, pawn structure and queen
+// multiplicity all depend on it, so different inputs exercise different
+// branch biases and loop trip counts (profile variation, Section 4.6)
+int make_random_position(int density) {
+  int i; int n;
+  for (i = 0; i < 64; i = i + 1) { board[i] = 0; }
+  for (i = 0; i < 16; i = i + 1) { pawnrank[i] = rand_next() % (1 + density % 5); }
+  n = 6 + density + rand_next() % 12;
+  for (i = 0; i < n; i = i + 1) {
+    board[rand_next() & 63] = 1 + rand_next() % 6 + 8 * (rand_next() & 1);
+  }
+  // queen multiplicity depends on the density: sparse games usually have
+  // one queen per side (single-trip loops), dense ones promote extras
+  board[rand_next() & 63] = 5;
+  board[rand_next() & 63] = 13;
+  if (density > 10) {
+    board[rand_next() & 63] = 5;
+    if (rand_next() % 2 == 0) { board[rand_next() & 63] = 13; }
+  }
+  return n;
+}
+
+int main() {
+  int moves; int m; int total; int density;
+  rng = input(0);
+  moves = input(1);
+  density = input(2);
+  total = 0;
+  for (m = 0; m < moves; m = m + 1) {
+    make_random_position(density);
+    total = total + evaluate();
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"186.crafty" ~short:"crafty"
+    ~description:"chess evaluation: branchy scoring, one-trip queen loops, big footprint"
+    ~source
+    ~train:[| 31L; 160L; 4L |]
+    ~reference:[| 8L; 260L; 13L |]
+    ()

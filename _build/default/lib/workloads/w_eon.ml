@@ -1,0 +1,88 @@
+(* 252.eon stand-in: probabilistic ray tracing in a C++ style — virtual
+   dispatch through function-pointer tables where almost every call site is
+   monomorphic (the paper: "in the C++ program eon, monomorphic virtual
+   invocations"), plus floating-point shading math.  Pointer analysis is
+   disabled for this benchmark, as in the paper (no C++ support), so
+   indirect-call specialization and inlining carry the optimization. *)
+
+let source =
+  {|
+int rng;
+float lightx; float lighty;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+// "virtual methods": shade functions selected by object kind
+int shade_matte(int obj) {
+  float d;
+  d = lightx * (float) (obj & 15) + lighty;
+  if (d < 0.0) { d = 0.0 - d; }
+  return (int) (d * 8.0) + obj % 7;
+}
+
+int shade_metal(int obj) {
+  float d; float spec;
+  d = lightx + lighty * (float) (obj & 7);
+  spec = d * d * 0.4;
+  return (int) spec + obj % 5;
+}
+
+int shade_glass(int obj) {
+  float r;
+  r = 0.7 * lightx + 0.2 * (float) (obj & 3);
+  return (int) (r * 16.0);
+}
+
+int vtable[8];
+
+// object table: [kind; data] pairs; kind indexes the vtable
+int objects[512];
+
+int trace_ray(int x, int y, int nobjs) {
+  int i; int s; int obj; int kind; int fp;
+  s = 0;
+  for (i = 0; i < nobjs; i = i + 1) {
+    obj = objects[i * 2 + 1] + x * 3 + y;
+    kind = objects[i * 2];
+    fp = vtable[kind];
+    // indirect (virtual) call: 90%+ of sites resolve to shade_matte
+    s = s + (fp)(obj);
+  }
+  return s;
+}
+
+int main() {
+  int rays; int nobjs; int r; int total; int i; int k;
+  rng = input(0);
+  rays = input(1);
+  nobjs = input(2);
+  lightx = 0.6; lighty = 0.3;
+  vtable[0] = (int) &shade_matte;
+  vtable[1] = (int) &shade_metal;
+  vtable[2] = (int) &shade_glass;
+  for (i = 0; i < nobjs; i = i + 1) {
+    k = rand_next() % 20;
+    if (k < 18) { k = 0; } else { if (k == 18) { k = 1; } else { k = 2; } }
+    objects[i * 2] = k;
+    objects[i * 2 + 1] = rand_next() % 200;
+  }
+  total = 0;
+  for (r = 0; r < rays; r = r + 1) {
+    total = total + trace_ray(r % 37, r % 23, nobjs);
+    total = total % 10000000;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"252.eon" ~short:"eon" ~pointer_analysis:false
+    ~description:"ray tracing with monomorphic virtual calls and FP shading"
+    ~source
+    ~train:[| 3L; 220L; 60L |]
+    ~reference:[| 51L; 350L; 90L |]
+    ()

@@ -1,0 +1,79 @@
+(* 254.gap stand-in: computer-algebra kernels — arithmetic over heap-
+   allocated "bags" driven through a dispatch table of handlers (heavily
+   biased indirect calls, like gap's), plus otherwise highly-parallel loops
+   whose loads and stores go through pointers the analysis cannot fully
+   resolve (the paper: "pointer analysis is unable to resolve critical
+   spurious dependences in otherwise highly-parallel loops"). *)
+
+let source =
+  {|
+int rng;
+int handlers[4];
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int h_add(int x) { return (x + 17) % 65536; }
+int h_mul(int x) { return (x * 3) % 65536; }
+int h_neg(int x) { return (0 - x) & 65535; }
+
+// vector sum with pointers selected at runtime from a table: the analysis
+// sees all three buffers reaching both pointer slots, drawing spurious
+// dependence arcs in an otherwise parallel loop
+int bufsel[4];
+
+int vector_op(int *a, int *b, int *dst, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    dst[i] = (a[i] * 3 + b[i]) % 32768;
+  }
+  return dst[0];
+}
+
+int main() {
+  int rounds; int n; int r; int total; int i; int k; int fp; int bias;
+  int *x; int *y; int *z; int *pick;
+  rng = input(0);
+  rounds = input(1);
+  n = input(2);
+  bias = input(3);
+  handlers[0] = (int) &h_add;
+  handlers[1] = (int) &h_mul;
+  handlers[2] = (int) &h_neg;
+  x = malloc(n * 8);
+  y = malloc(n * 8);
+  z = malloc(n * 8);
+  for (i = 0; i < n; i = i + 1) {
+    x[i] = rand_next();
+    y[i] = rand_next();
+    z[i] = 0;
+  }
+  total = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    // runtime-selected buffers obscure independence
+    if (r % 3 == 0) { pick = x; } else { if (r % 3 == 1) { pick = y; } else { pick = z; } }
+    total = total + vector_op(pick, y, z, n);
+    // dispatch-heavy scalar pass: the handler mix depends on the input
+    // (profile variation), dominated by h_add at high bias
+    for (i = 0; i < n; i = i + 1) {
+      k = rand_next() % 20;
+      if (k < bias) { k = 0; } else { if (k < bias + 2) { k = 1; } else { k = 2; } }
+      fp = handlers[k];
+      z[i] = (fp)(z[i]);
+    }
+    total = (total + z[n - 1]) % 1000000;
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"254.gap" ~short:"gap"
+    ~description:"algebra kernels: biased handler dispatch, spurious loop deps"
+    ~source
+    ~train:[| 3L; 25L; 220L; 17L |]
+    ~reference:[| 19L; 40L; 300L; 11L |]
+    ()

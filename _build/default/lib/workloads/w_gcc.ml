@@ -1,0 +1,111 @@
+(* 176.gcc stand-in: compiler-like traversal of a heap-allocated expression
+   tree whose nodes carry a pointer/integer UNION payload — the pattern that
+   produces the paper's "wild loads" (Section 4.3): once the guarded
+   dereference of the union is control-speculated (predicate promotion under
+   ILP-CS with the general model), the off-path executions present integer
+   garbage as an address and chase spurious page faults in the kernel. *)
+
+let source =
+  {|
+int rng;
+int nnodes;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+// node layout: [0]=tag, [1]=payload (int or int* depending on tag),
+// [2]=left child, [3]=right child (0 = none)
+int *build(int depth) {
+  int *n; int *leaf;
+  n = malloc(32);
+  nnodes = nnodes + 1;
+  if (rand_next() % 4 == 0) {
+    // boxed payload: tag 1, payload is a pointer
+    leaf = malloc(8);
+    leaf[0] = rand_next();
+    n[0] = 1;
+    n[1] = (int) leaf;
+  } else {
+    // immediate payload: tag 0, payload is a small integer that is NOT a
+    // valid address
+    n[0] = 0;
+    n[1] = rand_next() + 600;
+  }
+  if (depth > 0 && rand_next() % 3 != 0) { n[2] = (int) build(depth - 1); } else { n[2] = 0; }
+  if (depth > 0 && rand_next() % 3 != 0) { n[3] = (int) build(depth - 1); } else { n[3] = 0; }
+  return n;
+}
+
+// fold the tree; the boxed-payload deref is the wild-load candidate
+int walk(int *n) {
+  int t; int v; int s;
+  if ((int) n == 0) { return 0; }
+  t = n[0];
+  v = n[1];
+  if (t == 1) { s = *((int*) v); } else { s = v; }
+  return s + walk((int*) n[2]) + walk((int*) n[3]);
+}
+
+// constant folding pass: rewrites immediate nodes, biased branches
+int fold(int *n) {
+  int changed; int v;
+  if ((int) n == 0) { return 0; }
+  changed = 0;
+  if (n[0] == 0) {
+    v = n[1];
+    if (v % 2 == 0) { n[1] = v / 2 + 601; changed = 1; }
+  }
+  return changed + fold((int*) n[2]) + fold((int*) n[3]);
+}
+
+int costtab[64];
+
+// instruction-selection pass: table-driven cost estimation, branchy but
+// union-free — the bulk of a compiler's time
+int select_insns(int *n, int depth) {
+  int c; int v; int k;
+  if ((int) n == 0) { return 0; }
+  v = n[1] & 63;
+  c = costtab[v];
+  if (n[0] == 0) {
+    if (v < 16) { c = c + 2; } else { if (v < 40) { c = c + 5; } else { c = c + 9; } }
+    if ((v & 1) == 0) { c = c + 1; }
+  } else {
+    c = c + 12;
+  }
+  k = depth & 7;
+  if (k > 4) { c = c + costtab[k * 8]; }
+  return c + select_insns((int*) n[2], depth + 1) + select_insns((int*) n[3], depth + 1);
+}
+
+int main() {
+  int rounds; int depth; int r; int total; int *root; int i;
+  rng = input(0);
+  rounds = input(1);
+  depth = input(2);
+  total = 0;
+  nnodes = 0;
+  for (i = 0; i < 64; i = i + 1) { costtab[i] = i % 11; }
+  root = build(depth);
+  for (r = 0; r < rounds; r = r + 1) {
+    // the union-dereferencing pass runs on a fraction of the rounds
+    if (r % 5 == 0) { total = total + walk(root) % 100000; }
+    total = total + fold(root);
+    total = total + select_insns(root, 0);
+    total = total % 1000000;
+  }
+  print_int(nnodes);
+  print_int(total);
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"176.gcc" ~short:"gcc"
+    ~description:"expression-tree passes with pointer/int unions (wild loads)"
+    ~source
+    ~train:[| 5L; 60L; 9L |]
+    ~reference:[| 77L; 90L; 10L |]
+    ()

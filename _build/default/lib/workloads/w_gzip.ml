@@ -1,0 +1,97 @@
+(* 164.gzip stand-in: LZ77-style compression with hash-chain match finding.
+   Dominated by tight counted loops (match comparison), table lookups and
+   biased branches — the kind of code where region formation and unrolling
+   sustain high planned IPC (gzip has planned IPC > 3.0 in the paper). *)
+
+let source =
+  {|
+int buffer[4096];
+int hashhead[256];
+int hashprev[4096];
+int litcount[64];
+int rng;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int fill_buffer(int n, int spread) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    buffer[i] = rand_next() % spread;
+  }
+  return n;
+}
+
+int hash3(int pos) {
+  int h;
+  h = buffer[pos] * 31 + buffer[pos + 1] * 7 + buffer[pos + 2];
+  return h & 255;
+}
+
+// length of the match between positions a and b, capped
+int match_length(int a, int b, int maxlen) {
+  int len;
+  len = 0;
+  while (len < maxlen && buffer[a + len] == buffer[b + len]) {
+    len = len + 1;
+  }
+  return len;
+}
+
+int deflate(int n) {
+  int pos; int out; int h; int cand; int best; int bestpos;
+  int chain; int len;
+  out = 0;
+  for (pos = 0; pos < n - 8; pos = pos + 1) {
+    h = hash3(pos);
+    cand = hashhead[h];
+    best = 0;
+    bestpos = 0;
+    chain = 0;
+    while (cand > 0 && chain < 8) {
+      len = match_length(cand, pos, 8);
+      if (len > best) { best = len; bestpos = cand; }
+      cand = hashprev[cand & 4095];
+      chain = chain + 1;
+    }
+    hashprev[pos & 4095] = hashhead[h];
+    hashhead[h] = pos;
+    if (best >= 3) {
+      // emit a match: skip ahead
+      out = out + 2;
+      pos = pos + best - 1;
+      litcount[best & 63] = litcount[best & 63] + 1;
+    } else {
+      out = out + 1;
+      litcount[buffer[pos] & 63] = litcount[buffer[pos] & 63] + 1;
+    }
+  }
+  return out;
+}
+
+int main() {
+  int rounds; int n; int spread; int r; int total; int i;
+  rng = input(0);
+  rounds = input(1);
+  n = input(2);
+  spread = input(3);
+  total = 0;
+  for (r = 0; r < rounds; r = r + 1) {
+    fill_buffer(n, spread);
+    total = total + deflate(n);
+  }
+  for (i = 0; i < 8; i = i + 1) { print_int(litcount[i]); }
+  print_int(total);
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"164.gzip" ~short:"gzip"
+    ~description:"LZ77 hash-chain compression: counted loops, high ILP"
+    ~source
+    ~train:[| 42L; 3L; 1400L; 7L |]
+    ~reference:[| 1234L; 6L; 2000L; 6L |]
+    ()

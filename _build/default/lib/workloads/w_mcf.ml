@@ -1,0 +1,78 @@
+(* 181.mcf stand-in: network-simplex-style pricing over a scattered linked
+   arc list — serial pointer chasing with poor locality.  Dominated by data
+   cache misses that the compiler cannot plan for; the paper shows mcf flat
+   across all optimization levels (speedup ~1.0) because runtime memory
+   stalls swamp any planned-ILP gain. *)
+
+let source =
+  {|
+int rng;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+// arc layout: [0]=cost, [1]=flow, [2]=next arc (pointer), [3]=head node id
+int *build_arcs(int n, int stride) {
+  int *first; int *a; int *nxt; int i; int k;
+  first = malloc(32);
+  a = first;
+  for (i = 1; i < n; i = i + 1) {
+    // scatter allocations to defeat locality
+    for (k = 0; k < stride; k = k + 1) { nxt = malloc(32); }
+    nxt = malloc(32);
+    a[0] = rand_next() % 1000 - 500;
+    a[1] = 0;
+    a[2] = (int) nxt;
+    a[3] = rand_next() % 512;
+    a = nxt;
+  }
+  a[0] = 0; a[1] = 0; a[2] = 0; a[3] = 0;
+  return first;
+}
+
+int potential[512];
+
+// one pricing sweep: chase the arc list, update flows on negative reduced
+// cost (biased branch), serial dependence through the pointer chain
+int price_sweep(int *first) {
+  int *a; int count; int red;
+  a = first;
+  count = 0;
+  while ((int) a != 0) {
+    red = a[0] + potential[a[3]];
+    if (red < 0) {
+      a[1] = a[1] + 1;
+      potential[a[3]] = potential[a[3]] + 1;
+      count = count + 1;
+    }
+    a = (int*) a[2];
+  }
+  return count;
+}
+
+int main() {
+  int arcs; int sweeps; int stride; int i; int total; int *first;
+  rng = input(0);
+  arcs = input(1);
+  sweeps = input(2);
+  stride = input(3);
+  for (i = 0; i < 512; i = i + 1) { potential[i] = rand_next() % 200 - 100; }
+  first = build_arcs(arcs, stride);
+  total = 0;
+  for (i = 0; i < sweeps; i = i + 1) {
+    total = total + price_sweep(first);
+  }
+  print_int(total);
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"181.mcf" ~short:"mcf"
+    ~description:"pointer-chasing network pricing: data-cache bound"
+    ~source
+    ~train:[| 11L; 900L; 18L; 3L |]
+    ~reference:[| 23L; 1500L; 25L; 4L |]
+    ()

@@ -1,0 +1,118 @@
+(* 197.parser stand-in: dictionary lookup and link-grammar-like recursive
+   matching over tokenized "sentences".  Character-loop string comparison,
+   hash probing and recursion with many simultaneously-live temporaries —
+   the register-pressure benchmark of Section 4.4. *)
+
+let source =
+  {|
+int dict[2048];
+int dictlen[512];
+int rng;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+// word w stored as 4 ints at dict[4w..]; compare two words
+int word_eq(int a, int b) {
+  int i;
+  i = 0;
+  while (i < 4) {
+    if (dict[a * 4 + i] != dict[b * 4 + i]) { return 0; }
+    i = i + 1;
+  }
+  return 1;
+}
+
+int hash_word(int w) {
+  int h;
+  h = dict[w * 4] * 131 + dict[w * 4 + 1] * 31 + dict[w * 4 + 2] * 7
+      + dict[w * 4 + 3];
+  return h & 511;
+}
+
+int buckets[512];
+
+int lookup(int w) {
+  int b; int probes;
+  b = hash_word(w);
+  probes = 0;
+  while (probes < 16) {
+    if (buckets[b] == 0) { return 0 - 1; }
+    if (word_eq(buckets[b] - 1, w)) { return buckets[b] - 1; }
+    b = (b + 1) & 511;
+    probes = probes + 1;
+  }
+  return 0 - 1;
+}
+
+int insert(int w) {
+  int b; int probes;
+  b = hash_word(w);
+  probes = 0;
+  while (buckets[b] != 0 && probes < 16) {
+    b = (b + 1) & 511;
+    probes = probes + 1;
+  }
+  buckets[b] = w + 1;
+  return b;
+}
+
+int sentence[32];
+
+// recursive cost of linking words l..r; register-heavy expression mix
+int link_cost(int l, int r, int depth) {
+  int mid; int best; int c; int a1; int a2; int a3; int a4;
+  if (r - l < 2 || depth > 5) {
+    a1 = sentence[l & 31];
+    a2 = sentence[r & 31];
+    return (a1 * 3 + a2 * 5) % 97;
+  }
+  best = 1000000;
+  mid = l + 1;
+  while (mid < r) {
+    a1 = link_cost(l, mid, depth + 1);
+    a2 = link_cost(mid, r, depth + 1);
+    a3 = (sentence[l & 31] + sentence[mid & 31]) % 53;
+    a4 = (sentence[mid & 31] * sentence[r & 31] + 11) % 89;
+    c = a1 + a2 + a3 + a4;
+    if (c < best) { best = c; }
+    mid = mid + 2;
+  }
+  return best;
+}
+
+int main() {
+  int words; int sentences; int len; int s; int i; int w; int total; int found;
+  rng = input(0);
+  words = input(1);
+  sentences = input(2);
+  len = input(3);
+  total = 0;
+  found = 0;
+  for (w = 0; w < words; w = w + 1) {
+    for (i = 0; i < 4; i = i + 1) { dict[w * 4 + i] = rand_next() % 26; }
+    dictlen[w] = 2 + rand_next() % 3;
+    insert(w);
+  }
+  for (s = 0; s < sentences; s = s + 1) {
+    for (i = 0; i < len; i = i + 1) {
+      sentence[i & 31] = rand_next() % words;
+      if (lookup(sentence[i & 31]) >= 0) { found = found + 1; }
+    }
+    total = total + link_cost(0, len - 1, 0);
+  }
+  print_int(found);
+  print_int(total);
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"197.parser" ~short:"parser"
+    ~description:"dictionary + link-grammar matching: recursion, register pressure"
+    ~source
+    ~train:[| 17L; 300L; 25L; 12L |]
+    ~reference:[| 29L; 420L; 35L; 14L |]
+    ()

@@ -1,0 +1,106 @@
+(* 253.perlbmk stand-in: a bytecode interpreter — opcode dispatch through a
+   biased if-chain, a small operand stack, string-hash builtins.  The mix of
+   executed opcodes depends strongly on the input "script", which makes the
+   benchmark sensitive to profile variation (Section 4.6); pointer analysis
+   is disabled (as in the paper, for scalability). *)
+
+let source =
+  {|
+int code[2048];
+int stack[64];
+int vars[64];
+int rng;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+int hash_builtin(int v) {
+  int h; int i;
+  h = v;
+  for (i = 0; i < 4; i = i + 1) {
+    h = h * 31 + (v >> (i * 8));
+    h = h & 65535;
+  }
+  return h;
+}
+
+// generate a random program; opcode distribution controlled by [bias] so
+// train and reference inputs exercise different mixes
+int gen_program(int n, int bias) {
+  int i; int op;
+  for (i = 0; i < n; i = i + 1) {
+    op = rand_next() % 100;
+    if (op < bias) { op = 0; }
+    // push const
+    else { if (op < bias + 20) { op = 1; }
+    // add
+    else { if (op < bias + 35) { op = 2; }
+    // load var
+    else { if (op < bias + 50) { op = 3; }
+    // store var
+    else { if (op < bias + 58) { op = 4; }
+    // hash builtin
+    else { op = 5; } } } } }
+    // branch-if-zero
+    code[i * 2] = op;
+    code[i * 2 + 1] = rand_next() % 64;
+  }
+  return n;
+}
+
+int interp(int n, int steps) {
+  int pc; int sp; int op; int arg; int a; int b; int executed;
+  pc = 0; sp = 0; executed = 0;
+  while (executed < steps) {
+    if (pc >= n) { pc = 0; }
+    op = code[pc * 2];
+    arg = code[pc * 2 + 1];
+    executed = executed + 1;
+    if (op == 0) {
+      if (sp < 60) { stack[sp] = arg; sp = sp + 1; }
+      pc = pc + 1;
+    } else { if (op == 1) {
+      if (sp >= 2) { a = stack[sp - 1]; b = stack[sp - 2]; sp = sp - 1; stack[sp - 1] = (a + b) % 100000; }
+      pc = pc + 1;
+    } else { if (op == 2) {
+      if (sp < 60) { stack[sp] = vars[arg]; sp = sp + 1; }
+      pc = pc + 1;
+    } else { if (op == 3) {
+      if (sp >= 1) { sp = sp - 1; vars[arg] = stack[sp]; }
+      pc = pc + 1;
+    } else { if (op == 4) {
+      if (sp >= 1) { stack[sp - 1] = hash_builtin(stack[sp - 1]); }
+      pc = pc + 1;
+    } else {
+      // branch-if-zero
+      if (sp >= 1) {
+        sp = sp - 1;
+        if (stack[sp] == 0) { pc = pc + arg % 7 + 1; } else { pc = pc + 1; }
+      } else { pc = pc + 1; }
+    } } } } }
+  }
+  return vars[0] + vars[1] + stack[0];
+}
+
+int main() {
+  int n; int steps; int bias; int total;
+  rng = input(0);
+  n = input(1);
+  steps = input(2);
+  bias = input(3);
+  gen_program(n, bias);
+  total = interp(n, steps);
+  print_int(total);
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"253.perlbmk" ~short:"perlbmk" ~pointer_analysis:false
+    ~description:"bytecode interpreter: biased dispatch, profile-sensitive mix"
+    ~source
+    ~train:[| 13L; 400L; 30000L; 35L |]
+    ~reference:[| 97L; 700L; 45000L; 20L |]
+    ()

@@ -1,0 +1,92 @@
+(* 300.twolf stand-in: standard-cell placement by annealing — neighborhood
+   cost evaluation with short, LUKEWARM inner loops: the net-scan loop
+   usually runs once but re-enters a nontrivial fraction of the time, so
+   peeling leaves a remainder loop that is itself warm.  This recreates the
+   paper's twolf observation: peel + specialization of a lukewarm remainder
+   creates two warm code copies and measurable I-cache pressure. *)
+
+let source =
+  {|
+int cellpos[512];
+int netlist[2048];
+int netstart[513];
+int rng;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+// cost of the nets touching cell c: the while loop usually makes exactly
+// one pass, sometimes two or three (lukewarm remainder after peeling)
+int cell_cost(int c) {
+  int k; int s; int last; int other;
+  s = 0;
+  k = netstart[c];
+  last = netstart[c + 1];
+  while (k < last) {
+    other = netlist[k];
+    if (other > c) { s = s + cellpos[other] - cellpos[c]; }
+    else { s = s + cellpos[c] - cellpos[other]; }
+    if (s < 0) { s = 0 - s; }
+    k = k + 1;
+  }
+  return s;
+}
+
+int try_move(int c, int delta) {
+  int before; int after; int oldpos;
+  before = cell_cost(c);
+  oldpos = cellpos[c];
+  cellpos[c] = oldpos + delta;
+  after = cell_cost(c);
+  if (after <= before) { return 1; }
+  cellpos[c] = oldpos;
+  return 0;
+}
+
+int anneal(int cells, int moves) {
+  int m; int c; int delta; int accepted;
+  accepted = 0;
+  for (m = 0; m < moves; m = m + 1) {
+    c = rand_next() % cells;
+    delta = rand_next() % 9 - 4;
+    accepted = accepted + try_move(c, delta);
+  }
+  return accepted;
+}
+
+int main() {
+  int cells; int moves; int i; int k; int deg; int pos;
+  rng = input(0);
+  cells = input(1);
+  moves = input(2);
+  pos = 0;
+  for (i = 0; i < cells; i = i + 1) {
+    cellpos[i] = rand_next() % 1000;
+    netstart[i] = pos;
+    // degree 1 most of the time, occasionally 2-4: lukewarm loop
+    deg = 1;
+    k = rand_next() % 10;
+    if (k > 6) { deg = 2; }
+    if (k > 8) { deg = 4; }
+    k = 0;
+    while (k < deg && pos < 2040) {
+      netlist[pos] = rand_next() % cells;
+      pos = pos + 1;
+      k = k + 1;
+    }
+  }
+  netstart[cells] = pos;
+  print_int(anneal(cells, moves));
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"300.twolf" ~short:"twolf"
+    ~description:"cell placement: lukewarm net-scan loops, peel remainders"
+    ~source
+    ~train:[| 9L; 300L; 2200L |]
+    ~reference:[| 41L; 480L; 3600L |]
+    ()

@@ -1,0 +1,130 @@
+(* 255.vortex stand-in: an object-oriented in-memory database — object
+   allocation, hash-indexed lookup, field updates and object copies through
+   memcpy, spread over many small accessor functions.  Inlining and region
+   formation give vortex the paper's largest ILP gain (1.50); the memcpy
+   and allocator time, being "library code", stays unoptimizable (the
+   Figure 10 effect). *)
+
+let source =
+  {|
+int rng;
+int index_tbl[1024];
+int live_objects;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+// object layout: [0]=key, [1]=kind, [2..5]=fields, [6]=version, [7]=pad
+int *oa_create(int key, int kind) {
+  int *o;
+  o = malloc(64);
+  o[0] = key;
+  o[1] = kind;
+  o[2] = key * 3; o[3] = key % 97; o[4] = 0; o[5] = kind * 7;
+  o[6] = 1;
+  live_objects = live_objects + 1;
+  return o;
+}
+
+int hm_slot(int key) { return (key * 2654435761) & 1023; }
+
+int hm_insert(int *o) {
+  int s; int probes;
+  s = hm_slot(o[0]);
+  probes = 0;
+  while (index_tbl[s] != 0 && probes < 24) {
+    s = (s + 1) & 1023;
+    probes = probes + 1;
+  }
+  index_tbl[s] = (int) o;
+  return s;
+}
+
+int *hm_get(int key) {
+  int s; int probes; int *o;
+  s = hm_slot(key);
+  probes = 0;
+  while (probes < 24) {
+    if (index_tbl[s] == 0) { return (int*) 0; }
+    o = (int*) index_tbl[s];
+    if (o[0] == key) { return o; }
+    s = (s + 1) & 1023;
+    probes = probes + 1;
+  }
+  return (int*) 0;
+}
+
+int oa_get_field(int *o, int f) { return o[2 + (f & 3)]; }
+int oa_put_field(int *o, int f, int v) { o[2 + (f & 3)] = v; o[6] = o[6] + 1; return v; }
+int oa_validate(int *o) {
+  if (o[6] < 1) { return 0; }
+  if (o[1] < 0 || o[1] > 15) { return 0; }
+  return 1;
+}
+
+// clone an object through the library memcpy
+int *oa_clone(int *o) {
+  int *c;
+  c = malloc(64);
+  memcpy((int) c, (int) o, 64);
+  c[0] = o[0] + 100000;
+  live_objects = live_objects + 1;
+  return c;
+}
+
+// report generation: field arithmetic over one object, biased branches —
+// the straight-line-able hot path region formation thrives on
+int oa_report(int *o, int salt) {
+  int s; int k; int v;
+  s = o[2] * 3 + o[3];
+  v = o[4] + salt;
+  if (v > 500) { s = s + v / 2; } else { s = s + v * 2; }
+  if (o[1] < 6) { s = s + 7; } else { s = s - 3; }
+  k = (o[5] + salt) & 15;
+  if (k > 11) { s = s + k * k; }
+  s = s + o[6];
+  return s % 100000;
+}
+
+int main() {
+  int objs; int txns; int i; int t; int key; int total; int *o; int *c;
+  rng = input(0);
+  objs = input(1);
+  txns = input(2);
+  live_objects = 0;
+  for (i = 0; i < objs; i = i + 1) {
+    o = oa_create(i * 7 + 1, i % 12);
+    hm_insert(o);
+  }
+  total = 0;
+  for (t = 0; t < txns; t = t + 1) {
+    key = (rand_next() % objs) * 7 + 1;
+    o = hm_get(key);
+    if ((int) o != 0) {
+      if (oa_validate(o)) {
+        total = total + oa_get_field(o, t);
+        oa_put_field(o, t + 1, total % 1000);
+        total = total + oa_report(o, t & 1023);
+        if (t % 64 == 0) {
+          c = oa_clone(o);
+          total = total + oa_get_field(c, 2);
+        }
+      }
+    }
+    total = total % 10000000;
+  }
+  print_int(live_objects);
+  print_int(total);
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"255.vortex" ~short:"vortex"
+    ~description:"OO database: hash index, small accessors, memcpy clones"
+    ~source
+    ~train:[| 5L; 150L; 2500L |]
+    ~reference:[| 71L; 260L; 5000L |]
+    ()

@@ -1,0 +1,92 @@
+(* 175.vpr stand-in: FPGA placement by simulated annealing — floating-point
+   cost evaluation over a grid, swap accept/reject with a biased branch.
+   Exercises the FP pipelines (float scoreboard category) and if-conversion
+   of the accept test. *)
+
+let source =
+  {|
+int cellx[400];
+int celly[400];
+int netfrom[600];
+int netto[600];
+int rng;
+
+int rand_next() {
+  rng = rng * 1103515245 + 12345;
+  return (rng >> 16) & 32767;
+}
+
+float net_cost(int net) {
+  float dx; float dy;
+  int a; int b;
+  a = netfrom[net];
+  b = netto[net];
+  dx = (float) (cellx[a] - cellx[b]);
+  dy = (float) (celly[a] - celly[b]);
+  if (dx < 0.0) { dx = -dx; }
+  if (dy < 0.0) { dy = -dy; }
+  return dx + dy * 1.1;
+}
+
+float total_cost(int nets) {
+  float c;
+  int i;
+  c = 0.0;
+  for (i = 0; i < nets; i = i + 1) {
+    c = c + net_cost(i);
+  }
+  return c;
+}
+
+int anneal(int cells, int nets, int moves) {
+  int m; int a; int b; int tx; int ty; int accepted;
+  float before; float after;
+  accepted = 0;
+  for (m = 0; m < moves; m = m + 1) {
+    a = rand_next() % cells;
+    b = rand_next() % cells;
+    before = total_cost(nets);
+    // swap positions
+    tx = cellx[a]; ty = celly[a];
+    cellx[a] = cellx[b]; celly[a] = celly[b];
+    cellx[b] = tx; celly[b] = ty;
+    after = total_cost(nets);
+    if (after < before + 2.5) {
+      accepted = accepted + 1;
+    } else {
+      // undo
+      tx = cellx[a]; ty = celly[a];
+      cellx[a] = cellx[b]; celly[a] = celly[b];
+      cellx[b] = tx; celly[b] = ty;
+    }
+  }
+  return accepted;
+}
+
+int main() {
+  int cells; int nets; int moves; int i;
+  rng = input(0);
+  cells = input(1);
+  nets = input(2);
+  moves = input(3);
+  for (i = 0; i < cells; i = i + 1) {
+    cellx[i] = rand_next() % 64;
+    celly[i] = rand_next() % 64;
+  }
+  for (i = 0; i < nets; i = i + 1) {
+    netfrom[i] = rand_next() % cells;
+    netto[i] = rand_next() % cells;
+  }
+  print_int(anneal(cells, nets, moves));
+  print_int((int) total_cost(nets));
+  return 0;
+}
+|}
+
+let t =
+  Workload.make ~name:"175.vpr" ~short:"vpr"
+    ~description:"simulated-annealing placement: FP cost, biased accept test"
+    ~source
+    ~train:[| 7L; 120L; 200L; 40L |]
+    ~reference:[| 99L; 200L; 320L; 60L |]
+    ()

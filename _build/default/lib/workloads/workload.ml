@@ -1,0 +1,18 @@
+(* A workload: a mini-C program standing in for one SPECint2000 benchmark,
+   with distinct training and reference inputs (SPEC run rules) and the
+   per-benchmark compiler quirks the paper reports (pointer analysis is
+   disabled for eon and perlbmk). *)
+
+type t = {
+  name : string; (* SPEC-style name, e.g. "164.gzip" *)
+  short : string; (* "gzip" *)
+  description : string;
+  source : string; (* mini-C text *)
+  train : int64 array;
+  reference : int64 array;
+  pointer_analysis : bool;
+}
+
+let make ?(pointer_analysis = true) ~name ~short ~description ~source ~train
+    ~reference () =
+  { name; short; description; source; train; reference; pointer_analysis }

@@ -1,0 +1,25 @@
+(** A workload: a mini-C program standing in for one SPECint2000 benchmark,
+    with distinct training and reference inputs (SPEC run rules) and the
+    per-benchmark compiler quirks the paper reports. *)
+
+type t = {
+  name : string;  (** SPEC-style name, e.g. ["164.gzip"] *)
+  short : string;  (** e.g. ["gzip"] *)
+  description : string;
+  source : string;  (** mini-C text *)
+  train : int64 array;  (** profiling input *)
+  reference : int64 array;  (** evaluation input *)
+  pointer_analysis : bool;
+      (** false for eon and perlbmk, as in the paper *)
+}
+
+val make :
+  ?pointer_analysis:bool ->
+  name:string ->
+  short:string ->
+  description:string ->
+  source:string ->
+  train:int64 array ->
+  reference:int64 array ->
+  unit ->
+  t

@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_analysis Test_frontend Test_ilp Test_integration Test_ir Test_opt Test_sched Test_sim Test_workload_shapes

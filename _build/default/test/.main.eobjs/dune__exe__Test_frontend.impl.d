@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Epic_frontend Epic_ir Lexer List Lower Parser String

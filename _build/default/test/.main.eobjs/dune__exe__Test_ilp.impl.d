@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Block Builder Epic_analysis Epic_core Epic_frontend Epic_ilp Epic_ir Epic_opt Epic_workloads Func Hashtbl Instr Interp List Opcode Operand Program Reg String Verify

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Epic_core Epic_frontend Epic_ir Epic_sim Epic_workloads List Printf QCheck QCheck_alcotest String

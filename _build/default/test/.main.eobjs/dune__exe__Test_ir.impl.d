@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Block Builder Epic_frontend Epic_ir Func Hashtbl Instr Int64 Interp List Memimage Opcode Operand Option Program Reg String Verify

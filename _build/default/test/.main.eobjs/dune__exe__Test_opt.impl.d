@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Epic_analysis Epic_frontend Epic_ir Epic_opt Func Instr Interp List Opcode Program String Verify

@@ -1,0 +1,1 @@
+test/test_sim.ml: Accounting Alcotest Branch_pred Builder Cache Epic_core Epic_frontend Epic_ir Epic_sched Epic_sim Func Instr Int64 List Machine Opcode Operand Program Rse Tlb

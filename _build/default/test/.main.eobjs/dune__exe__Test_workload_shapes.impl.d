@@ -1,0 +1,1 @@
+test/test_workload_shapes.ml: Accounting Alcotest Epic_core Epic_ilp Epic_sim Epic_workloads Machine Printf

@@ -1,0 +1,14 @@
+(* Full test suite: `dune runtest`. *)
+let () =
+  Alcotest.run "epic"
+    [
+      ("ir", Test_ir.suite);
+      ("frontend", Test_frontend.suite);
+      ("analysis", Test_analysis.suite);
+      ("opt", Test_opt.suite);
+      ("ilp", Test_ilp.suite);
+      ("sched", Test_sched.suite);
+      ("sim", Test_sim.suite);
+      ("integration", Test_integration.suite);
+      ("paper-shapes", Test_workload_shapes.suite);
+    ]

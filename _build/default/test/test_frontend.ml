@@ -1,0 +1,203 @@
+(* Frontend tests: lexer token streams, parser error reporting and AST
+   shapes, and lowering checked through interpreter semantics. *)
+
+open Epic_frontend
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cs = Alcotest.string
+let cb = Alcotest.bool
+
+let toks src = List.map fst (Lexer.tokenize src)
+
+let test_lexer_basic () =
+  check ci "token count" 6 (List.length (toks "int x = 42 ;"));
+  (* the list ends with EOF *)
+  check cb "ends with EOF" true (List.mem Lexer.EOF (toks ""))
+
+let test_lexer_operators () =
+  let ts = toks "a <= b >> 2 && c != ~d" in
+  check cb "LE" true (List.mem Lexer.LE_OP ts);
+  check cb "SHR" true (List.mem Lexer.SHR_OP ts);
+  check cb "ANDAND" true (List.mem Lexer.ANDAND ts);
+  check cb "NE" true (List.mem Lexer.NE_OP ts);
+  check cb "TILDE" true (List.mem Lexer.TILDE ts)
+
+let test_lexer_comments () =
+  check ci "line comments skipped" 3 (List.length (toks "x // hello\ny"));
+  check ci "block comments skipped" 4 (List.length (toks "a /* b c d */ e f"))
+
+let test_lexer_numbers () =
+  match toks "123 4.5" with
+  | [ Lexer.NUM n; Lexer.FNUM f; Lexer.EOF ] ->
+      check Alcotest.int64 "int" 123L n;
+      check (Alcotest.float 1e-9) "float" 4.5 f
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lexer_error () =
+  check cb "bad char flagged with line" true
+    (try
+       ignore (Lexer.tokenize "int x;\n$");
+       false
+     with Lexer.Lex_error (_, 2) -> true)
+
+let test_parser_precedence () =
+  (* 2 + 3 * 4 must parse as 2 + (3 * 4): verified through evaluation *)
+  let p = Lower.compile_source "int main() { print_int(2 + 3 * 4); print_int((2 + 3) * 4); return 0; }" in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "precedence" "14\n20" (String.trim out)
+
+let test_parser_dangling_else () =
+  let p =
+    Lower.compile_source
+      "int main() { int x; x = 0; if (1) if (0) x = 1; else x = 2; print_int(x); return 0; }"
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "else binds to inner if" "2" (String.trim out)
+
+let test_parser_ternary () =
+  let p =
+    Lower.compile_source
+      "int main() { int a; a = 5; print_int(a > 3 ? a * 2 : a - 1); print_int(a < 3 ? 7 : 8); return 0; }"
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "ternary" "10\n8" (String.trim out)
+
+let test_parser_for_with_empty_parts () =
+  let p =
+    Lower.compile_source
+      "int main() { int i; i = 0; for (;;) { i = i + 1; if (i > 4) { break; } } print_int(i); return 0; }"
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "empty for header" "5" (String.trim out)
+
+let test_parser_do_while () =
+  let p =
+    Lower.compile_source
+      "int main() { int i; i = 10; do { i = i + 1; } while (i < 5); print_int(i); return 0; }"
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "do body runs once" "11" (String.trim out)
+
+let test_parser_continue () =
+  let p =
+    Lower.compile_source
+      "int main() { int i; int s; s = 0; for (i = 0; i < 10; i = i + 1) { if (i % 2 == 0) { continue; } s = s + i; } print_int(s); return 0; }"
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "continue skips evens" "25" (String.trim out)
+
+let test_parser_global_initializers () =
+  let p =
+    Lower.compile_source
+      "int g = 5;\nint t[3] = {10, 20, 30};\nint main() { print_int(g + t[0] + t[2]); return 0; }"
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "global init" "45" (String.trim out)
+
+let test_parser_negative_initializer () =
+  let p = Lower.compile_source "int g = -7;\nint main() { print_int(g); return 0; }" in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "negative init" "-7" (String.trim out)
+
+let test_parser_error_line () =
+  check cb "error carries line" true
+    (try
+       ignore (Parser.parse_program "int main() {\n  int x\n}");
+       false
+     with Parser.Parse_error (_, l) -> l >= 2)
+
+let test_lower_local_arrays () =
+  let p =
+    Lower.compile_source
+      {|
+int f() {
+  int a[4];
+  int b[4];
+  int i;
+  for (i = 0; i < 4; i = i + 1) { a[i] = i; b[i] = 10 - i; }
+  return a[2] + b[2];
+}
+int main() { print_int(f()); return 0; }
+|}
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "two stack arrays don't overlap" "10" (String.trim out)
+
+let test_lower_nested_calls_in_args () =
+  let p =
+    Lower.compile_source
+      "int add(int a, int b) { return a + b; }\nint main() { print_int(add(add(1, 2), add(3, 4))); return 0; }"
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "nested calls" "10" (String.trim out)
+
+let test_lower_array_decay () =
+  let p =
+    Lower.compile_source
+      {|
+int t[4];
+int sum(int *p, int n) {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < n; i = i + 1) { s = s + p[i]; }
+  return s;
+}
+int main() { t[0] = 1; t[1] = 2; t[2] = 3; t[3] = 4; print_int(sum(t, 4)); return 0; }
+|}
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "array decays to pointer arg" "10" (String.trim out)
+
+let test_lower_bool_value () =
+  let p =
+    Lower.compile_source
+      "int main() { int a; a = (3 > 2) + (2 > 3) + (1 && 1) + (0 || 0); print_int(a); return 0; }"
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "booleans materialize as 0/1" "2" (String.trim out)
+
+let test_lower_frame_bytes () =
+  let p = Lower.compile_source "int main() { int a[10]; a[0] = 1; return a[0]; }" in
+  let f = Epic_ir.Program.find_func_exn p "main" in
+  check ci "frame holds the array" 80 f.Epic_ir.Func.frame_bytes
+
+let test_lower_void_function () =
+  let p =
+    Lower.compile_source
+      "int g;\nvoid set(int v) { g = v; }\nint main() { set(33); print_int(g); return 0; }"
+  in
+  let _, out, _ = Epic_ir.Interp.run p [||] in
+  check cs "void call" "33" (String.trim out)
+
+let test_lower_error_undefined_var () =
+  check cb "undefined identifier" true
+    (try
+       ignore (Lower.compile_source "int main() { return nope; }");
+       false
+     with Lower.Lower_error (_, _) -> true)
+
+let suite =
+  [
+    ("lexer basics", `Quick, test_lexer_basic);
+    ("lexer operators", `Quick, test_lexer_operators);
+    ("lexer comments", `Quick, test_lexer_comments);
+    ("lexer numbers", `Quick, test_lexer_numbers);
+    ("lexer error line", `Quick, test_lexer_error);
+    ("parser precedence", `Quick, test_parser_precedence);
+    ("parser dangling else", `Quick, test_parser_dangling_else);
+    ("parser ternary", `Quick, test_parser_ternary);
+    ("parser empty for", `Quick, test_parser_for_with_empty_parts);
+    ("parser do-while", `Quick, test_parser_do_while);
+    ("parser continue", `Quick, test_parser_continue);
+    ("parser global initializers", `Quick, test_parser_global_initializers);
+    ("parser negative initializer", `Quick, test_parser_negative_initializer);
+    ("parser error line", `Quick, test_parser_error_line);
+    ("lower local arrays", `Quick, test_lower_local_arrays);
+    ("lower nested call args", `Quick, test_lower_nested_calls_in_args);
+    ("lower array decay", `Quick, test_lower_array_decay);
+    ("lower bool values", `Quick, test_lower_bool_value);
+    ("lower frame bytes", `Quick, test_lower_frame_bytes);
+    ("lower void function", `Quick, test_lower_void_function);
+    ("lower undefined var", `Quick, test_lower_error_undefined_var);
+  ]

@@ -1,0 +1,266 @@
+(* Classical-optimizer tests: per-pass unit behaviour plus semantic
+   preservation (differential against the interpreter). *)
+
+open Epic_ir
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cs = Alcotest.string
+let cb = Alcotest.bool
+
+let run p input =
+  let code, out, _ = Interp.run p input in
+  (code, out)
+
+(* Compile, apply [passes], and require identical observable behaviour. *)
+let preserves ?(input = [||]) src passes =
+  let p = Epic_frontend.Lower.compile_source src in
+  let before = run p input in
+  passes p;
+  Verify.check_program p;
+  let after = run p input in
+  check (Alcotest.pair ci cs) "semantics preserved" before after;
+  p
+
+let branchy_src =
+  {|
+int g[32];
+int f(int x) {
+  int s; int i;
+  s = x * 0 + 3 * 1;
+  for (i = 0; i < 16; i = i + 1) {
+    if (g[i] > 2) { s = s + g[i] * 4; } else { s = s - 1; }
+  }
+  return s + 0;
+}
+int main() {
+  int i;
+  for (i = 0; i < 32; i = i + 1) { g[i] = i % 7; }
+  print_int(f(5));
+  print_int(f(9));
+  return 0;
+}
+|}
+
+let test_constfold_folds () =
+  let p =
+    preserves "int main() { int x; x = 2 + 3; print_int(x * 4); return 0; }"
+      (fun p -> ignore (Epic_opt.Constfold.run p))
+  in
+  (* after folding + a cleanup, the multiply by constant result is direct *)
+  ignore p
+
+let test_constfold_identities () =
+  let p = Epic_frontend.Lower.compile_source "int main() { int x; x = input(0); print_int(x * 1 + 0); return 0; }" in
+  ignore (Epic_opt.Constfold.run p);
+  let muls = Program.instr_count p in
+  ignore (Epic_opt.Copyprop.run p);
+  ignore (Epic_opt.Dce.run p);
+  check cb "identity ops removed" true (Program.instr_count p <= muls);
+  let _, out, _ = Interp.run p [| 7L |] in
+  check cs "value" "7" (String.trim out)
+
+let test_strength_mul_to_shift () =
+  let p = Epic_frontend.Lower.compile_source "int main() { print_int(input(0) * 8); return 0; }" in
+  ignore (Epic_opt.Strength.run p);
+  let has_shl = ref false and has_mul = ref false in
+  Program.iter_instrs p (fun i ->
+      match i.Instr.op with
+      | Opcode.Shl -> has_shl := true
+      | Opcode.Mul -> has_mul := true
+      | _ -> ());
+  check cb "mul by 8 became shift" true !has_shl;
+  check cb "no mul remains" false !has_mul;
+  let _, out, _ = Interp.run p [| 5L |] in
+  check cs "value" "40" (String.trim out)
+
+let test_dce_removes_dead () =
+  let p =
+    Epic_frontend.Lower.compile_source
+      "int main() { int a; int b; a = 1; b = a + 2; a = 5; print_int(a); return 0; }"
+  in
+  let before = Program.instr_count p in
+  ignore (Epic_opt.Dce.run p);
+  check cb "dead code removed" true (Program.instr_count p < before);
+  let _, out, _ = Interp.run p [||] in
+  check cs "value" "5" (String.trim out)
+
+let test_dce_keeps_stores_and_calls () =
+  let p =
+    Epic_frontend.Lower.compile_source
+      "int g;\nint main() { g = 9; print_int(g); return 0; }"
+  in
+  ignore (Epic_opt.Dce.run p);
+  let stores = ref 0 and calls = ref 0 in
+  Program.iter_instrs p (fun i ->
+      if Instr.is_store i then incr stores;
+      if Instr.is_call i then incr calls);
+  check cb "store kept" true (!stores >= 1);
+  check cb "call kept" true (!calls >= 1)
+
+let test_cse_reuses_expressions () =
+  let p =
+    Epic_frontend.Lower.compile_source
+      "int main() { int a; int x; int y; a = input(0); x = a * 3 + 1; y = a * 3 + 1; print_int(x + y); return 0; }"
+  in
+  let muls p =
+    let n = ref 0 in
+    Program.iter_instrs p (fun i -> if i.Instr.op = Opcode.Mul then incr n);
+    !n
+  in
+  let before = muls p in
+  ignore (Epic_opt.Local_cse.run p);
+  ignore (Epic_opt.Copyprop.run p);
+  ignore (Epic_opt.Dce.run p);
+  check cb "one multiply eliminated" true (muls p < before);
+  let _, out, _ = Interp.run p [| 4L |] in
+  check cs "value" "26" (String.trim out)
+
+let test_cse_respects_stores () =
+  (* a store between two identical loads kills availability *)
+  let p =
+    preserves ~input:[||]
+      {|
+int g;
+int main() {
+  int a; int b;
+  g = 1;
+  a = g;
+  g = 2;
+  b = g;
+  print_int(a + b);
+  return 0;
+}
+|}
+      (fun p ->
+        ignore (Epic_opt.Local_cse.run p);
+        ignore (Epic_opt.Copyprop.run p);
+        ignore (Epic_opt.Dce.run p))
+  in
+  ignore p
+
+let test_jumpopt_collapses_chains () =
+  let p = Epic_frontend.Lower.compile_source branchy_src in
+  let before = List.length (Program.find_func_exn p "main").Func.blocks in
+  ignore (Epic_opt.Jumpopt.run p);
+  let after = List.length (Program.find_func_exn p "main").Func.blocks in
+  check cb "blocks merged" true (after <= before);
+  Verify.check_program p
+
+let test_classical_pipeline_semantics () =
+  ignore
+    (preserves ~input:[| 3L |] branchy_src (fun p ->
+         ignore (Epic_analysis.Profile.profile_and_annotate p [| 3L |]);
+         ignore (Epic_analysis.Points_to.analyze p);
+         Epic_opt.Pipeline.run_classical p))
+
+let test_licm_hoists () =
+  let src =
+    {|
+int g;
+int main() {
+  int i; int s; int k;
+  k = input(0);
+  s = 0;
+  for (i = 0; i < 100; i = i + 1) {
+    s = s + k * 3 + i;
+  }
+  print_int(s);
+  return 0;
+}
+|}
+  in
+  let p = Epic_frontend.Lower.compile_source src in
+  let before = run p [| 2L |] in
+  ignore (Epic_analysis.Profile.profile_and_annotate p [| 2L |]);
+  Epic_opt.Pipeline.run_classical p;
+  let after = run p [| 2L |] in
+  check (Alcotest.pair ci cs) "LICM preserves semantics" before after
+
+let test_inline_leaf () =
+  let src =
+    {|
+int sq(int x) { return x * x; }
+int main() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 50; i = i + 1) { s = s + sq(i); }
+  print_int(s);
+  return 0;
+}
+|}
+  in
+  let p = Epic_frontend.Lower.compile_source src in
+  let before = run p [||] in
+  ignore (Epic_analysis.Profile.profile_and_annotate p [||]);
+  let n = Epic_opt.Inline.run p in
+  check cb "hot leaf inlined" true (n >= 1);
+  Verify.check_program p;
+  check (Alcotest.pair ci cs) "inline preserves semantics" before (run p [||])
+
+let test_inline_skips_recursive () =
+  let src =
+    "int f(int n) { if (n < 1) { return 0; } return 1 + f(n - 1); }\n\
+     int main() { print_int(f(20)); return 0; }"
+  in
+  let p = Epic_frontend.Lower.compile_source src in
+  ignore (Epic_analysis.Profile.profile_and_annotate p [||]);
+  let n = Epic_opt.Inline.run p in
+  check ci "recursive callsite not inlined" 0 n
+
+let test_inline_budget_zero () =
+  let src =
+    "int sq(int x) { return x * x; }\nint main() { print_int(sq(input(0))); return 0; }"
+  in
+  let p = Epic_frontend.Lower.compile_source src in
+  ignore (Epic_analysis.Profile.profile_and_annotate p [| 4L |]);
+  let n = Epic_opt.Inline.run ~budget:1.0 p in
+  check ci "budget 1.0 inlines nothing" 0 n
+
+let test_indirect_specialization () =
+  let src =
+    {|
+int a(int x) { return x + 1; }
+int b(int x) { return x + 2; }
+int main() {
+  int f; int i; int s;
+  s = 0;
+  for (i = 0; i < 20; i = i + 1) {
+    if (i == 19) { f = (int) &b; } else { f = (int) &a; }
+    s = s + (f)(i);
+  }
+  print_int(s);
+  return 0;
+}
+|}
+  in
+  let p = Epic_frontend.Lower.compile_source src in
+  let before = run p [||] in
+  let prof, _, _ = Epic_analysis.Profile.collect p [||] in
+  Epic_analysis.Profile.annotate p prof;
+  let n = Epic_opt.Indirect_call.run p prof in
+  check ci "one site specialized" 1 n;
+  Verify.check_program p;
+  check (Alcotest.pair ci cs) "specialization preserves semantics" before (run p [||]);
+  (* the dominant callee is now reachable through a direct call *)
+  let direct = ref false in
+  Program.iter_instrs p (fun i -> if Instr.callee i = Some "a" then direct := true);
+  check cb "direct call to dominant target" true !direct
+
+let suite =
+  [
+    ("constfold folds", `Quick, test_constfold_folds);
+    ("constfold identities", `Quick, test_constfold_identities);
+    ("strength reduction", `Quick, test_strength_mul_to_shift);
+    ("dce removes dead", `Quick, test_dce_removes_dead);
+    ("dce keeps effects", `Quick, test_dce_keeps_stores_and_calls);
+    ("cse reuses expressions", `Quick, test_cse_reuses_expressions);
+    ("cse respects stores", `Quick, test_cse_respects_stores);
+    ("jumpopt collapses", `Quick, test_jumpopt_collapses_chains);
+    ("classical pipeline semantics", `Quick, test_classical_pipeline_semantics);
+    ("licm", `Quick, test_licm_hoists);
+    ("inline leaf", `Quick, test_inline_leaf);
+    ("inline skips recursion", `Quick, test_inline_skips_recursive);
+    ("inline zero budget", `Quick, test_inline_budget_zero);
+    ("indirect call specialization", `Quick, test_indirect_specialization);
+  ]

@@ -1,0 +1,116 @@
+(* Shape assertions tying the workloads to their paper roles: these run the
+   compiled binaries and check the *phenomena*, not exact numbers — the
+   regression net for the reproduction itself. *)
+
+let check = Alcotest.check
+let cb = Alcotest.bool
+
+let run_workload short level =
+  let w = Epic_workloads.Suite.find_exn short in
+  let config =
+    {
+      (Epic_core.Config.make level) with
+      Epic_core.Config.pointer_analysis = w.Epic_workloads.Workload.pointer_analysis;
+    }
+  in
+  let compiled =
+    Epic_core.Driver.compile ~config ~train:w.Epic_workloads.Workload.train
+      w.Epic_workloads.Workload.source
+  in
+  let _, _, st = Epic_core.Driver.run compiled w.Epic_workloads.Workload.reference in
+  (compiled, st)
+
+let cycles st = Epic_sim.Accounting.total st.Epic_sim.Machine.acc
+
+let test_mcf_is_flat () =
+  (* the paper's mcf: memory-bound, insensitive to ILP transformation *)
+  let _, base = run_workload "mcf" Epic_core.Config.O_NS in
+  let _, ilp = run_workload "mcf" Epic_core.Config.ILP_CS in
+  let ratio = cycles base /. cycles ilp in
+  check cb (Printf.sprintf "mcf ILP speedup ~1.0 (got %.2f)" ratio) true
+    (ratio > 0.9 && ratio < 1.12)
+
+let test_mcf_memory_bound () =
+  let _, st = run_workload "mcf" Epic_core.Config.ILP_CS in
+  let open Epic_sim in
+  let ld = Accounting.get st.Machine.acc Accounting.Int_load_bubble in
+  check cb "load stalls are a large fraction of mcf" true (ld > 0.25 *. cycles st)
+
+let test_gcc_wild_loads_under_general () =
+  (* Section 4.3: gcc loses kernel time to wild loads under ILP-CS/general *)
+  let _, ns = run_workload "gcc" Epic_core.Config.ILP_NS in
+  let _, cs = run_workload "gcc" Epic_core.Config.ILP_CS in
+  let open Epic_sim in
+  check cb "no wild loads without speculation" true (ns.Machine.c.Machine.wild_loads = 0);
+  check cb "wild loads appear with general speculation" true
+    (cs.Machine.c.Machine.wild_loads > 100);
+  check cb "kernel time charged" true
+    (Accounting.get cs.Machine.acc Accounting.Kernel > 0.05 *. cycles cs)
+
+let test_crafty_gains_with_icache_cost () =
+  (* Section 4.1: crafty speeds up overall while I-cache pressure rises *)
+  let c_base, base = run_workload "crafty" Epic_core.Config.O_NS in
+  let c_ilp, ilp = run_workload "crafty" Epic_core.Config.ILP_CS in
+  check cb "crafty gains from ILP" true (cycles base /. cycles ilp > 1.1);
+  check cb "code grew" true
+    (c_ilp.Epic_core.Driver.transform_stats.Epic_core.Driver.code_bytes
+    > c_base.Epic_core.Driver.transform_stats.Epic_core.Driver.code_bytes)
+
+let test_branches_drop_with_regions () =
+  let _, base = run_workload "bzip2" Epic_core.Config.O_NS in
+  let _, ilp = run_workload "bzip2" Epic_core.Config.ILP_CS in
+  let open Epic_sim in
+  check cb "region formation removes dynamic branches" true
+    (ilp.Machine.c.Machine.branches < base.Machine.c.Machine.branches)
+
+let test_planned_exceeds_exploited () =
+  (* Figure 2's defining relation on a compute benchmark *)
+  let _, base = run_workload "gzip" Epic_core.Config.O_NS in
+  let _, ilp = run_workload "gzip" Epic_core.Config.ILP_CS in
+  let open Epic_sim in
+  let planned_sp =
+    Accounting.planned base.Machine.acc /. Accounting.planned ilp.Machine.acc
+  in
+  let exploited_sp = cycles base /. cycles ilp in
+  check cb
+    (Printf.sprintf "planned (%.2f) >= exploited (%.2f) - eps" planned_sp exploited_sp)
+    true
+    (planned_sp >= exploited_sp -. 0.08)
+
+let test_eon_indirect_specialized () =
+  let c, _ = run_workload "eon" Epic_core.Config.ILP_CS in
+  check cb "eon's virtual calls were specialized" true
+    (c.Epic_core.Driver.transform_stats.Epic_core.Driver.specialized_calls >= 1)
+
+let test_sentinel_avoids_gcc_kernel_time () =
+  let w = Epic_workloads.Suite.find_exn "gcc" in
+  let run model =
+    let config =
+      { (Epic_core.Config.make Epic_core.Config.ILP_CS) with
+        Epic_core.Config.spec_model = model }
+    in
+    let compiled =
+      Epic_core.Driver.compile ~config ~train:w.Epic_workloads.Workload.train
+        w.Epic_workloads.Workload.source
+    in
+    let _, _, st = Epic_core.Driver.run compiled w.Epic_workloads.Workload.reference in
+    st
+  in
+  let open Epic_sim in
+  let g = run Epic_ilp.Speculate.General in
+  let s = run Epic_ilp.Speculate.Sentinel in
+  check cb "sentinel eliminates the kernel walks" true
+    (Accounting.get s.Machine.acc Accounting.Kernel
+    < 0.2 *. Accounting.get g.Machine.acc Accounting.Kernel)
+
+let suite =
+  [
+    ("mcf flat across levels", `Slow, test_mcf_is_flat);
+    ("mcf memory bound", `Slow, test_mcf_memory_bound);
+    ("gcc wild loads (general model)", `Slow, test_gcc_wild_loads_under_general);
+    ("crafty gains, code grows", `Slow, test_crafty_gains_with_icache_cost);
+    ("branches drop with regions", `Slow, test_branches_drop_with_regions);
+    ("planned >= exploited", `Slow, test_planned_exceeds_exploited);
+    ("eon indirect specialization", `Slow, test_eon_indirect_specialized);
+    ("sentinel avoids gcc kernel time", `Slow, test_sentinel_avoids_gcc_kernel_time);
+  ]

@@ -7,7 +7,11 @@
      dune exec bench/main.exe phases          # Bechamel phase timings only
 
    Artifacts: table1 fig2 fig5 fig6 fig7 fig8 fig10 stats spec_model
-   profvar ablations phases. *)
+   profvar ablations phases.
+
+   `--json FILE` additionally writes the whole suite result (per-workload,
+   per-config cycles, category arrays, counters, pass timings, profiles)
+   as one JSON document — the machine-readable companion to the tables. *)
 
 let suite_artifacts =
   [ "table1"; "fig2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig10"; "stats" ]
@@ -95,6 +99,13 @@ let phase_benchmarks () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Peel off `--json FILE` before artifact-name validation. *)
+  let rec split_json acc = function
+    | "--json" :: f :: rest -> (Some f, List.rev_append acc rest)
+    | a :: rest -> split_json (a :: acc) rest
+    | [] -> (None, List.rev acc)
+  in
+  let json_file, args = split_json [] args in
   let bad = List.filter (fun a -> not (List.mem a all_artifacts)) args in
   if bad <> [] then begin
     Printf.eprintf "unknown artifact(s): %s\nknown: %s\n"
@@ -103,10 +114,16 @@ let () =
     exit 2
   end;
   let wanted x = args = [] || List.mem x args in
-  let needs_suite = List.exists wanted suite_artifacts in
+  (* --json needs the suite even if only non-suite artifacts were named. *)
+  let needs_suite = List.exists wanted suite_artifacts || json_file <> None in
   (if needs_suite then begin
      prerr_endline "running the 12-workload suite under 4 configurations...";
      let s = Epic_core.Experiments.run_suite ~progress:true () in
+     (match json_file with
+     | Some f ->
+         Epic_obs.Json.to_file f (Epic_core.Export.suite_to_json s);
+         Printf.eprintf "wrote suite metrics to %s\n%!" f
+     | None -> ());
      if wanted "table1" then Epic_core.Report.print_table1 s;
      if wanted "fig2" then Epic_core.Report.print_fig2 s;
      if wanted "fig5" then Epic_core.Report.print_fig5 s;

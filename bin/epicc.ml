@@ -53,7 +53,37 @@ let show_loops =
 
 let quiet = Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"print program output only")
 
-let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet =
+let json_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "write the full run metrics (cycle accounting, counters, per-pass \
+           compiler instrumentation, PC-sampling profile) as JSON to $(docv)")
+
+let trace_file =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "enable architectural event tracing (cache misses, TLB walks, \
+           mispredict flushes, RSE traffic, speculation events) and write the \
+           event counts plus the trailing ring-buffer window as JSON to $(docv)")
+
+let sample_period =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "sample-period" ] ~docv:"N"
+        ~doc:
+          "sample the simulated PC every $(docv) cycles (0 disables sampling; \
+           a prime such as 97 avoids aliasing with periodic code).  The \
+           profile lands in the --json document")
+
+let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet json_file
+    trace_file sample_period =
   let src = In_channel.with_open_text file In_channel.input_all in
   let input = Array.of_list (List.map Int64.of_int inputs) in
   let train =
@@ -94,8 +124,51 @@ let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet =
               | None -> "-"))
           (Epic_sched.Modulo.analyze compiled.Epic_core.Driver.program)
       end;
-      let code, out, st = Epic_core.Driver.run compiled input in
+      let trace =
+        match trace_file with
+        | Some _ -> Some (Epic_obs.Trace.create ())
+        | None -> None
+      in
+      let profile =
+        (* --json without an explicit period still samples: the JSON schema
+           promises a profile, and the default period matches the suite's. *)
+        if sample_period > 0 then Some (Epic_obs.Profile.create ~period:sample_period ())
+        else if json_file <> None then Some (Epic_obs.Profile.create ())
+        else None
+      in
+      let code, out, st = Epic_core.Driver.run ?trace ?profile compiled input in
       print_string out;
+      let write_json f doc =
+        try Epic_obs.Json.to_file f doc
+        with Sys_error m ->
+          Fmt.epr "epicc: cannot write %s: %s@." f m;
+          exit 1
+      in
+      (match trace_file with
+      | Some f ->
+          let tr = Option.get trace in
+          write_json f (Epic_obs.Trace.to_json tr);
+          if not quiet then
+            Fmt.epr ";; wrote %d trace events (%d kinds, %d dropped) to %s@."
+              (Epic_obs.Trace.total tr)
+              (Epic_obs.Trace.distinct_kinds tr)
+              (Epic_obs.Trace.dropped tr) f
+      | None -> ());
+      (match json_file with
+      | Some f ->
+          let ref_code, ref_out =
+            let p = Epic_frontend.Lower.compile_source src in
+            let c, o, _ = Epic_ir.Interp.run p input in
+            (c, o)
+          in
+          let run =
+            Epic_core.Metrics.of_machine ~workload:(Filename.basename file)
+              ?profile compiled st
+              ~output_matches:(code = ref_code && out = ref_out)
+          in
+          write_json f (Epic_core.Export.run_to_json run);
+          if not quiet then Fmt.epr ";; wrote run metrics to %s@." f
+      | None -> ());
       if not quiet then begin
         let open Epic_sim in
         Fmt.pr "@.;; %s: exit code %d@." (Epic_core.Config.name config) code;
@@ -122,6 +195,6 @@ let cmd =
     (Cmd.info "epicc" ~doc)
     Term.(
       const run_cmd $ file $ level $ sentinel $ no_pa $ inputs $ train $ dump_ir
-      $ show_loops $ quiet)
+      $ show_loops $ quiet $ json_file $ trace_file $ sample_period)
 
 let () = exit (Cmd.eval cmd)

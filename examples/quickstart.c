@@ -1,0 +1,24 @@
+// The quickstart program as a standalone mini-C source, for driving
+// `epicc` directly (the same program examples/quickstart.ml embeds):
+//
+//   dune exec bin/epicc.exe -- examples/quickstart.c -i 7 \
+//     --json run.json --trace trace.json --sample-period 97
+int data[256];
+
+int sum_if_positive() {
+  int i; int s;
+  s = 0;
+  for (i = 0; i < 256; i = i + 1) {
+    if (data[i] > 0) { s = s + data[i]; } else { s = s - 1; }
+  }
+  return s;
+}
+
+int main() {
+  int i; int r; int total;
+  for (i = 0; i < 256; i = i + 1) { data[i] = (i * 37 + input(0)) % 19 - 6; }
+  total = 0;
+  for (r = 0; r < 100; r = r + 1) { total = total + sum_if_positive(); }
+  print_int(total);
+  return 0;
+}

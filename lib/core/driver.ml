@@ -9,6 +9,8 @@ type compiled = {
   layout : Epic_sched.Layout.t;
   config : Config.t;
   transform_stats : transform_stats;
+  pass_records : Epic_obs.Passes.record list;
+      (* wall time, rounds and IR-size deltas per phase, in order *)
 }
 
 and transform_stats = {
@@ -40,10 +42,41 @@ let reset_pass_stats () =
   Epic_ilp.Height.reset_stats ();
   Epic_sched.Regalloc.reset_stats ()
 
-(* Compile IR under [config], profiling with [train] input. *)
-let compile_ir ?(config = Config.o_ns) ~(train : int64 array) (p : Program.t) =
+(* IR-size measurement for the per-pass instrumentation: instruction and
+   block counts, plus estimated code bytes (16-byte bundles at the
+   architectural 3-ops-per-bundle density — exact only after layout). *)
+let ir_measure (p : Program.t) =
+  let instrs = Program.instr_count p in
+  let blocks =
+    List.fold_left
+      (fun acc (f : Func.t) -> acc + List.length f.Func.blocks)
+      0 p.Program.funcs
+  in
+  (instrs, blocks, (instrs + 2) / 3 * 16)
+
+(* Compile IR under [config], profiling with [train] input.  Each phase is
+   wrapped in the [passes] instrumentation (a fresh registry when none is
+   supplied): wall time, fixed-point rounds and IR-size deltas. *)
+let compile_ir ?(config = Config.o_ns) ?passes ~(train : int64 array)
+    (p : Program.t) =
+  let pm = match passes with Some pm -> pm | None -> Epic_obs.Passes.create () in
   reset_pass_stats ();
   Verify.check_program p;
+  let step ?(rounds_of = fun _ -> 1) name f =
+    let i0, b0, y0 = ir_measure p in
+    let t0 = Sys.time () in
+    let r = f () in
+    let dt = Sys.time () -. t0 in
+    let i1, b1, y1 = ir_measure p in
+    Epic_obs.Passes.add pm ~name ~wall_s:dt ~rounds:(rounds_of r)
+      ~instrs:(i0, i1) ~blocks:(b0, b1) ~bytes:(y0, y1);
+    r
+  in
+  let classical name =
+    ignore
+      (step name ~rounds_of:(fun r -> r) (fun () ->
+           Epic_opt.Pipeline.run_classical_counted p))
+  in
   let n0 = Program.instr_count p in
   let inlined = ref 0 and specialized = ref 0 in
   let peeled = ref 0 and unrolled = ref 0 in
@@ -51,84 +84,95 @@ let compile_ir ?(config = Config.o_ns) ~(train : int64 array) (p : Program.t) =
   | Config.Gcc_like ->
       (* traditional compilation: classical optimization only, no profile
          feedback, no inlining, no interprocedural analysis *)
-      Epic_opt.Pipeline.run_classical p
+      classical "classical"
   | Config.O_NS | Config.ILP_NS | Config.ILP_CS ->
       (* high-level phase: profile, specialize indirect calls, inline *)
-      let prof = Epic_analysis.Profile.profile_and_annotate p train in
-      specialized := Epic_opt.Indirect_call.run p prof;
-      if !specialized > 0 then Epic_analysis.Profile.reprofile p train;
-      inlined := Epic_opt.Inline.run ~budget:config.Config.inline_budget p;
-      Epic_analysis.Profile.reprofile p train;
+      let prof =
+        step "profile (train)" (fun () ->
+            Epic_analysis.Profile.profile_and_annotate p train)
+      in
+      step "indirect-call specialization" (fun () ->
+          specialized := Epic_opt.Indirect_call.run p prof;
+          if !specialized > 0 then Epic_analysis.Profile.reprofile p train);
+      step "inline" (fun () ->
+          inlined := Epic_opt.Inline.run ~budget:config.Config.inline_budget p;
+          Epic_analysis.Profile.reprofile p train);
       (* interprocedural pointer analysis annotates memory dependence tags *)
-      ignore (Epic_analysis.Points_to.analyze ~enabled:config.Config.pointer_analysis p);
-      Epic_opt.Pipeline.run_classical p;
+      step "points-to analysis" (fun () ->
+          ignore
+            (Epic_analysis.Points_to.analyze
+               ~enabled:config.Config.pointer_analysis p));
+      classical "classical (pre-region)";
       Epic_analysis.Profile.reprofile p train);
   let n1 = Program.instr_count p in
   (* low-level ILP phase *)
   if Config.is_ilp config then begin
-    if config.Config.enable_peel then begin
-      peeled := Epic_ilp.Peel.run ~params:config.Config.peel p;
-      if !peeled > 0 then begin
-        Verify.check_program p;
-        Epic_analysis.Profile.reprofile p train
-      end
-    end;
-    if config.Config.enable_hyperblock then begin
-      Epic_ilp.Hyperblock.run ~params:config.Config.hyperblock p;
-      Verify.check_program p;
-      Epic_analysis.Profile.reprofile p train
-    end;
-    if config.Config.enable_superblock then begin
-      Epic_ilp.Superblock.run ~params:config.Config.superblock p;
-      Verify.check_program p;
-      Epic_analysis.Profile.reprofile p train
-    end;
-    if config.Config.enable_unroll then begin
-      unrolled := Epic_ilp.Unroll.run ~params:config.Config.unroll p;
-      if !unrolled > 0 then begin
-        Verify.check_program p;
-        Epic_analysis.Profile.reprofile p train
-      end
-    end;
+    if config.Config.enable_peel then
+      step "loop peeling" (fun () ->
+          peeled := Epic_ilp.Peel.run ~params:config.Config.peel p;
+          if !peeled > 0 then begin
+            Verify.check_program p;
+            Epic_analysis.Profile.reprofile p train
+          end);
+    if config.Config.enable_hyperblock then
+      step "hyperblock formation" (fun () ->
+          Epic_ilp.Hyperblock.run ~params:config.Config.hyperblock p;
+          Verify.check_program p;
+          Epic_analysis.Profile.reprofile p train);
+    if config.Config.enable_superblock then
+      step "superblock formation" (fun () ->
+          Epic_ilp.Superblock.run ~params:config.Config.superblock p;
+          Verify.check_program p;
+          Epic_analysis.Profile.reprofile p train);
+    if config.Config.enable_unroll then
+      step "loop unrolling" (fun () ->
+          unrolled := Epic_ilp.Unroll.run ~params:config.Config.unroll p;
+          if !unrolled > 0 then begin
+            Verify.check_program p;
+            Epic_analysis.Profile.reprofile p train
+          end);
     (* post-region cleanup *)
-    Epic_opt.Pipeline.run_classical p;
+    classical "classical (post-region)";
     (* data-height reduction of the accumulator chains exposed by region
        formation and unrolling *)
-    if config.Config.enable_height_reduction then begin
-      if Epic_ilp.Height.run p then begin
-        Verify.check_program p;
-        Epic_opt.Pipeline.run_classical p
-      end
-    end;
+    if config.Config.enable_height_reduction then
+      step "height reduction" (fun () ->
+          if Epic_ilp.Height.run p then begin
+            Verify.check_program p;
+            Epic_opt.Pipeline.run_classical p
+          end);
     Epic_analysis.Profile.reprofile p train;
-    if Config.has_speculation config then begin
-      Epic_ilp.Speculate.run
-        ~params:
-          {
-            Epic_ilp.Speculate.default_params with
-            Epic_ilp.Speculate.model = config.Config.spec_model;
-          }
-        p;
-      Verify.check_program p
-    end;
+    if Config.has_speculation config then
+      step "control speculation" (fun () ->
+          Epic_ilp.Speculate.run
+            ~params:
+              {
+                Epic_ilp.Speculate.default_params with
+                Epic_ilp.Speculate.model = config.Config.spec_model;
+              }
+            p;
+          Verify.check_program p);
     (* extension: data speculation (ld.a / chk.a through the ALAT) *)
-    if config.Config.enable_data_speculation then begin
-      Epic_ilp.Data_spec.run p;
-      Verify.check_program p
-    end
+    if config.Config.enable_data_speculation then
+      step "data speculation" (fun () ->
+          Epic_ilp.Data_spec.run p;
+          Verify.check_program p)
   end;
   (* code generation: cold-code sinking, register allocation, scheduling,
      bundling and layout *)
-  List.iter Epic_sched.Layout.sink_cold_blocks p.Program.funcs;
-  Epic_sched.Regalloc.run p;
+  step "cold-code sinking" (fun () ->
+      List.iter Epic_sched.Layout.sink_cold_blocks p.Program.funcs);
+  step "register allocation" (fun () -> Epic_sched.Regalloc.run p);
   (* the GCC-like configuration performs no instruction reordering *)
-  Epic_sched.List_sched.run ~reorder:(config.Config.level <> Config.Gcc_like) p;
-  Verify.check_program p;
-  let layout = Epic_sched.Layout.build p in
+  step "list scheduling" (fun () ->
+      Epic_sched.List_sched.run ~reorder:(config.Config.level <> Config.Gcc_like) p;
+      Verify.check_program p);
+  let layout = step "bundling and layout" (fun () -> Epic_sched.Layout.build p) in
   {
     program = p;
     layout;
     config;
+    pass_records = Epic_obs.Passes.records pm;
     transform_stats =
       {
         instrs_after_frontend = n0;
@@ -156,8 +200,14 @@ let compile_ir ?(config = Config.o_ns) ~(train : int64 array) (p : Program.t) =
    less aggressive region formation rather than failing the compile. *)
 let compile ?(config = Config.o_ns) ~(train : int64 array) (src : string) =
   let attempt config =
+    let pm = Epic_obs.Passes.create () in
+    let t0 = Sys.time () in
     let p = Epic_frontend.Lower.compile_source src in
-    compile_ir ~config ~train p
+    let i1, b1, y1 = ir_measure p in
+    Epic_obs.Passes.add pm ~name:"frontend: parse+lower"
+      ~wall_s:(Sys.time () -. t0)
+      ~rounds:1 ~instrs:(0, i1) ~blocks:(0, b1) ~bytes:(0, y1);
+    compile_ir ~config ~passes:pm ~train p
   in
   try attempt config
   with Epic_sched.Regalloc.Out_of_registers _ -> (
@@ -168,8 +218,8 @@ let compile ?(config = Config.o_ns) ~(train : int64 array) (src : string) =
       attempt { config with Config.level = Config.O_NS })
 
 (* Run a compiled binary on the machine simulator. *)
-let run ?fuel (c : compiled) (input : int64 array) =
-  Epic_sim.Machine.run ?fuel c.program c.layout input
+let run ?fuel ?trace ?profile (c : compiled) (input : int64 array) =
+  Epic_sim.Machine.run ?fuel ?trace ?profile c.program c.layout input
 
 (* Reference semantics: the pre-backend program still runs on the
    high-level interpreter (scheduling does not change IR meaning), so a

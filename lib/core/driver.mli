@@ -8,6 +8,9 @@ type compiled = {
   layout : Epic_sched.Layout.t;  (** bundles and code addresses *)
   config : Config.t;
   transform_stats : transform_stats;
+  pass_records : Epic_obs.Passes.record list;
+      (** per-phase wall time, fixed-point rounds and IR-size deltas, in
+          execution order *)
 }
 
 (** Static statistics of one compilation, feeding the code-growth numbers of
@@ -36,9 +39,15 @@ and transform_stats = {
 val reset_pass_stats : unit -> unit
 
 (** Compile an already-lowered program under [config], profiling on the
-    [train] input.  The program is transformed in place. *)
+    [train] input.  The program is transformed in place.  [passes]
+    accumulates the per-phase instrumentation records (a fresh registry is
+    used when omitted; either way the records land in [pass_records]). *)
 val compile_ir :
-  ?config:Config.t -> train:int64 array -> Epic_ir.Program.t -> compiled
+  ?config:Config.t ->
+  ?passes:Epic_obs.Passes.t ->
+  train:int64 array ->
+  Epic_ir.Program.t ->
+  compiled
 
 (** Compile mini-C source text.  ILP configurations degrade gracefully
     (less aggressive region formation) if the structural transforms would
@@ -46,9 +55,13 @@ val compile_ir :
 val compile : ?config:Config.t -> train:int64 array -> string -> compiled
 
 (** Run a compiled binary on the Itanium-2-class simulator; returns
-    (exit code, program output, final machine state with all counters). *)
+    (exit code, program output, final machine state with all counters).
+    [trace] and [profile] enable the opt-in observability instruments
+    (see {!Epic_sim.Machine.run}). *)
 val run :
   ?fuel:int ->
+  ?trace:Epic_obs.Trace.t ->
+  ?profile:Epic_obs.Profile.t ->
   compiled ->
   int64 array ->
   int * string * Epic_sim.Machine.t

@@ -1,0 +1,122 @@
+(* JSON serializers for runs and suite results (see the .mli for the
+   schema).  Everything downstream — bench trajectories, regression CI,
+   dashboards — consumes these documents rather than the text reports. *)
+
+open Epic_obs
+
+let config_to_json (c : Config.t) =
+  Json.Obj
+    [
+      ("name", Json.Str (Config.name c));
+      ("level", Json.Str (Config.level_name c.Config.level));
+      ( "spec_model",
+        Json.Str
+          (match c.Config.spec_model with
+          | Epic_ilp.Speculate.General -> "general"
+          | Epic_ilp.Speculate.Sentinel -> "sentinel") );
+      ("pointer_analysis", Json.Bool c.Config.pointer_analysis);
+      ("inline_budget", Json.Float c.Config.inline_budget);
+      ("data_speculation", Json.Bool c.Config.enable_data_speculation);
+    ]
+
+let categories_to_json (cats : float array) =
+  Json.Obj
+    (List.map
+       (fun c ->
+         (Epic_sim.Accounting.name c, Json.Float cats.(Epic_sim.Accounting.index c)))
+       Epic_sim.Accounting.all_categories)
+
+let transform_stats_to_json (s : Driver.transform_stats) =
+  Json.Obj
+    [
+      ("instrs_after_frontend", Json.Int s.Driver.instrs_after_frontend);
+      ("instrs_after_classical", Json.Int s.Driver.instrs_after_classical);
+      ("instrs_final", Json.Int s.Driver.instrs_final);
+      ("inlined_sites", Json.Int s.Driver.inlined_sites);
+      ("specialized_calls", Json.Int s.Driver.specialized_calls);
+      ("peeled_loops", Json.Int s.Driver.peeled_loops);
+      ("unrolled_loops", Json.Int s.Driver.unrolled_loops);
+      ("hyperblocks", Json.Int s.Driver.hyperblocks);
+      ("superblocks", Json.Int s.Driver.superblocks);
+      ("tail_dup_instrs", Json.Int s.Driver.tail_dup_instrs);
+      ("peel_instrs", Json.Int s.Driver.peel_instrs);
+      ("promoted_loads", Json.Int s.Driver.promoted_loads);
+      ("marked_spec_loads", Json.Int s.Driver.marked_spec_loads);
+      ("advanced_loads", Json.Int s.Driver.advanced_loads);
+      ("static_bundles", Json.Int s.Driver.static_bundles);
+      ("code_bytes", Json.Int s.Driver.code_bytes);
+    ]
+
+let run_to_json (r : Metrics.run) =
+  Json.Obj
+    [
+      ("workload", Json.Str r.Metrics.workload);
+      ("config", config_to_json r.Metrics.config);
+      ("cycles", Json.Float r.Metrics.cycles);
+      ("planned", Json.Float r.Metrics.planned);
+      ("categories", categories_to_json r.Metrics.categories);
+      ( "counters",
+        Json.Obj
+          [
+            ("useful_ops", Json.Int r.Metrics.useful_ops);
+            ("squashed_ops", Json.Int r.Metrics.squashed_ops);
+            ("nop_ops", Json.Int r.Metrics.nop_ops);
+            ("kernel_ops", Json.Int r.Metrics.kernel_ops);
+            ("branches", Json.Int r.Metrics.branches);
+            ("predictions", Json.Int r.Metrics.predictions);
+            ("mispredictions", Json.Int r.Metrics.mispredictions);
+            ("l1i_accesses", Json.Int r.Metrics.l1i_accesses);
+            ("l1i_misses", Json.Int r.Metrics.l1i_misses);
+            ("l1d_accesses", Json.Int r.Metrics.l1d_accesses);
+            ("l1d_misses", Json.Int r.Metrics.l1d_misses);
+            ("dtlb_misses", Json.Int r.Metrics.dtlb_misses);
+            ("wild_loads", Json.Int r.Metrics.wild_loads);
+            ("spec_loads", Json.Int r.Metrics.spec_loads);
+            ("chk_recoveries", Json.Int r.Metrics.chk_recoveries);
+            ("rse_spills", Json.Int r.Metrics.rse_spills);
+            ("groups", Json.Int r.Metrics.groups);
+          ] );
+      ( "derived",
+        Json.Obj
+          [
+            ("planned_ipc", Json.Float (Metrics.planned_ipc r));
+            ("achieved_ipc", Json.Float (Metrics.achieved_ipc r));
+            ("branch_prediction_rate", Json.Float (Metrics.branch_prediction_rate r));
+          ] );
+      ( "by_func",
+        Json.List
+          (List.map
+             (fun (f, cats) ->
+               Json.Obj
+                 [
+                   ("func", Json.Str f);
+                   ("total", Json.Float (Array.fold_left ( +. ) 0. cats));
+                   ("categories", categories_to_json cats);
+                 ])
+             (List.sort compare r.Metrics.by_func)) );
+      ("transform_stats", transform_stats_to_json r.Metrics.stats);
+      ( "passes",
+        Json.List (List.map Epic_obs.Passes.record_to_json r.Metrics.passes) );
+      ( "profile",
+        match r.Metrics.profile with
+        | Some p -> Epic_obs.Profile.summary_to_json p
+        | None -> Json.Null );
+      ("output_matches", Json.Bool r.Metrics.output_matches);
+    ]
+
+let suite_to_json (s : Experiments.suite_result) =
+  Json.Obj
+    [
+      ("suite", Json.Str "specint2000-standin");
+      ("sample_period", Json.Int Experiments.sample_period);
+      ( "workloads",
+        Json.List
+          (List.map (fun w -> Json.Str w) (Experiments.workload_names s)) );
+      ( "configs",
+        Json.List
+          (List.map
+             (fun l -> Json.Str (Config.level_name l))
+             [ Config.Gcc_like; Config.O_NS; Config.ILP_NS; Config.ILP_CS ]) );
+      ( "runs",
+        Json.List (List.map (fun (_, _, r) -> run_to_json r) s.Experiments.runs) );
+    ]

@@ -1,0 +1,15 @@
+(** Machine-readable export: serialize runs and whole suite results to the
+    hand-rolled {!Epic_obs.Json} tree, so benchmark trajectories and CI can
+    diff counters instead of scraping the text reports.
+
+    Schema (stable; additions only):
+    - a run document has [workload], [config], [cycles], [planned],
+      [categories] (all nine accounting categories by name), [counters],
+      [derived] (IPCs and prediction rate), [by_func], [transform_stats],
+      [passes] (per-pass instrumentation) and optional [profile];
+    - a suite document has [suite], [sample_period], [workloads], [configs]
+      and a [runs] array of run documents. *)
+
+val config_to_json : Config.t -> Epic_obs.Json.t
+val run_to_json : Metrics.run -> Epic_obs.Json.t
+val suite_to_json : Experiments.suite_result -> Epic_obs.Json.t

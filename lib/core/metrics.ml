@@ -26,10 +26,12 @@ type run = {
   groups : int;
   by_func : (string * float array) list; (* per-function category cycles *)
   stats : Driver.transform_stats;
+  passes : Epic_obs.Passes.record list; (* per-pass compiler instrumentation *)
+  profile : Epic_obs.Profile.summary option; (* PC samples, when sampling ran *)
   output_matches : bool; (* simulator output == reference interpreter output *)
 }
 
-let of_machine ~(workload : string) (compiled : Driver.compiled)
+let of_machine ~(workload : string) ?profile (compiled : Driver.compiled)
     (st : Epic_sim.Machine.t) ~(output_matches : bool) =
   let open Epic_sim in
   let acc = st.Machine.acc in
@@ -60,8 +62,37 @@ let of_machine ~(workload : string) (compiled : Driver.compiled)
       Hashtbl.fold (fun f b acc -> (f, Array.copy b) :: acc)
         acc.Accounting.by_func [];
     stats = compiled.Driver.transform_stats;
+    passes = compiled.Driver.pass_records;
+    profile = Option.map Epic_obs.Profile.summarize profile;
     output_matches;
   }
+
+(* Estimated cycles spent in [f] from PC samples (samples x period) when a
+   profile is present, else the exact per-function accounting sum. *)
+let func_cycles_est r f =
+  match r.profile with
+  | Some p -> (
+      match List.assoc_opt f p.Epic_obs.Profile.s_by_func with
+      | Some n -> float_of_int (n * p.Epic_obs.Profile.s_period)
+      | None -> 0.)
+  | None -> (
+      match List.assoc_opt f r.by_func with
+      | Some b -> Array.fold_left ( +. ) 0. b
+      | None -> 0.)
+
+(* The functions a per-function report should iterate over: sampled
+   functions when a profile is present, accounting bins otherwise. *)
+let profiled_functions r =
+  match r.profile with
+  | Some p -> List.map fst p.Epic_obs.Profile.s_by_func
+  | None -> List.map fst r.by_func
+
+(* Total estimated cycles backing [func_cycles_est] (sampling quantizes, so
+   use the matching denominator when computing shares). *)
+let total_cycles_est r =
+  match r.profile with
+  | Some p -> float_of_int (p.Epic_obs.Profile.s_samples * p.Epic_obs.Profile.s_period)
+  | None -> r.cycles
 
 (* Planned IPC: useful operations per anticipated cycle (the paper's 2.63
    for ILP-CS); achieved IPC: useful operations per actual cycle (1.23). *)
@@ -71,15 +102,20 @@ let planned_ipc r =
 let achieved_ipc r =
   if r.cycles > 0. then float_of_int r.useful_ops /. r.cycles else 0.
 
+(* With zero predictions there is nothing to mispredict, so the rate is
+   vacuously perfect: 1.0 by convention (documented in the .mli, asserted
+   by the tests) rather than 0/0. *)
 let branch_prediction_rate r =
   if r.predictions = 0 then 1.0
   else 1.0 -. (float_of_int r.mispredictions /. float_of_int r.predictions)
 
 let category r cat = r.categories.(Epic_sim.Accounting.index cat)
 
+(* The geometric mean of an empty list has no value (it would be exp of an
+   empty average); raise rather than silently answering 0. *)
 let geomean xs =
   match xs with
-  | [] -> 0.
+  | [] -> invalid_arg "Metrics.geomean: empty list"
   | _ ->
       let n = float_of_int (List.length xs) in
       exp (List.fold_left (fun acc x -> acc +. log (max x 1e-9)) 0. xs /. n)

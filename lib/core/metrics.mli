@@ -27,16 +27,35 @@ type run = {
   groups : int;
   by_func : (string * float array) list;
   stats : Driver.transform_stats;
+  passes : Epic_obs.Passes.record list;
+      (** per-pass compiler instrumentation (wall time, rounds, IR deltas) *)
+  profile : Epic_obs.Profile.summary option;
+      (** PC-sampling profile, when the run sampled *)
   output_matches : bool;
       (** simulator output equalled the reference interpreter's *)
 }
 
+(** [profile] embeds the run's PC-sampling profile (pass the profiler
+    given to {!Driver.run}). *)
 val of_machine :
   workload:string ->
+  ?profile:Epic_obs.Profile.t ->
   Driver.compiled ->
   Epic_sim.Machine.t ->
   output_matches:bool ->
   run
+
+(** Estimated cycles spent in a function: samples x period when the run
+    carries a profile (the Pfmon address-sampling path behind Figure 10),
+    the exact accounting sum otherwise. *)
+val func_cycles_est : run -> string -> float
+
+(** Functions a per-function report should iterate over: sampled functions
+    when a profile is present, accounting bins otherwise. *)
+val profiled_functions : run -> string list
+
+(** Denominator matching {!func_cycles_est} (sampling quantizes totals). *)
+val total_cycles_est : run -> float
 
 (** Useful operations per statically-anticipated cycle (paper: 2.63 for
     ILP-CS). *)
@@ -45,6 +64,13 @@ val planned_ipc : run -> float
 (** Useful operations per actual cycle (paper: 1.23). *)
 val achieved_ipc : run -> float
 
+(** Fraction of predictions that were correct.  With [predictions = 0]
+    there is nothing to mispredict, so the rate is vacuously perfect:
+    [1.0] by convention (not 0/0). *)
 val branch_prediction_rate : run -> float
+
 val category : run -> Epic_sim.Accounting.category -> float
+
+(** Geometric mean.  @raise Invalid_argument on an empty list — an empty
+    geomean has no value, and silently answering 0 hid bugs. *)
 val geomean : float list -> float

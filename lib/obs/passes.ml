@@ -1,0 +1,59 @@
+(* Per-pass instrumentation registry: wall time, rounds and IR-size deltas
+   for every phase the driver runs. *)
+
+type record = {
+  name : string;
+  wall_s : float;
+  rounds : int;
+  instrs_before : int;
+  instrs_after : int;
+  blocks_before : int;
+  blocks_after : int;
+  bytes_before : int;
+  bytes_after : int;
+}
+
+type t = { mutable rev : record list }
+
+let create () = { rev = [] }
+let reset t = t.rev <- []
+
+let add t ~name ~wall_s ~rounds ~instrs:(instrs_before, instrs_after)
+    ~blocks:(blocks_before, blocks_after) ~bytes:(bytes_before, bytes_after) =
+  t.rev <-
+    {
+      name;
+      wall_s;
+      rounds;
+      instrs_before;
+      instrs_after;
+      blocks_before;
+      blocks_after;
+      bytes_before;
+      bytes_after;
+    }
+    :: t.rev
+
+let records t = List.rev t.rev
+let total_wall_s t = List.fold_left (fun a r -> a +. r.wall_s) 0. t.rev
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("name", Json.Str r.name);
+      ("wall_s", Json.Float r.wall_s);
+      ("rounds", Json.Int r.rounds);
+      ("instrs_before", Json.Int r.instrs_before);
+      ("instrs_after", Json.Int r.instrs_after);
+      ("blocks_before", Json.Int r.blocks_before);
+      ("blocks_after", Json.Int r.blocks_after);
+      ("bytes_before", Json.Int r.bytes_before);
+      ("bytes_after", Json.Int r.bytes_after);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("total_wall_s", Json.Float (total_wall_s t));
+      ("passes", Json.List (List.map record_to_json (records t)));
+    ]

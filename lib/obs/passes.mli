@@ -1,0 +1,40 @@
+(** Per-pass compiler instrumentation: the driver wraps every phase of the
+    Figure-4 pipeline and records wall time, fixed-point round counts and
+    IR-size deltas here, giving each compilation a machine-readable cost
+    breakdown to diff across PRs. *)
+
+type record = {
+  name : string;  (** phase name, in execution order *)
+  wall_s : float;  (** processor time spent in the phase *)
+  rounds : int;  (** fixed-point rounds run (1 for single-shot passes) *)
+  instrs_before : int;
+  instrs_after : int;
+  blocks_before : int;
+  blocks_after : int;
+  bytes_before : int;
+  bytes_after : int;
+      (** estimated code bytes (16-byte bundles at the architectural
+          3-ops-per-bundle density); exact only after layout *)
+}
+
+type t
+
+val create : unit -> t
+val reset : t -> unit
+
+val add :
+  t ->
+  name:string ->
+  wall_s:float ->
+  rounds:int ->
+  instrs:int * int ->
+  blocks:int * int ->
+  bytes:int * int ->
+  unit
+
+(** Records in execution order. *)
+val records : t -> record list
+
+val total_wall_s : t -> float
+val record_to_json : record -> Json.t
+val to_json : t -> Json.t

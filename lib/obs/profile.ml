@@ -1,0 +1,96 @@
+(* Interval-based PC-sampling profiler (see the .mli for the attribution
+   model).  Sample points are the multiples of [period]; a tick covers the
+   half-open cycle interval since the previous tick. *)
+
+type t = {
+  period : int;
+  mutable last : int; (* cycle of the previous tick *)
+  mutable samples : int;
+  by_func : (string, int) Hashtbl.t;
+  by_block : (string * string, int) Hashtbl.t;
+}
+
+let create ?(period = 97) () =
+  if period <= 0 then invalid_arg "Profile.create: period must be positive";
+  { period; last = 0; samples = 0; by_func = Hashtbl.create 32; by_block = Hashtbl.create 64 }
+
+let period t = t.period
+
+let bump tbl key n =
+  match Hashtbl.find_opt tbl key with
+  | Some c -> Hashtbl.replace tbl key (c + n)
+  | None -> Hashtbl.replace tbl key n
+
+let tick t ~cycle ~func ~block =
+  if cycle > t.last then begin
+    let n = (cycle / t.period) - (t.last / t.period) in
+    if n > 0 then begin
+      t.samples <- t.samples + n;
+      bump t.by_func func n;
+      bump t.by_block (func, block) n
+    end;
+    t.last <- cycle
+  end
+
+let samples t = t.samples
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (ka, a) (kb, b) ->
+         match compare b a with 0 -> compare ka kb | c -> c)
+
+let by_func t = sorted_bindings t.by_func
+let by_block t = sorted_bindings t.by_block
+
+let func_share t f =
+  if t.samples = 0 then 0.
+  else
+    match Hashtbl.find_opt t.by_func f with
+    | Some n -> float_of_int n /. float_of_int t.samples
+    | None -> 0.
+
+let func_cycles_est t f =
+  match Hashtbl.find_opt t.by_func f with
+  | Some n -> float_of_int (n * t.period)
+  | None -> 0.
+
+type summary = {
+  s_period : int;
+  s_samples : int;
+  s_by_func : (string * int) list;
+  s_by_block : ((string * string) * int) list;
+}
+
+let summarize t =
+  {
+    s_period = t.period;
+    s_samples = t.samples;
+    s_by_func = by_func t;
+    s_by_block = by_block t;
+  }
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("period", Json.Int s.s_period);
+      ("samples", Json.Int s.s_samples);
+      ( "by_func",
+        Json.List
+          (List.map
+             (fun (f, n) ->
+               Json.Obj [ ("func", Json.Str f); ("samples", Json.Int n) ])
+             s.s_by_func) );
+      ( "by_block",
+        Json.List
+          (List.map
+             (fun ((f, b), n) ->
+               Json.Obj
+                 [
+                   ("func", Json.Str f);
+                   ("block", Json.Str b);
+                   ("samples", Json.Int n);
+                 ])
+             s.s_by_block) );
+    ]
+
+let to_json t = summary_to_json (summarize t)

@@ -1,0 +1,52 @@
+(** PC-sampling profiler — the address-sampling mode of Pfmon behind the
+    paper's Figure 10.  The simulator notifies the profiler at attribution
+    points (end of each issue group, end of each intrinsic); the profiler
+    converts the elapsed cycle interval into the sample points it covers
+    (one every [period] cycles) and attributes them to the function and
+    basic block that was executing.
+
+    Because the simulated clock advances in bursts (stalls, penalties),
+    sampling works on intervals rather than a per-cycle callback: a tick at
+    cycle [c] attributes every multiple of [period] in [(last, c]] to the
+    given location.  Attribution error is bounded by one period per
+    control transfer, so sampled shares converge to the exact accounting
+    shares as runs get longer — the property the tests check at 5%. *)
+
+type t
+
+(** [create ()] makes a profiler sampling every [period] cycles
+    (default 97 — prime, to avoid aliasing with periodic code). *)
+val create : ?period:int -> unit -> t
+
+val period : t -> int
+
+(** [tick t ~cycle ~func ~block] attributes the sample points in
+    [(last_tick, cycle]] to [func]/[block]. *)
+val tick : t -> cycle:int -> func:string -> block:string -> unit
+
+(** Total samples taken. *)
+val samples : t -> int
+
+(** Samples per function, descending. *)
+val by_func : t -> (string * int) list
+
+(** Samples per (function, block), descending. *)
+val by_block : t -> ((string * string) * int) list
+
+(** Fraction of samples landing in [func] (0 if no samples). *)
+val func_share : t -> string -> float
+
+(** Estimated cycles spent in [func]: samples × period. *)
+val func_cycles_est : t -> string -> float
+
+(** An immutable summary, embeddable in {!Epic_core.Metrics.run}. *)
+type summary = {
+  s_period : int;
+  s_samples : int;
+  s_by_func : (string * int) list;  (** descending *)
+  s_by_block : ((string * string) * int) list;  (** descending *)
+}
+
+val summarize : t -> summary
+val summary_to_json : summary -> Json.t
+val to_json : t -> Json.t

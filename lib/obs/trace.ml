@@ -1,0 +1,108 @@
+(* Bounded ring-buffer event trace with an exact per-kind counter registry.
+   See the .mli for the event taxonomy. *)
+
+type kind =
+  | L1i_miss
+  | L1d_miss
+  | L2_miss
+  | Dtlb_walk
+  | Wild_load
+  | Br_mispredict
+  | Rse_spill
+  | Rse_fill
+  | Spec_load
+  | Chk_recovery
+  | Nat_deferral
+
+let all_kinds =
+  [
+    L1i_miss; L1d_miss; L2_miss; Dtlb_walk; Wild_load; Br_mispredict;
+    Rse_spill; Rse_fill; Spec_load; Chk_recovery; Nat_deferral;
+  ]
+
+let kind_index = function
+  | L1i_miss -> 0
+  | L1d_miss -> 1
+  | L2_miss -> 2
+  | Dtlb_walk -> 3
+  | Wild_load -> 4
+  | Br_mispredict -> 5
+  | Rse_spill -> 6
+  | Rse_fill -> 7
+  | Spec_load -> 8
+  | Chk_recovery -> 9
+  | Nat_deferral -> 10
+
+let n_kinds = List.length all_kinds
+
+let kind_name = function
+  | L1i_miss -> "l1i-miss"
+  | L1d_miss -> "l1d-miss"
+  | L2_miss -> "l2-miss"
+  | Dtlb_walk -> "dtlb-walk"
+  | Wild_load -> "wild-load"
+  | Br_mispredict -> "br-mispredict"
+  | Rse_spill -> "rse-spill"
+  | Rse_fill -> "rse-fill"
+  | Spec_load -> "spec-load"
+  | Chk_recovery -> "chk-recovery"
+  | Nat_deferral -> "nat-deferral"
+
+type event = { cycle : int; kind : kind; func : string; addr : int64 }
+
+let dummy = { cycle = 0; kind = L1i_miss; func = ""; addr = 0L }
+
+type t = {
+  buf : event array;
+  mutable next : int; (* write cursor *)
+  mutable total : int; (* events ever recorded *)
+  counts : int array; (* exact per-kind tallies *)
+}
+
+let create ?(capacity = 65536) () =
+  if capacity <= 0 then invalid_arg "Trace.create: capacity must be positive";
+  { buf = Array.make capacity dummy; next = 0; total = 0; counts = Array.make n_kinds 0 }
+
+let capacity t = Array.length t.buf
+
+let record t ~cycle ~kind ~func ~addr =
+  t.counts.(kind_index kind) <- t.counts.(kind_index kind) + 1;
+  t.buf.(t.next) <- { cycle; kind; func; addr };
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  t.total <- t.total + 1
+
+let total t = t.total
+let dropped t = max 0 (t.total - Array.length t.buf)
+let count t kind = t.counts.(kind_index kind)
+
+let distinct_kinds t =
+  Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 t.counts
+
+let events t =
+  let cap = Array.length t.buf in
+  let retained = min t.total cap in
+  let first = (t.next - retained + cap) mod cap in
+  List.init retained (fun k -> t.buf.((first + k) mod cap))
+
+let to_json t =
+  Json.Obj
+    [
+      ("total", Json.Int t.total);
+      ("dropped", Json.Int (dropped t));
+      ("capacity", Json.Int (capacity t));
+      ( "counts",
+        Json.Obj
+          (List.map (fun k -> (kind_name k, Json.Int (count t k))) all_kinds) );
+      ( "events",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("cycle", Json.Int e.cycle);
+                   ("kind", Json.Str (kind_name e.kind));
+                   ("func", Json.Str e.func);
+                   ("addr", Json.Str (Printf.sprintf "0x%Lx" e.addr));
+                 ])
+             (events t)) );
+    ]

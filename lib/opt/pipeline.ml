@@ -14,10 +14,21 @@ let classical_pass (p : Program.t) =
   c1 || c2 || c3 || c4 || c5 || c6
 
 (* Run classical optimization to a fixed point (bounded), then LICM, then a
-   final cleanup round. *)
-let run_classical ?(max_rounds = 8) (p : Program.t) =
-  let rec go n = if n > 0 && classical_pass p then go (n - 1) in
+   final cleanup round.  Returns the number of fixed-point rounds actually
+   executed (for the per-pass instrumentation). *)
+let run_classical_counted ?(max_rounds = 8) (p : Program.t) =
+  let rounds = ref 0 in
+  let rec go n =
+    if n > 0 && classical_pass p then begin
+      incr rounds;
+      go (n - 1)
+    end
+  in
   go max_rounds;
   let moved = Licm.run p in
   if moved then go 3;
-  Verify.check_program p
+  Verify.check_program p;
+  !rounds
+
+let run_classical ?max_rounds (p : Program.t) =
+  ignore (run_classical_counted ?max_rounds p)

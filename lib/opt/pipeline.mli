@@ -7,3 +7,7 @@
 val classical_pass : Epic_ir.Program.t -> bool
 
 val run_classical : ?max_rounds:int -> Epic_ir.Program.t -> unit
+
+(** Same as {!run_classical} but returns the number of fixed-point rounds
+    actually executed (feeding the per-pass instrumentation). *)
+val run_classical_counted : ?max_rounds:int -> Epic_ir.Program.t -> int

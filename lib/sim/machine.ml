@@ -98,10 +98,13 @@ type t = {
   mutable sb_last_cycle : int;
   mutable fuel : int;
   mutable cur_func : string; (* for per-function attribution *)
+  mutable cur_block : string; (* for per-block sample attribution *)
+  trace : Epic_obs.Trace.t option; (* event tracing; None = disabled, free *)
+  prof : Epic_obs.Profile.t option; (* PC-sampling profiler *)
 }
 
-let create ?(fuel = 400_000_000) (program : Program.t) (layout : Layout.t)
-    (input : int64 array) =
+let create ?(fuel = 400_000_000) ?trace ?profile (program : Program.t)
+    (layout : Layout.t) (input : int64 array) =
   Program.assign_addresses program;
   let mem = Memimage.create () in
   Memimage.load_program mem program;
@@ -130,9 +133,27 @@ let create ?(fuel = 400_000_000) (program : Program.t) (layout : Layout.t)
     sb_last_cycle = 0;
     fuel;
     cur_func = "main";
+    cur_block = "entry";
+    trace;
+    prof = profile;
   }
 
 let charge st cat n = Accounting.charge st.acc st.cur_func cat n
+
+(* Emit a trace event (free when tracing is disabled, the default). *)
+let emit st kind addr =
+  match st.trace with
+  | None -> ()
+  | Some tr ->
+      Epic_obs.Trace.record tr ~cycle:st.cycle ~kind ~func:st.cur_func ~addr
+
+(* Attribute the sample points in the cycle interval since the last tick to
+   the current function and block. *)
+let sample_tick st =
+  match st.prof with
+  | None -> ()
+  | Some p ->
+      Epic_obs.Profile.tick p ~cycle:st.cycle ~func:st.cur_func ~block:st.cur_block
 
 (* --- memory hierarchy ---------------------------------------------------- *)
 
@@ -142,18 +163,34 @@ let dcache_extra st (addr : int64) ~(is_float : bool) =
     (* Itanium 2 keeps no FP data in L1D; FP loads are served from L2, and
        the compiler plans [float_load_latency] already *)
     if Cache.access st.l2 addr then 0
-    else if Cache.access st.l3 addr then max 0 (Itanium.l3_latency - Itanium.float_load_latency)
-    else Itanium.mem_latency - Itanium.float_load_latency
+    else begin
+      emit st Epic_obs.Trace.L2_miss addr;
+      if Cache.access st.l3 addr then
+        max 0 (Itanium.l3_latency - Itanium.float_load_latency)
+      else Itanium.mem_latency - Itanium.float_load_latency
+    end
   else if Cache.access st.l1d addr then 0
-  else if Cache.access st.l2 addr then Itanium.l2_latency - 1
-  else if Cache.access st.l3 addr then Itanium.l3_latency - 1
-  else Itanium.mem_latency
+  else begin
+    emit st Epic_obs.Trace.L1d_miss addr;
+    if Cache.access st.l2 addr then Itanium.l2_latency - 1
+    else begin
+      emit st Epic_obs.Trace.L2_miss addr;
+      if Cache.access st.l3 addr then Itanium.l3_latency - 1
+      else Itanium.mem_latency
+    end
+  end
 
 let icache_penalty st (addr : int64) =
   if Cache.access st.l1i addr then 0
-  else if Cache.access st.l2 addr then Itanium.l2_latency
-  else if Cache.access st.l3 addr then Itanium.l3_latency
-  else Itanium.mem_latency
+  else begin
+    emit st Epic_obs.Trace.L1i_miss addr;
+    if Cache.access st.l2 addr then Itanium.l2_latency
+    else begin
+      emit st Epic_obs.Trace.L2_miss addr;
+      if Cache.access st.l3 addr then Itanium.l3_latency
+      else Itanium.mem_latency
+    end
+  end
 
 (* DTLB lookup; returns extra cycles charged appropriately.  [spec] decides
    the policy on unmapped pages; returns [`Ok extra | `Nat extra]. *)
@@ -166,9 +203,11 @@ let translate st (addr : int64) (spec : Opcode.spec_kind) =
         | Opcode.Spec_sentinel ->
             (* early deferral: a DTLB miss defers rather than walking; the
                chk's recovery will perform the real access *)
+            emit st Epic_obs.Trace.Nat_deferral addr;
             `Nat 0
         | Opcode.Nonspec | Opcode.Spec_general | Opcode.Spec_advanced ->
             Tlb.fill st.dtlb addr;
+            emit st Epic_obs.Trace.Dtlb_walk addr;
             charge st Accounting.Micropipe Itanium.vhpt_walk_cycles;
             st.cycle <- st.cycle + Itanium.vhpt_walk_cycles;
             `Ok 0)
@@ -178,6 +217,7 @@ let translate st (addr : int64) (spec : Opcode.spec_kind) =
             raise (Machine_fault (Printf.sprintf "NULL access 0x%Lx" addr))
         | _ ->
             (* architected NaT page: cheap *)
+            emit st Epic_obs.Trace.Nat_deferral addr;
             charge st Accounting.Micropipe Itanium.nat_page_cycles;
             st.cycle <- st.cycle + Itanium.nat_page_cycles;
             `Nat 0)
@@ -187,12 +227,15 @@ let translate st (addr : int64) (spec : Opcode.spec_kind) =
             raise (Machine_fault (Printf.sprintf "unmapped access 0x%Lx" addr))
         | Opcode.Spec_general ->
             (* wild load: failed walk + uncached page-table query (kernel) *)
+            emit st Epic_obs.Trace.Wild_load addr;
             st.c.wild_loads <- st.c.wild_loads + 1;
             st.c.kernel_ops <- st.c.kernel_ops + Itanium.wild_walk_cycles / 4;
             charge st Accounting.Kernel Itanium.wild_walk_cycles;
             st.cycle <- st.cycle + Itanium.wild_walk_cycles;
             `Nat 0
-        | Opcode.Spec_sentinel -> `Nat 0)
+        | Opcode.Spec_sentinel ->
+            emit st Epic_obs.Trace.Nat_deferral addr;
+            `Nat 0)
 
 (* --- register access ----------------------------------------------------- *)
 
@@ -284,8 +327,12 @@ let do_intrinsic st (k : Intrinsics.kind) (args : (int64 * bool) list) =
     | None -> 0L
   in
   let caller = st.cur_func in
+  let caller_block = st.cur_block in
+  (* settle samples owed to the caller before entering the pseudo-function *)
+  sample_tick st;
   let pseudo = Intrinsics.(List.find (fun (_, k') -> k' = k) all) |> fst in
   st.cur_func <- pseudo;
+  st.cur_block <- "<intrinsic>";
   let cost = Intrinsics.base_cost k in
   charge st Accounting.Unstalled cost;
   st.cycle <- st.cycle + cost;
@@ -340,7 +387,11 @@ let do_intrinsic st (k : Intrinsics.kind) (args : (int64 * bool) list) =
         []
     | Intrinsics.Exit -> raise (Exit_program (Int64.to_int (geti 0)))
   in
+  (* attribute the intrinsic's cycles to the pseudo-function, matching the
+     per-function accounting bins *)
+  sample_tick st;
   st.cur_func <- caller;
+  st.cur_block <- caller_block;
   results
 
 (* --- execution ----------------------------------------------------------- *)
@@ -442,6 +493,7 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
         st.c.branches <- st.c.branches + 1;
         let correct = Branch_pred.predict_and_update st.bp i.Instr.id false in
         if not correct then begin
+          emit st Epic_obs.Trace.Br_mispredict (Int64.of_int i.Instr.id);
           charge st Accounting.Br_mispredict Itanium.branch_mispredict_penalty;
           st.cycle <- st.cycle + Itanium.branch_mispredict_penalty
         end
@@ -526,6 +578,7 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
           st.c.useful_ops <- st.c.useful_ops + 1;
           if spec <> Opcode.Nonspec then st.c.spec_loads <- st.c.spec_loads + 1;
           let addr, na = operand_int st fr a in
+          if spec <> Opcode.Nonspec then emit st Epic_obs.Trace.Spec_load addr;
           if na then begin
             (* NaT address: propagate deferral *)
             if spec = Opcode.Nonspec then st.c.nat_consumed <- st.c.nat_consumed + 1;
@@ -608,6 +661,7 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
             charge st Accounting.Misc Itanium.chk_recovery_penalty;
             st.cycle <- st.cycle + Itanium.chk_recovery_penalty;
             let addr, na = operand_int st fr a in
+            emit st Epic_obs.Trace.Chk_recovery addr;
             if na then raise (Machine_fault "chk recovery with NaT address")
             else
               match translate st addr Opcode.Nonspec with
@@ -630,6 +684,7 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
             charge st Accounting.Misc Itanium.chk_recovery_penalty;
             st.cycle <- st.cycle + Itanium.chk_recovery_penalty;
             let addr, na = operand_int st fr a in
+            emit st Epic_obs.Trace.Chk_recovery addr;
             if na then raise (Machine_fault "chk.a recovery with NaT address")
             else
               match translate st addr Opcode.Nonspec with
@@ -651,6 +706,7 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
             (* conditional, and the guard was true (we are here) *)
             let correct = Branch_pred.predict_and_update st.bp i.Instr.id true in
             if not correct then begin
+              emit st Epic_obs.Trace.Br_mispredict (Int64.of_int i.Instr.id);
               charge st Accounting.Br_mispredict Itanium.branch_mispredict_penalty;
               st.cycle <- st.cycle + Itanium.branch_mispredict_penalty
             end
@@ -725,9 +781,12 @@ and exec_call st (caller_fr : frame) (fname : string) (args : (int64 * bool) lis
       (* RSE push *)
       let spill_cycles = Rse.on_call st.rse (max 1 f.Func.n_stacked) in
       if spill_cycles > 0 then begin
+        emit st Epic_obs.Trace.Rse_spill 0L;
         charge st Accounting.Rse spill_cycles;
         st.cycle <- st.cycle + spill_cycles
       end;
+      (* settle samples owed to the caller before attribution switches *)
+      sample_tick st;
       let fr = fresh_frame f in
       List.iteri
         (fun n (p : Reg.t) ->
@@ -739,6 +798,7 @@ and exec_call st (caller_fr : frame) (fname : string) (args : (int64 * bool) lis
         f.Func.params;
       fr.ints.(Reg.sp.Reg.id) <- caller_fr.ints.(Reg.sp.Reg.id);
       let saved_func = st.cur_func in
+      let saved_block = st.cur_block in
       st.cur_func <- fname;
       let result =
         try
@@ -746,11 +806,15 @@ and exec_call st (caller_fr : frame) (fname : string) (args : (int64 * bool) lis
           []
         with Returned vs -> vs
       in
+      (* settle samples owed to the callee before attribution reverts *)
+      sample_tick st;
       st.cur_func <- saved_func;
+      st.cur_block <- saved_block;
       charge st Accounting.Unstalled Itanium.return_overhead;
       st.cycle <- st.cycle + Itanium.return_overhead;
       let fill_cycles = Rse.on_return st.rse in
       if fill_cycles > 0 then begin
+        emit st Epic_obs.Trace.Rse_fill 0L;
         charge st Accounting.Rse fill_cycles;
         st.cycle <- st.cycle + fill_cycles
       end;
@@ -763,6 +827,7 @@ and exec_blocks st (fr : frame) (block : Block.t) =
     match Layout.block_layout st.layout f.Func.name b.Block.label with
     | None -> raise (Machine_fault ("no layout for block " ^ b.Block.label))
     | Some bl -> (
+        st.cur_block <- b.Block.label;
         let taken = ref None in
         (try
            Array.iter
@@ -782,9 +847,15 @@ and exec_blocks st (fr : frame) (block : Block.t) =
                (* issue: one cycle per fetch chunk *)
                charge st Accounting.Unstalled chunks;
                st.cycle <- st.cycle + chunks;
-               List.iter (fun i -> exec_instr st fr i) g.Layout.instrs)
+               List.iter (fun i -> exec_instr st fr i) g.Layout.instrs;
+               (* sampling attribution point: this group's cycles (issue,
+                  stalls, penalties) belong to the current block *)
+               sample_tick st)
              bl.Layout.groups
-         with Taken l -> taken := Some l);
+         with
+        | Taken l ->
+            sample_tick st;
+            taken := Some l);
         match !taken with
         | Some l -> (
             match Func.find_block f l with
@@ -799,8 +870,9 @@ and exec_blocks st (fr : frame) (block : Block.t) =
   run_block block
 
 (* Run a whole program; returns (exit code, output, state). *)
-let run ?fuel (p : Program.t) (layout : Layout.t) (input : int64 array) =
-  let st = create ?fuel p layout input in
+let run ?fuel ?trace ?profile (p : Program.t) (layout : Layout.t)
+    (input : int64 array) =
+  let st = create ?fuel ?trace ?profile p layout input in
   let main_fr = fresh_frame (Program.find_func_exn p p.Program.entry) in
   main_fr.ints.(Reg.sp.Reg.id) <- Int64.sub Program.stack_top 128L;
   let code =
@@ -810,4 +882,6 @@ let run ?fuel (p : Program.t) (layout : Layout.t) (input : int64 array) =
       | [] -> 0
     with Exit_program c -> c
   in
+  (* settle any samples still owed to the last attribution point *)
+  sample_tick st;
   (code, Buffer.contents st.output, st)

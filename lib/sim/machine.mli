@@ -54,13 +54,25 @@ type t = {
   mutable sb_last_cycle : int;
   mutable fuel : int;
   mutable cur_func : string;
+  mutable cur_block : string;
+  trace : Epic_obs.Trace.t option;
+      (** event-trace sink; [None] (the default) records nothing and
+          changes no counter or cycle *)
+  prof : Epic_obs.Profile.t option;  (** PC-sampling profiler, opt-in *)
 }
 
 (** Run a laid-out program on the given input; returns (exit code, printed
     output, final machine state).  Output must equal the reference
-    interpreter's on the same program and input. *)
+    interpreter's on the same program and input.
+
+    [trace] enables architectural event tracing (see {!Epic_obs.Trace});
+    [profile] enables PC sampling (see {!Epic_obs.Profile}).  Both are off
+    by default and, when off, leave every counter and cycle identical to a
+    plain run. *)
 val run :
   ?fuel:int ->
+  ?trace:Epic_obs.Trace.t ->
+  ?profile:Epic_obs.Profile.t ->
   Epic_ir.Program.t ->
   Epic_sched.Layout.t ->
   int64 array ->

@@ -10,5 +10,6 @@ let () =
       ("sched", Test_sched.suite);
       ("sim", Test_sim.suite);
       ("integration", Test_integration.suite);
+      ("obs", Test_obs.suite);
       ("paper-shapes", Test_workload_shapes.suite);
     ]

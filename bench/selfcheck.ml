@@ -1,0 +1,38 @@
+(* Debug driver: compile every suite workload at every level with the
+   analysis cache's self-check enabled — every cache hit is re-validated
+   against a fresh recompute, and any stale entry aborts with the offending
+   analysis and function.  Used to validate the pass-manager preservation
+   contracts.
+
+     dune exec bench/selfcheck.exe *)
+
+open Epic_workloads
+
+let () =
+  Epic_analysis.Cache.self_check := true;
+  List.iter
+    (fun (w : Workload.t) ->
+      List.iter
+        (fun level ->
+          let config =
+            {
+              (Epic_core.Config.make level) with
+              Epic_core.Config.pointer_analysis = w.Workload.pointer_analysis;
+            }
+          in
+          Fmt.pr "%-10s %-8s ... %!" w.Workload.short
+            (Epic_core.Config.level_name level);
+          let c =
+            Epic_core.Driver.compile ~config ~train:w.Workload.train
+              w.Workload.source
+          in
+          ignore c;
+          Fmt.pr "ok@.")
+        [
+          Epic_core.Config.Gcc_like;
+          Epic_core.Config.O_NS;
+          Epic_core.Config.ILP_NS;
+          Epic_core.Config.ILP_CS;
+        ])
+    Suite.all;
+  Fmt.pr "self-check clean: no stale cache entries@."

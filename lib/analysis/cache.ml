@@ -1,0 +1,204 @@
+(* Per-function analysis cache (the storage layer under the pass manager).
+   Entries are keyed by function name; invalidation is explicit and driven
+   by the pass manager's preservation contracts.  A debug self-check mode
+   re-validates every hit against a fresh recompute. *)
+
+open Epic_ir
+
+type kind = Dominance | Liveness | Loops | Memdep | Callgraph | Points_to
+
+let all_kinds = [ Dominance; Liveness; Loops; Memdep; Callgraph; Points_to ]
+
+let kind_name = function
+  | Dominance -> "dominance"
+  | Liveness -> "liveness"
+  | Loops -> "loops"
+  | Memdep -> "memdep"
+  | Callgraph -> "callgraph"
+  | Points_to -> "points-to"
+
+type memdep_summary = (string, Instr.t list) Hashtbl.t
+
+(* One function's cached entries.  [None] = absent (never computed, or
+   invalidated). *)
+type entry = {
+  mutable dom : Dominance.t option;
+  mutable live : Liveness.t option;
+  mutable loops : Natural_loops.t option;
+  mutable memdep : memdep_summary option;
+}
+
+type counter = { mutable hits : int; mutable misses : int }
+
+type t = {
+  funcs : (string, entry) Hashtbl.t;
+  mutable cg : Callgraph.t option;
+  mutable pt : (bool * Points_to.t) option; (* keyed on the [enabled] flag *)
+  counters : (kind * counter) list;
+}
+
+let self_check = ref false
+
+let create () =
+  {
+    funcs = Hashtbl.create 16;
+    cg = None;
+    pt = None;
+    counters = List.map (fun k -> (k, { hits = 0; misses = 0 })) all_kinds;
+  }
+
+let counter t k = List.assoc k t.counters
+
+let entry t (f : Func.t) =
+  match Hashtbl.find_opt t.funcs f.Func.name with
+  | Some e -> e
+  | None ->
+      let e = { dom = None; live = None; loops = None; memdep = None } in
+      Hashtbl.replace t.funcs f.Func.name e;
+      e
+
+let check_failure k fname =
+  failwith
+    (Printf.sprintf
+       "Epic_analysis.Cache: stale %s entry for function %s (cached <> \
+        fresh; a pass mutated the IR without invalidating)"
+       (kind_name k) fname)
+
+(* Generic fetch: [get]/[set] project the slot out of the entry, [compute]
+   builds a fresh value, [eq] validates a hit under [self_check]. *)
+let fetch t k (f : Func.t) ~get ~set ~compute ~eq =
+  let e = entry t f in
+  let c = counter t k in
+  match get e with
+  | Some v ->
+      c.hits <- c.hits + 1;
+      if !self_check && not (eq v (compute ())) then
+        check_failure k f.Func.name;
+      v
+  | None ->
+      c.misses <- c.misses + 1;
+      let v = compute () in
+      set e (Some v);
+      v
+
+let dominance t f =
+  fetch t Dominance f
+    ~get:(fun e -> e.dom)
+    ~set:(fun e v -> e.dom <- v)
+    ~compute:(fun () -> Dominance.compute f)
+    ~eq:Dominance.equal
+
+let liveness t f =
+  fetch t Liveness f
+    ~get:(fun e -> e.live)
+    ~set:(fun e v -> e.live <- v)
+    ~compute:(fun () -> Liveness.compute f)
+    ~eq:Liveness.equal
+
+let loops t f =
+  fetch t Loops f
+    ~get:(fun e -> e.loops)
+    ~set:(fun e v -> e.loops <- v)
+    ~compute:(fun () -> Natural_loops.compute ~dom:(dominance t f) f)
+    ~eq:Natural_loops.equal
+
+let compute_memdep (f : Func.t) : memdep_summary =
+  let tbl = Hashtbl.create (List.length f.Func.blocks) in
+  List.iter
+    (fun (b : Block.t) ->
+      Hashtbl.replace tbl b.Block.label
+        (List.filter
+           (fun (i : Instr.t) ->
+             Instr.is_store i
+             || (Instr.is_call i && Memdep.call_touches_memory i))
+           b.Block.instrs))
+    f.Func.blocks;
+  tbl
+
+let memdep_equal (a : memdep_summary) (b : memdep_summary) =
+  Hashtbl.length a = Hashtbl.length b
+  && Hashtbl.fold
+       (fun l is acc ->
+         acc
+         &&
+         match Hashtbl.find_opt b l with
+         | Some is' ->
+             List.length is = List.length is'
+             && List.for_all2 (fun (x : Instr.t) y -> x == y) is is'
+         | None -> false)
+       a true
+
+let memdep t f =
+  fetch t Memdep f
+    ~get:(fun e -> e.memdep)
+    ~set:(fun e v -> e.memdep <- v)
+    ~compute:(fun () -> compute_memdep f)
+    ~eq:memdep_equal
+
+let callgraph t (p : Program.t) =
+  let c = counter t Callgraph in
+  match t.cg with
+  | Some cg ->
+      c.hits <- c.hits + 1;
+      cg
+  | None ->
+      c.misses <- c.misses + 1;
+      let cg = Callgraph.compute p in
+      t.cg <- Some cg;
+      cg
+
+let points_to t ~enabled (p : Program.t) =
+  let c = counter t Points_to in
+  match t.pt with
+  | Some (en, pt) when en = enabled ->
+      c.hits <- c.hits + 1;
+      pt
+  | _ ->
+      c.misses <- c.misses + 1;
+      let pt = Points_to.analyze ~enabled p in
+      t.pt <- Some (enabled, pt);
+      pt
+
+let invalidate t ?(preserve = []) fname =
+  let keep k = List.mem k preserve in
+  (match Hashtbl.find_opt t.funcs fname with
+  | Some e ->
+      if not (keep Dominance) then e.dom <- None;
+      if not (keep Liveness) then e.live <- None;
+      if not (keep Loops) then e.loops <- None;
+      if not (keep Memdep) then e.memdep <- None
+  | None -> ());
+  if not (keep Callgraph) then t.cg <- None;
+  if not (keep Points_to) then t.pt <- None
+
+let invalidate_kinds t kinds =
+  let drop k = List.mem k kinds in
+  Hashtbl.iter
+    (fun _ e ->
+      if drop Dominance then e.dom <- None;
+      if drop Liveness then e.live <- None;
+      if drop Loops then e.loops <- None;
+      if drop Memdep then e.memdep <- None)
+    t.funcs;
+  if drop Callgraph then t.cg <- None;
+  if drop Points_to then t.pt <- None
+
+let invalidate_all t ?(preserve = []) () =
+  invalidate_kinds t (List.filter (fun k -> not (List.mem k preserve)) all_kinds)
+
+let stats t = List.map (fun (k, c) -> (k, (c.hits, c.misses))) t.counters
+
+let stats_rows t =
+  List.filter_map
+    (fun (k, c) ->
+      if c.hits = 0 && c.misses = 0 then None
+      else Some (kind_name k, c.hits, c.misses))
+    t.counters
+
+let diff_rows before after =
+  List.filter_map
+    (fun (k, (h1, m1)) ->
+      let h0, m0 = List.assoc k before in
+      if h1 = h0 && m1 = m0 then None
+      else Some (kind_name k, h1 - h0, m1 - m0))
+    after

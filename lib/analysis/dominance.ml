@@ -93,3 +93,13 @@ let children t label =
 
 (* Blocks in reverse postorder (reachable blocks only). *)
 let rpo t = t.order
+
+(* Structural equality of two dominator solutions over the same function:
+   same reverse postorder and the same immediate-dominator map.  Used by the
+   analysis cache's debug self-check (cached-equals-fresh). *)
+let equal a b =
+  a.order = b.order
+  && Hashtbl.length a.idom = Hashtbl.length b.idom
+  && Hashtbl.fold
+       (fun l d acc -> acc && Hashtbl.find_opt b.idom l = Some d)
+       a.idom true

@@ -21,3 +21,7 @@ val dominates : t -> string -> string -> bool
 val children : t -> string -> string list
 
 val rpo : t -> string array
+
+(** Structural equality (same RPO and immediate-dominator map); used by the
+    analysis cache's cached-equals-fresh self check. *)
+val equal : t -> t -> bool

@@ -96,6 +96,22 @@ let compute (f : Func.t) =
   done;
   { live_in; live_out; use; def }
 
+(* Structural equality of two liveness solutions: same per-block live-in and
+   live-out sets.  Used by the analysis cache's debug self-check. *)
+let equal a b =
+  let tbl_equal ta tb =
+    Hashtbl.length ta = Hashtbl.length tb
+    && Hashtbl.fold
+         (fun l s acc ->
+           acc
+           &&
+           match Hashtbl.find_opt tb l with
+           | Some s' -> Reg.Set.equal s s'
+           | None -> false)
+         ta true
+  in
+  tbl_equal a.live_in b.live_in && tbl_equal a.live_out b.live_out
+
 let live_in t label =
   match Hashtbl.find_opt t.live_in label with Some s -> s | None -> Reg.Set.empty
 

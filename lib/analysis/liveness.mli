@@ -8,6 +8,10 @@ type t
 val killing_def : Epic_ir.Instr.t -> bool
 
 val compute : Epic_ir.Func.t -> t
+
+(** Structural equality (same per-block live-in/live-out); used by the
+    analysis cache's cached-equals-fresh self check. *)
+val equal : t -> t -> bool
 val live_in : t -> string -> Epic_ir.Reg.Set.t
 val live_out : t -> string -> Epic_ir.Reg.Set.t
 

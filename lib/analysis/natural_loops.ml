@@ -13,8 +13,8 @@ type loop = {
 
 type t = { loops : loop list }
 
-let compute (f : Func.t) =
-  let dom = Dominance.compute f in
+let compute ?dom (f : Func.t) =
+  let dom = match dom with Some d -> d | None -> Dominance.compute f in
   let back_edges = ref [] in
   List.iter
     (fun b ->
@@ -103,6 +103,22 @@ let compute (f : Func.t) =
           if entries > 0.5 then l.avg_trips <- header_w /. entries)
     loops;
   { loops }
+
+(* Structural equality of two loop forests over the same function: the same
+   loops (header, body sets, latch sets) and the same profiled trip counts.
+   Used by the analysis cache's debug self-check. *)
+let equal a b =
+  let norm t =
+    List.sort compare
+      (List.map
+         (fun l ->
+           ( l.header,
+             List.sort compare l.body,
+             List.sort compare l.back_edges,
+             l.avg_trips ))
+         t.loops)
+  in
+  norm a = norm b
 
 let innermost_first t =
   List.sort (fun a b -> compare (List.length a.body) (List.length b.body)) t.loops

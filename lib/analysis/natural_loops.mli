@@ -13,7 +13,13 @@ type loop = {
 
 type t = { loops : loop list }
 
-val compute : Epic_ir.Func.t -> t
+(** [dom] lets callers (notably the analysis cache) share an
+    already-computed dominator solution instead of recomputing one. *)
+val compute : ?dom:Dominance.t -> Epic_ir.Func.t -> t
+
+(** Structural equality (same loops, bodies, latches and trip counts); used
+    by the analysis cache's cached-equals-fresh self check. *)
+val equal : t -> t -> bool
 val innermost_first : t -> loop list
 val find : t -> string -> loop option
 val in_loop : loop -> string -> bool

@@ -1,8 +1,15 @@
 (* The compilation driver: runs the phase sequence of the paper's Figure 4
    for a given configuration, producing a scheduled, register-allocated,
-   laid-out binary image ready for the machine simulator. *)
+   laid-out binary image ready for the machine simulator.
+
+   Every phase runs on a pass manager (Epic_opt.Passman): the transforms
+   are registered passes declaring the analyses they require and preserve,
+   analysis results flow through the manager's per-function cache, and the
+   classical fixed points only revisit functions some pass has dirtied. *)
 
 open Epic_ir
+module Passman = Epic_opt.Passman
+module Cache = Epic_analysis.Cache
 
 type compiled = {
   program : Program.t;
@@ -30,6 +37,9 @@ and transform_stats = {
   advanced_loads : int;
   static_bundles : int;
   code_bytes : int;
+  fallback : string option;
+      (* the degraded region-formation level a register-pressure fallback
+         recompile landed on; [None] when the first attempt succeeded *)
 }
 
 let reset_pass_stats () =
@@ -42,9 +52,9 @@ let reset_pass_stats () =
   Epic_ilp.Height.reset_stats ();
   Epic_sched.Regalloc.reset_stats ()
 
-(* IR-size measurement for the per-pass instrumentation: instruction and
-   block counts, plus estimated code bytes (16-byte bundles at the
-   architectural 3-ops-per-bundle density — exact only after layout). *)
+(* IR-size measurement for the frontend instrumentation record (the per-pass
+   records are measured inside the pass manager): instruction and block
+   counts, plus estimated code bytes. *)
 let ir_measure (p : Program.t) =
   let instrs = Program.instr_count p in
   let blocks =
@@ -54,32 +64,100 @@ let ir_measure (p : Program.t) =
   in
   (instrs, blocks, (instrs + 2) / 3 * 16)
 
-(* Compile IR under [config], profiling with [train] input.  Each phase is
-   wrapped in the [passes] instrumentation (a fresh registry when none is
-   supplied): wall time, fixed-point rounds and IR-size deltas. *)
+(* Register the ILP region and backend transforms on the manager, with
+   their preservation contracts.  The closures capture the configuration
+   and the driver's stat counters.  Region formation restructures the CFG
+   wholesale, so only the flow-insensitive points-to solution survives it;
+   the backend passes keep the CFG and invalidate the data-sensitive
+   analyses from inside (they thread the manager's cache). *)
+let register_backend m (config : Config.t) ~peeled ~unrolled =
+  let region = [ Cache.Points_to ] in
+  Passman.register m
+    (Passman.func_pass "loop peeling" ~requires:[ Cache.Loops ]
+       ~preserves:region (fun c f ->
+         let n = Epic_ilp.Peel.run_func ~cache:c ~params:config.Config.peel f in
+         peeled := !peeled + n;
+         n > 0));
+  Passman.register m
+    (Passman.func_pass "hyperblock formation" ~preserves:region (fun _ f ->
+         Epic_ilp.Hyperblock.run_func ~params:config.Config.hyperblock f));
+  Passman.register m
+    (Passman.func_pass "superblock formation" ~preserves:region (fun _ f ->
+         Epic_ilp.Superblock.run_func ~params:config.Config.superblock f));
+  Passman.register m
+    (Passman.func_pass "loop unrolling" ~preserves:region (fun _ f ->
+         let n = Epic_ilp.Unroll.run_func ~params:config.Config.unroll f in
+         unrolled := !unrolled + n;
+         n > 0));
+  Passman.register m
+    (Passman.func_pass "height reduction" ~requires:[ Cache.Liveness ]
+       ~preserves:Cache.[ Callgraph; Points_to ]
+       (fun c f -> Epic_ilp.Height.run_func ~cache:c f));
+  Passman.register m
+    (Passman.func_pass "control speculation"
+       ~preserves:Cache.[ Callgraph; Points_to ]
+       (fun _ f ->
+         Epic_ilp.Speculate.run_func
+           ~params:
+             {
+               Epic_ilp.Speculate.default_params with
+               Epic_ilp.Speculate.model = config.Config.spec_model;
+             }
+           f));
+  Passman.register m
+    (Passman.func_pass "data speculation"
+       ~preserves:Cache.[ Callgraph; Points_to ]
+       (fun _ f -> Epic_ilp.Data_spec.run_func f));
+  Passman.register m
+    (Passman.func_pass "cold-code sinking"
+       ~preserves:Cache.[ Callgraph; Points_to ]
+       (fun _ f ->
+         Epic_sched.Layout.sink_cold_blocks f;
+         true));
+  Passman.register m
+    (Passman.func_pass "register allocation"
+       ~requires:Cache.[ Loops; Liveness ]
+       ~preserves:Cache.[ Dominance; Loops; Callgraph; Points_to ]
+       (fun c f ->
+         Epic_sched.Regalloc.run_func ~cache:c f;
+         true));
+  Passman.register m
+    (Passman.func_pass "list scheduling" ~requires:[ Cache.Liveness ]
+       ~preserves:Cache.[ Callgraph; Points_to ]
+       (fun c f ->
+         Epic_sched.List_sched.run_func ~cache:c
+           ~reorder:(config.Config.level <> Config.Gcc_like)
+           f;
+         true))
+
+(* Compile IR under [config], profiling with [train] input.  [passes]
+   accumulates the per-phase instrumentation: wall time, fixed-point
+   rounds, IR-size deltas and analysis-cache hit/miss counters. *)
 let compile_ir ?(config = Config.o_ns) ?passes ~(train : int64 array)
     (p : Program.t) =
-  let pm = match passes with Some pm -> pm | None -> Epic_obs.Passes.create () in
+  let obs = match passes with Some pm -> pm | None -> Epic_obs.Passes.create () in
   reset_pass_stats ();
   Verify.check_program p;
-  let step ?(rounds_of = fun _ -> 1) name f =
-    let i0, b0, y0 = ir_measure p in
-    let t0 = Sys.time () in
-    let r = f () in
-    let dt = Sys.time () -. t0 in
-    let i1, b1, y1 = ir_measure p in
-    Epic_obs.Passes.add pm ~name ~wall_s:dt ~rounds:(rounds_of r)
-      ~instrs:(i0, i1) ~blocks:(b0, b1) ~bytes:(y0, y1);
-    r
-  in
-  let classical name =
-    ignore
-      (step name ~rounds_of:(fun r -> r) (fun () ->
-           Epic_opt.Pipeline.run_classical_counted p))
-  in
-  let n0 = Program.instr_count p in
+  let m = Passman.create ~obs p in
+  Epic_opt.Pipeline.register_classical m;
+  let cache = Passman.cache m in
   let inlined = ref 0 and specialized = ref 0 in
   let peeled = ref 0 and unrolled = ref 0 in
+  register_backend m config ~peeled ~unrolled;
+  (* (Re)profiling rewrites execution weights in place.  No structure
+     moves, so no function becomes dirty — the cleanup passes and LICM are
+     weight-insensitive — but the weight-derived analyses (loop trip
+     counts, the callgraph) must be refetched. *)
+  let invalidate_weight_sensitive () =
+    Cache.invalidate_kinds cache Cache.[ Loops; Callgraph ]
+  in
+  let reprofile () =
+    Epic_analysis.Profile.reprofile p train;
+    invalidate_weight_sensitive ()
+  in
+  let classical name = ignore (Epic_opt.Pipeline.run_classical_pm m ~name) in
+  let changed ch = ch <> Passman.Unchanged in
+  let n0 = Program.instr_count p in
   (match config.Config.level with
   | Config.Gcc_like ->
       (* traditional compilation: classical optimization only, no profile
@@ -88,91 +166,96 @@ let compile_ir ?(config = Config.o_ns) ?passes ~(train : int64 array)
   | Config.O_NS | Config.ILP_NS | Config.ILP_CS ->
       (* high-level phase: profile, specialize indirect calls, inline *)
       let prof =
-        step "profile (train)" (fun () ->
-            Epic_analysis.Profile.profile_and_annotate p train)
+        Passman.phase m ~name:"profile (train)" (fun _ ->
+            let prof = Epic_analysis.Profile.profile_and_annotate p train in
+            invalidate_weight_sensitive ();
+            (prof, Passman.Unchanged))
       in
-      step "indirect-call specialization" (fun () ->
+      Passman.phase m ~name:"indirect-call specialization" (fun _ ->
           specialized := Epic_opt.Indirect_call.run p prof;
-          if !specialized > 0 then Epic_analysis.Profile.reprofile p train);
-      step "inline" (fun () ->
-          inlined := Epic_opt.Inline.run ~budget:config.Config.inline_budget p;
-          Epic_analysis.Profile.reprofile p train);
+          if !specialized > 0 then reprofile ();
+          ( (),
+            if !specialized > 0 then Passman.Changed_all else Passman.Unchanged
+          ));
+      Passman.phase m ~name:"inline" (fun _ ->
+          inlined :=
+            Epic_opt.Inline.run ~cache ~budget:config.Config.inline_budget p;
+          reprofile ();
+          ((), if !inlined > 0 then Passman.Changed_all else Passman.Unchanged));
       (* interprocedural pointer analysis annotates memory dependence tags *)
-      step "points-to analysis" (fun () ->
-          ignore
-            (Epic_analysis.Points_to.analyze
-               ~enabled:config.Config.pointer_analysis p));
+      Passman.phase m ~name:"points-to analysis" (fun m ->
+          ignore (Cache.points_to cache ~enabled:config.Config.pointer_analysis p);
+          (* the annotation refines alias precision program-wide: no cached
+             analysis goes stale, but every function may optimize further *)
+          Passman.mark_all_dirty m;
+          ((), Passman.Unchanged));
       classical "classical (pre-region)";
-      Epic_analysis.Profile.reprofile p train);
+      reprofile ());
   let n1 = Program.instr_count p in
   (* low-level ILP phase *)
   if Config.is_ilp config then begin
-    if config.Config.enable_peel then
-      step "loop peeling" (fun () ->
-          peeled := Epic_ilp.Peel.run ~params:config.Config.peel p;
-          if !peeled > 0 then begin
-            Verify.check_program p;
-            Epic_analysis.Profile.reprofile p train
-          end);
-    if config.Config.enable_hyperblock then
-      step "hyperblock formation" (fun () ->
-          Epic_ilp.Hyperblock.run ~params:config.Config.hyperblock p;
-          Verify.check_program p;
-          Epic_analysis.Profile.reprofile p train);
-    if config.Config.enable_superblock then
-      step "superblock formation" (fun () ->
-          Epic_ilp.Superblock.run ~params:config.Config.superblock p;
-          Verify.check_program p;
-          Epic_analysis.Profile.reprofile p train);
-    if config.Config.enable_unroll then
-      step "loop unrolling" (fun () ->
-          unrolled := Epic_ilp.Unroll.run ~params:config.Config.unroll p;
-          if !unrolled > 0 then begin
-            Verify.check_program p;
-            Epic_analysis.Profile.reprofile p train
-          end);
+    if config.Config.enable_peel then begin
+      let ch = Passman.run_pass m "loop peeling" in
+      if changed ch then begin
+        Verify.check_program p;
+        reprofile ()
+      end
+    end;
+    if config.Config.enable_hyperblock then begin
+      ignore (Passman.run_pass m "hyperblock formation");
+      Verify.check_program p;
+      reprofile ()
+    end;
+    if config.Config.enable_superblock then begin
+      ignore (Passman.run_pass m "superblock formation");
+      Verify.check_program p;
+      reprofile ()
+    end;
+    if config.Config.enable_unroll then begin
+      let ch = Passman.run_pass m "loop unrolling" in
+      if changed ch then begin
+        Verify.check_program p;
+        reprofile ()
+      end
+    end;
     (* post-region cleanup *)
     classical "classical (post-region)";
     (* data-height reduction of the accumulator chains exposed by region
        formation and unrolling *)
-    if config.Config.enable_height_reduction then
-      step "height reduction" (fun () ->
-          if Epic_ilp.Height.run p then begin
-            Verify.check_program p;
-            Epic_opt.Pipeline.run_classical p
-          end);
-    Epic_analysis.Profile.reprofile p train;
-    if Config.has_speculation config then
-      step "control speculation" (fun () ->
-          Epic_ilp.Speculate.run
-            ~params:
-              {
-                Epic_ilp.Speculate.default_params with
-                Epic_ilp.Speculate.model = config.Config.spec_model;
-              }
-            p;
-          Verify.check_program p);
+    if config.Config.enable_height_reduction then begin
+      let ch = Passman.run_pass m "height reduction" in
+      if changed ch then begin
+        Verify.check_program p;
+        classical "classical (post-height)"
+      end
+    end;
+    reprofile ();
+    if Config.has_speculation config then begin
+      ignore (Passman.run_pass m "control speculation");
+      Verify.check_program p
+    end;
     (* extension: data speculation (ld.a / chk.a through the ALAT) *)
-    if config.Config.enable_data_speculation then
-      step "data speculation" (fun () ->
-          Epic_ilp.Data_spec.run p;
-          Verify.check_program p)
+    if config.Config.enable_data_speculation then begin
+      ignore (Passman.run_pass m "data speculation");
+      Verify.check_program p
+    end
   end;
   (* code generation: cold-code sinking, register allocation, scheduling,
      bundling and layout *)
-  step "cold-code sinking" (fun () ->
-      List.iter Epic_sched.Layout.sink_cold_blocks p.Program.funcs);
-  step "register allocation" (fun () -> Epic_sched.Regalloc.run p);
+  ignore (Passman.run_pass m "cold-code sinking");
+  ignore (Passman.run_pass m "register allocation");
   (* the GCC-like configuration performs no instruction reordering *)
-  step "list scheduling" (fun () ->
-      Epic_sched.List_sched.run ~reorder:(config.Config.level <> Config.Gcc_like) p;
-      Verify.check_program p);
-  let layout = step "bundling and layout" (fun () -> Epic_sched.Layout.build p) in
+  ignore (Passman.run_pass m "list scheduling");
+  Verify.check_program p;
+  let layout =
+    Passman.phase m ~name:"bundling and layout" (fun _ ->
+        (Epic_sched.Layout.build p, Passman.Unchanged))
+  in
   {
     program = p;
     layout;
     config;
-    pass_records = Epic_obs.Passes.records pm;
+    pass_records = Epic_obs.Passes.records obs;
     transform_stats =
       {
         instrs_after_frontend = n0;
@@ -191,31 +274,45 @@ let compile_ir ?(config = Config.o_ns) ?passes ~(train : int64 array)
         advanced_loads = Epic_ilp.Data_spec.stats.Epic_ilp.Data_spec.advanced;
         static_bundles = Epic_sched.Layout.static_bundles layout;
         code_bytes = layout.Epic_sched.Layout.code_bytes;
+        fallback = None;
       };
   }
 
 (* Compile mini-C source text.  If the structural transforms of an ILP
    configuration blow the (finite) predicate file — possible for adversarial
    inputs despite the hyperblock pressure guard — fall back to progressively
-   less aggressive region formation rather than failing the compile. *)
+   less aggressive region formation rather than failing the compile.  The
+   source is parsed and lowered exactly once; fallback attempts recompile
+   from a deep copy of the pre-optimization IR snapshot, and record the
+   level they landed on in [transform_stats.fallback]. *)
 let compile ?(config = Config.o_ns) ~(train : int64 array) (src : string) =
-  let attempt config =
+  let t0 = Sys.time () in
+  let p0 = Epic_frontend.Lower.compile_source src in
+  let parse_s = Sys.time () -. t0 in
+  let post_parse_ids = Instr.id_counter () in
+  let i1, b1, y1 = ir_measure p0 in
+  let snapshot = Program.copy p0 in
+  let attempt ?fallback config p =
     let pm = Epic_obs.Passes.create () in
-    let t0 = Sys.time () in
-    let p = Epic_frontend.Lower.compile_source src in
-    let i1, b1, y1 = ir_measure p in
-    Epic_obs.Passes.add pm ~name:"frontend: parse+lower"
-      ~wall_s:(Sys.time () -. t0)
-      ~rounds:1 ~instrs:(0, i1) ~blocks:(0, b1) ~bytes:(0, y1);
-    compile_ir ~config ~passes:pm ~train p
+    Epic_obs.Passes.add pm ~name:"frontend: parse+lower" ~wall_s:parse_s
+      ~rounds:1 ~instrs:(0, i1) ~blocks:(0, b1) ~bytes:(0, y1) ();
+    let c = compile_ir ~config ~passes:pm ~train p in
+    { c with transform_stats = { c.transform_stats with fallback } }
   in
-  try attempt config
+  (* A fallback restarts from the snapshot exactly as a recompile from
+     source would: the snapshot carries the original ids ([Program.copy]
+     preserves them) and the id counter rewinds to its post-parse value. *)
+  let retry ?fallback config =
+    Instr.restore_ids post_parse_ids;
+    attempt ?fallback config (Program.copy snapshot)
+  in
+  try attempt config p0
   with Epic_sched.Regalloc.Out_of_registers _ -> (
     try
-      attempt
+      retry ~fallback:"no-unroll-no-hyperblock"
         { config with Config.enable_unroll = false; Config.enable_hyperblock = false }
     with Epic_sched.Regalloc.Out_of_registers _ ->
-      attempt { config with Config.level = Config.O_NS })
+      retry ~fallback:"o-ns" { config with Config.level = Config.O_NS })
 
 (* Run a compiled binary on the machine simulator. *)
 let run ?fuel ?trace ?profile (c : compiled) (input : int64 array) =

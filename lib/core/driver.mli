@@ -32,6 +32,10 @@ and transform_stats = {
   advanced_loads : int;
   static_bundles : int;
   code_bytes : int;
+  fallback : string option;
+      (** the degraded region-formation level a register-pressure fallback
+          recompile landed on ([Some "no-unroll-no-hyperblock"] or
+          [Some "o-ns"]); [None] when the first attempt succeeded *)
 }
 
 (** Reset the per-pass statistics counters (done automatically by
@@ -51,7 +55,9 @@ val compile_ir :
 
 (** Compile mini-C source text.  ILP configurations degrade gracefully
     (less aggressive region formation) if the structural transforms would
-    exhaust the predicate register file. *)
+    exhaust the predicate register file; the source is lowered once and
+    fallback attempts restart from a deep copy of the pre-optimization IR,
+    recording the level reached in [transform_stats.fallback]. *)
 val compile : ?config:Config.t -> train:int64 array -> string -> compiled
 
 (** Run a compiled binary on the Itanium-2-class simulator; returns

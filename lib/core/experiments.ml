@@ -7,7 +7,15 @@ open Epic_workloads
 
 type suite_result = {
   runs : (string * Config.level * Metrics.run) list; (* (workload, level, run) *)
+  index : (string * Config.level, Metrics.run) Hashtbl.t;
+      (* built at suite construction; every table lookup goes through it
+         instead of rescanning [runs] *)
 }
+
+let index_runs runs =
+  let tbl = Hashtbl.create 64 in
+  List.iter (fun (w, l, r) -> Hashtbl.replace tbl (w, l) r) runs;
+  tbl
 
 let config_for (w : Workload.t) (level : Config.level) =
   let base = Config.make level in
@@ -25,11 +33,16 @@ let reference_output (w : Workload.t) =
    exact accounting on every workload. *)
 let sample_period = 97
 
-let run_one ?(train : int64 array option) (w : Workload.t) (level : Config.level) =
+let run_one ?(train : int64 array option) ?reference (w : Workload.t)
+    (level : Config.level) =
   let config = config_for w level in
   let train = match train with Some t -> t | None -> w.Workload.train in
   let compiled = Driver.compile ~config ~train w.Workload.source in
-  let ref_code, ref_out = reference_output w in
+  (* the reference interpretation is per-workload, not per-level: suite
+     runs compute it once and pass it in *)
+  let ref_code, ref_out =
+    match reference with Some r -> r | None -> reference_output w
+  in
   let profile = Epic_obs.Profile.create ~period:sample_period () in
   let code, out, st = Driver.run ~profile compiled w.Workload.reference in
   let ok = code = ref_code && out = ref_out in
@@ -43,23 +56,19 @@ let run_suite ?(workloads = Suite.all) ?(progress = false) () =
   let runs =
     List.concat_map
       (fun (w : Workload.t) ->
+        let reference = reference_output w in
         List.map
           (fun level ->
             if progress then
               Fmt.epr "  running %s / %s...@." w.Workload.short (Config.level_name level);
-            (w.Workload.short, level, run_one w level))
+            (w.Workload.short, level, run_one ~reference w level))
           levels)
       workloads
   in
-  { runs }
+  { runs; index = index_runs runs }
 
 let get (s : suite_result) (workload : string) (level : Config.level) =
-  let rec go = function
-    | [] -> None
-    | (w, l, r) :: _ when w = workload && l = level -> Some r
-    | _ :: tl -> go tl
-  in
-  go s.runs
+  Hashtbl.find_opt s.index (workload, level)
 
 let get_exn s w l =
   match get s w l with

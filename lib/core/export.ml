@@ -45,6 +45,10 @@ let transform_stats_to_json (s : Driver.transform_stats) =
       ("advanced_loads", Json.Int s.Driver.advanced_loads);
       ("static_bundles", Json.Int s.Driver.static_bundles);
       ("code_bytes", Json.Int s.Driver.code_bytes);
+      ( "fallback",
+        match s.Driver.fallback with
+        | Some level -> Json.Str level
+        | None -> Json.Null );
     ]
 
 let run_to_json (r : Metrics.run) =

@@ -97,8 +97,12 @@ let run_block (ps : params) (b : Block.t) =
     List.iter (insert_check b) (List.rev !advanced)
   end
 
+(* Returns true when any load was advanced in this function (every
+   mutation bumps the stats counters). *)
 let run_func ?(params = default_params) (f : Func.t) =
-  List.iter (run_block params) f.Func.blocks
+  let a0 = stats.advanced and c0 = stats.checks in
+  List.iter (run_block params) f.Func.blocks;
+  stats.advanced <> a0 || stats.checks <> c0
 
 let run ?(params = default_params) (p : Program.t) =
-  List.iter (run_func ~params) p.Program.funcs
+  List.iter (fun f -> ignore (run_func ~params f)) p.Program.funcs

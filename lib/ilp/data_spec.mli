@@ -16,5 +16,7 @@ type stats = { mutable advanced : int; mutable checks : int }
 
 val stats : stats
 val reset_stats : unit -> unit
-val run_func : ?params:params -> Epic_ir.Func.t -> unit
+
+(** True when the function was mutated. *)
+val run_func : ?params:params -> Epic_ir.Func.t -> bool
 val run : ?params:params -> Epic_ir.Program.t -> unit

@@ -146,9 +146,16 @@ let run_block (f : Func.t) (live : Liveness.t) (b : Block.t) =
   done;
   !changed
 
-let run_func (f : Func.t) =
-  let live = Liveness.compute f in
-  List.fold_left (fun acc b -> run_block f live b || acc) false f.Func.blocks
+let run_func ?cache (f : Func.t) =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let live = Cache.liveness cache f in
+  let changed =
+    List.fold_left (fun acc b -> run_block f live b || acc) false f.Func.blocks
+  in
+  if changed then
+    Cache.invalidate cache ~preserve:Cache.[ Callgraph; Points_to ]
+      f.Func.name;
+  changed
 
-let run (p : Program.t) =
-  List.fold_left (fun acc f -> run_func f || acc) false p.Program.funcs
+let run ?cache (p : Program.t) =
+  List.fold_left (fun acc f -> run_func ?cache f || acc) false p.Program.funcs

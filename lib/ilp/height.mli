@@ -12,5 +12,5 @@ val reset_stats : unit -> unit
 val run_block :
   Epic_ir.Func.t -> Epic_analysis.Liveness.t -> Epic_ir.Block.t -> bool
 
-val run_func : Epic_ir.Func.t -> bool
-val run : Epic_ir.Program.t -> bool
+val run_func : ?cache:Epic_analysis.Cache.t -> Epic_ir.Func.t -> bool
+val run : ?cache:Epic_analysis.Cache.t -> Epic_ir.Program.t -> bool

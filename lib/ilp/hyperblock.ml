@@ -243,9 +243,12 @@ let convert_region (f : Func.t) (ps : params) preds (a : Block.t) =
           end)
   | _ -> false
 
-(* Iterate conversion to a fixed point. *)
+(* Iterate conversion to a fixed point.  Returns true when the function was
+   mutated (a region converted, a fall-through materialized, or the closing
+   jump optimization fired). *)
 let run_func ?(params = default_params) (f : Func.t) =
-  Jumpopt.materialize_fallthroughs f;
+  let materialized = Jumpopt.materialize_fallthroughs f in
+  let converted = ref false in
   let changed = ref true in
   while !changed do
     changed := false;
@@ -253,9 +256,11 @@ let run_func ?(params = default_params) (f : Func.t) =
     List.iter
       (fun (a : Block.t) ->
         if (not !changed) && convert_region f params preds a then changed := true)
-      f.Func.blocks
+      f.Func.blocks;
+    if !changed then converted := true
   done;
-  ignore (Jumpopt.run_func f)
+  let cleaned = Jumpopt.run_func f in
+  materialized || !converted || cleaned
 
 let run ?(params = default_params) (p : Program.t) =
-  List.iter (run_func ~params) p.Program.funcs
+  List.iter (fun f -> ignore (run_func ~params f)) p.Program.funcs

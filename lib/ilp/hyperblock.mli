@@ -29,5 +29,7 @@ val block_predicates : Epic_ir.Block.t -> int
 val complement_pred :
   Epic_ir.Block.t -> Epic_ir.Reg.t -> (Epic_ir.Instr.t * Epic_ir.Reg.t) option
 
-val run_func : ?params:params -> Epic_ir.Func.t -> unit
+
+(** True when the function was mutated. *)
+val run_func : ?params:params -> Epic_ir.Func.t -> bool
 val run : ?params:params -> Epic_ir.Program.t -> unit

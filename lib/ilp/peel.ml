@@ -50,7 +50,7 @@ let peel_loop (f : Func.t) (ps : params) (l : Natural_loops.loop) =
     || List.mem (Func.entry f).Block.label l.Natural_loops.body
   then false
   else begin
-    Jumpopt.materialize_fallthroughs f;
+    ignore (Jumpopt.materialize_fallthroughs f);
     (* Order body blocks in layout order for a sensible copy layout. *)
     let body_in_layout =
       List.filter (fun (b : Block.t) -> Natural_loops.in_loop l b.Block.label) f.Func.blocks
@@ -106,8 +106,9 @@ let peel_loop (f : Func.t) (ps : params) (l : Natural_loops.loop) =
     true
   end
 
-let run_func ?(params = default_params) (f : Func.t) =
-  let loops = Natural_loops.compute f in
+let run_func ?cache ?(params = default_params) (f : Func.t) =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let loops = Cache.loops cache f in
   let candidates =
     List.filter
       (fun (l : Natural_loops.loop) ->
@@ -132,7 +133,9 @@ let run_func ?(params = default_params) (f : Func.t) =
           List.iter (fun b -> Hashtbl.replace touched b ()) l.Natural_loops.body
         end)
     candidates;
+  if !count > 0 then
+    Cache.invalidate cache ~preserve:[ Cache.Points_to ] f.Func.name;
   !count
 
-let run ?(params = default_params) (p : Program.t) =
-  List.fold_left (fun n f -> n + run_func ~params f) 0 p.Program.funcs
+let run ?cache ?(params = default_params) (p : Program.t) =
+  List.fold_left (fun n f -> n + run_func ?cache ~params f) 0 p.Program.funcs

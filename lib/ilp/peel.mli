@@ -20,6 +20,8 @@ val stats : stats
 val reset_stats : unit -> unit
 
 (** Returns the number of loops peeled. *)
-val run_func : ?params:params -> Epic_ir.Func.t -> int
+val run_func :
+  ?cache:Epic_analysis.Cache.t -> ?params:params -> Epic_ir.Func.t -> int
 
-val run : ?params:params -> Epic_ir.Program.t -> int
+val run :
+  ?cache:Epic_analysis.Cache.t -> ?params:params -> Epic_ir.Program.t -> int

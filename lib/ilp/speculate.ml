@@ -186,8 +186,13 @@ let run_block (ps : params) (f : Func.t) (b : Block.t) =
       b.Block.instrs
   end
 
+(* Returns true when any load was promoted or marked in this function
+   (every mutation bumps one of the stats counters). *)
 let run_func ?(params = default_params) (f : Func.t) =
-  List.iter (run_block params f) f.Func.blocks
+  let p0 = stats.promoted and m0 = stats.marked in
+  let c0 = stats.checks_inserted in
+  List.iter (run_block params f) f.Func.blocks;
+  stats.promoted <> p0 || stats.marked <> m0 || stats.checks_inserted <> c0
 
 let run ?(params = default_params) (p : Program.t) =
-  List.iter (run_func ~params) p.Program.funcs
+  List.iter (fun f -> ignore (run_func ~params f)) p.Program.funcs

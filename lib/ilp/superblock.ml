@@ -80,7 +80,7 @@ let remove_side_entrances (f : Func.t) (ps : params) (trace : string list) =
   let budget =
     ref (int_of_float (float_of_int (Region_util.code_size f) *. ps.growth_budget))
   in
-  Jumpopt.materialize_fallthroughs f;
+  ignore (Jumpopt.materialize_fallthroughs f);
   let rec go kept = function
     | [] -> List.rev kept
     | label :: rest when kept = [] ->
@@ -212,7 +212,14 @@ let merge_trace (f : Func.t) (trace : string list) =
       head.Block.kind <- Block.Super;
       stats.traces_formed <- stats.traces_formed + 1
 
+(* Returns true when the function was mutated.  Detected via the stats
+   deltas plus block/instruction-count changes: trace merges bump
+   [traces_formed], side-entrance removal bumps [tail_dup_instrs], and the
+   remaining mutations (fall-through materialization, unreachable-block
+   removal) shift the counts. *)
 let run_func ?(params = default_params) (f : Func.t) =
+  let traces0 = stats.traces_formed and dup0 = stats.tail_dup_instrs in
+  let blocks0 = List.length f.Func.blocks and instrs0 = Func.instr_count f in
   let traces = select_traces f params in
   List.iter
     (fun trace ->
@@ -222,7 +229,11 @@ let run_func ?(params = default_params) (f : Func.t) =
         merge_trace f t
       end)
     traces;
-  Func.remove_unreachable f
+  Func.remove_unreachable f;
+  stats.traces_formed <> traces0
+  || stats.tail_dup_instrs <> dup0
+  || List.length f.Func.blocks <> blocks0
+  || Func.instr_count f <> instrs0
 
 let run ?(params = default_params) (p : Program.t) =
-  List.iter (run_func ~params) p.Program.funcs
+  List.iter (fun f -> ignore (run_func ~params f)) p.Program.funcs

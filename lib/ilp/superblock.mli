@@ -24,5 +24,7 @@ val reset_stats : unit -> unit
 val select_traces : Epic_ir.Func.t -> params -> string list list
 val remove_side_entrances : Epic_ir.Func.t -> params -> string list -> string list
 val merge_trace : Epic_ir.Func.t -> string list -> unit
-val run_func : ?params:params -> Epic_ir.Func.t -> unit
+
+(** True when the function was mutated. *)
+val run_func : ?params:params -> Epic_ir.Func.t -> bool
 val run : ?params:params -> Epic_ir.Program.t -> unit

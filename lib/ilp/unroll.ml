@@ -104,7 +104,7 @@ let unroll_block (f : Func.t) (ps : params) (b : Block.t) (latch : Instr.t)
   match Hyperblock.complement_pred b pt with
   | None -> false
   | Some (_, pf) ->
-      Jumpopt.materialize_fallthroughs f;
+      ignore (Jumpopt.materialize_fallthroughs f);
       let base_instrs = b.Block.instrs in
       let strip_tail instrs =
         (* remove the trailing "br exit" and "(pt) br self" *)

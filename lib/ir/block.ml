@@ -22,6 +22,17 @@ type t = {
 
 let create ?(kind = Plain) label = { label; instrs = []; weight = 0.; kind; cold = false }
 
+(* A snapshot deep copy: fresh instruction cells with the same ids
+   ([Instr.clone]), so snapshotting never perturbs the global id counter. *)
+let copy b =
+  {
+    label = b.label;
+    instrs = List.map Instr.clone b.instrs;
+    weight = b.weight;
+    kind = b.kind;
+    cold = b.cold;
+  }
+
 let append b i = b.instrs <- b.instrs @ [ i ]
 
 let instr_count b = List.length b.instrs

@@ -20,6 +20,10 @@ type t = {
 }
 
 val create : ?kind:kind -> string -> t
+
+(** A snapshot deep copy: fresh instruction cells with the same ids
+    ([Instr.clone]), so snapshotting never perturbs the global id counter. *)
+val copy : t -> t
 val append : t -> Instr.t -> unit
 val instr_count : t -> int
 

@@ -25,6 +25,21 @@ let create name params =
     returns_float = false;
   }
 
+(* A structural deep copy: fresh blocks and instructions; registers are
+   immutable values and stay shared.  Lets a driver snapshot a function
+   before destructive transformation. *)
+let copy f =
+  {
+    name = f.name;
+    params = f.params;
+    blocks = List.map Block.copy f.blocks;
+    next_reg = f.next_reg;
+    next_label = f.next_label;
+    frame_bytes = f.frame_bytes;
+    n_stacked = f.n_stacked;
+    returns_float = f.returns_float;
+  }
+
 let entry f =
   match f.blocks with
   | b :: _ -> b

@@ -15,6 +15,10 @@ type t = {
 
 val create : string -> Reg.t list -> t
 
+(** A structural deep copy: fresh blocks and instructions (ids preserved,
+    see [Instr.clone]); registers are immutable and stay shared. *)
+val copy : t -> t
+
 (** The entry block.  @raise Invalid_argument on an empty function. *)
 val entry : t -> Block.t
 

@@ -45,6 +45,8 @@ let default_attrs () =
 let counter = ref 0
 
 let reset_ids () = counter := 0
+let id_counter () = !counter
+let restore_ids n = counter := n
 
 let fresh_id () =
   incr counter;
@@ -78,6 +80,35 @@ let copy i =
         speculated = a.speculated;
         promoted = a.promoted;
         origin = (if a.origin >= 0 then a.origin else i.id);
+      };
+  }
+
+(* An identity-preserving structural copy: same id, same provenance, fresh
+   mutable cells.  For program snapshots (see [Program.copy]) — the clone is
+   the same instruction in a parallel copy of the program, so it must not
+   draw from the id counter (ids feed the simulator's branch predictor
+   indexing, and snapshotting must not perturb them). *)
+let clone i =
+  let a = i.attrs in
+  {
+    id = i.id;
+    op = i.op;
+    dsts = i.dsts;
+    srcs = i.srcs;
+    pred = i.pred;
+    cycle = i.cycle;
+    attrs =
+      {
+        mem_tag = a.mem_tag;
+        taken_prob = a.taken_prob;
+        weight = a.weight;
+        recovery = a.recovery;
+        check_reg = a.check_reg;
+        frame_in = a.frame_in;
+        frame_local = a.frame_local;
+        speculated = a.speculated;
+        promoted = a.promoted;
+        origin = a.origin;
       };
   }
 

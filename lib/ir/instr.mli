@@ -31,12 +31,25 @@ type t = {
 (** Reset the global id counter (done per program by the frontend). *)
 val reset_ids : unit -> unit
 
+(** Current value of the global id counter. *)
+val id_counter : unit -> int
+
+(** Restore the global id counter to a previously saved value.  Used by the
+    driver's register-pressure fallback so that recompiling from a snapshot
+    assigns the same ids a recompile from source would. *)
+val restore_ids : int -> unit
+
 val fresh_id : unit -> int
 val create : ?pred:Reg.t -> ?dsts:Reg.t list -> ?srcs:Operand.t list -> Opcode.t -> t
 
 (** Structural copy with a fresh id; [origin] records provenance across
     duplication (tail duplication, peeling, inlining). *)
 val copy : t -> t
+
+(** Identity-preserving structural copy: same id and provenance, fresh
+    mutable cells.  For program snapshots ({!Program.copy}); does not draw
+    from the id counter. *)
+val clone : t -> t
 
 val is_branch : t -> bool
 val is_call : t -> bool

@@ -19,6 +19,19 @@ let create () = { funcs = []; globals = []; entry = "main" }
 
 let add_func p f = p.funcs <- p.funcs @ [ f ]
 
+(* A structural deep copy: fresh functions, blocks, instructions and global
+   descriptors (initializer arrays are read-only and stay shared).  Lets the
+   driver snapshot a program before destructive transformation and retry
+   compilation from the snapshot instead of re-parsing the source.
+   Instruction ids are preserved ([Instr.clone]): the snapshot is the same
+   program, and taking it must not advance the global id counter. *)
+let copy p =
+  {
+    funcs = List.map Func.copy p.funcs;
+    globals = List.map (fun g -> { g with gname = g.gname }) p.globals;
+    entry = p.entry;
+  }
+
 let add_global p ?init gname ~size =
   let g = { gname; size; init; address = 0L } in
   p.globals <- p.globals @ [ g ];

@@ -16,6 +16,12 @@ type t = {
 }
 
 val create : unit -> t
+
+(** A snapshot deep copy: fresh functions, blocks, instructions and global
+    descriptors (read-only initializer arrays stay shared).  Instruction
+    ids are preserved, so taking a snapshot does not advance the global id
+    counter. *)
+val copy : t -> t
 val add_func : t -> Func.t -> unit
 val add_global : t -> ?init:int64 array -> string -> size:int -> global
 val find_func : t -> string -> Func.t option

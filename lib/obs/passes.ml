@@ -11,6 +11,7 @@ type record = {
   blocks_after : int;
   bytes_before : int;
   bytes_after : int;
+  cache : (string * int * int) list;
 }
 
 type t = { mutable rev : record list }
@@ -19,7 +20,8 @@ let create () = { rev = [] }
 let reset t = t.rev <- []
 
 let add t ~name ~wall_s ~rounds ~instrs:(instrs_before, instrs_after)
-    ~blocks:(blocks_before, blocks_after) ~bytes:(bytes_before, bytes_after) =
+    ~blocks:(blocks_before, blocks_after) ~bytes:(bytes_before, bytes_after)
+    ?(cache = []) () =
   t.rev <-
     {
       name;
@@ -31,6 +33,7 @@ let add t ~name ~wall_s ~rounds ~instrs:(instrs_before, instrs_after)
       blocks_after;
       bytes_before;
       bytes_after;
+      cache;
     }
     :: t.rev
 
@@ -39,7 +42,7 @@ let total_wall_s t = List.fold_left (fun a r -> a +. r.wall_s) 0. t.rev
 
 let record_to_json r =
   Json.Obj
-    [
+    ([
       ("name", Json.Str r.name);
       ("wall_s", Json.Float r.wall_s);
       ("rounds", Json.Int r.rounds);
@@ -50,6 +53,21 @@ let record_to_json r =
       ("bytes_before", Json.Int r.bytes_before);
       ("bytes_after", Json.Int r.bytes_after);
     ]
+    @
+    match r.cache with
+    | [] -> []
+    | rows ->
+        [
+          ( "cache",
+            Json.Obj
+              (List.map
+                 (fun (analysis, hits, misses) ->
+                   ( analysis,
+                     Json.Obj
+                       [ ("hits", Json.Int hits); ("misses", Json.Int misses) ]
+                   ))
+                 rows) );
+        ])
 
 let to_json t =
   Json.Obj

@@ -15,6 +15,10 @@ type record = {
   bytes_after : int;
       (** estimated code bytes (16-byte bundles at the architectural
           3-ops-per-bundle density); exact only after layout *)
+  cache : (string * int * int) list;
+      (** analysis-cache counters attributable to this phase, as
+          [(analysis, hits, misses)] rows; empty when the phase ran outside
+          the pass manager or touched no cached analysis *)
 }
 
 type t
@@ -30,6 +34,8 @@ val add :
   instrs:int * int ->
   blocks:int * int ->
   bytes:int * int ->
+  ?cache:(string * int * int) list ->
+  unit ->
   unit
 
 (** Records in execution order. *)

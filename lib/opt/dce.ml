@@ -19,10 +19,17 @@ let has_side_effect (i : Instr.t) =
       false (* speculative loads never fault and are removable when dead *)
   | _ -> false
 
-let run_func (f : Func.t) =
+(* DCE never removes branches, stores or calls (all side-effecting), so the
+   CFG, the loop nest and the memory-dependence summary survive each round —
+   only liveness must be refetched after a removal. *)
+let dce_preserves =
+  Cache.[ Dominance; Loops; Memdep; Callgraph; Points_to ]
+
+let run_func ?cache (f : Func.t) =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
   let changed = ref false in
   let rec pass () =
-    let live = Liveness.compute f in
+    let live = Cache.liveness cache f in
     let pass_changed = ref false in
     List.iter
       (fun (b : Block.t) ->
@@ -55,11 +62,12 @@ let run_func (f : Func.t) =
       f.Func.blocks;
     if !pass_changed then begin
       changed := true;
+      Cache.invalidate cache ~preserve:dce_preserves f.Func.name;
       pass ()
     end
   in
   pass ();
   !changed
 
-let run (p : Program.t) =
-  List.fold_left (fun acc f -> run_func f || acc) false p.Program.funcs
+let run ?cache (p : Program.t) =
+  List.fold_left (fun acc f -> run_func ?cache f || acc) false p.Program.funcs

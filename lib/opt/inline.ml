@@ -186,8 +186,9 @@ let candidates (p : Program.t) (cg : Callgraph.t) =
     p.Program.funcs
 
 (* Run inlining with a code-growth budget (default 1.6, per the paper). *)
-let run ?(budget = 1.6) (p : Program.t) =
-  let cg = Callgraph.compute p in
+let run ?cache ?(budget = 1.6) (p : Program.t) =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let cg = Cache.callgraph cache p in
   let original = Program.instr_count p in
   let allowance = int_of_float (float_of_int original *. (budget -. 1.0)) in
   let cands =

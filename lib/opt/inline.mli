@@ -3,5 +3,7 @@
     touched code has grown by [budget] (the paper's empirically determined
     1.6).  Recursive and mutually-recursive calls are skipped. *)
 
-(** Returns the number of call sites inlined. *)
-val run : ?budget:float -> Epic_ir.Program.t -> int
+(** Returns the number of call sites inlined.  The callgraph guarding
+    against (mutual) recursion is fetched through [cache] when given. *)
+val run :
+  ?cache:Epic_analysis.Cache.t -> ?budget:float -> Epic_ir.Program.t -> int

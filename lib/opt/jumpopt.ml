@@ -130,17 +130,21 @@ let merge_blocks (f : Func.t) =
   !changed
 
 (* Make the fall-through edge of every block explicit with an unconditional
-   branch.  Used before layout changes (cold-code sinking). *)
+   branch.  Used before layout changes (cold-code sinking).  Returns true
+   when any branch was inserted, i.e. the IR changed. *)
 let materialize_fallthroughs (f : Func.t) =
+  let changed = ref false in
   List.iter
     (fun (b : Block.t) ->
       if not (Block.ends_in_unconditional b) then
         match Func.fallthrough f b with
         | Some n ->
             Block.append b
-              (Instr.create Opcode.Br ~srcs:[ Operand.Label n.Block.label ])
+              (Instr.create Opcode.Br ~srcs:[ Operand.Label n.Block.label ]);
+            changed := true
         | None -> ())
-    f.Func.blocks
+    f.Func.blocks;
+  !changed
 
 let run_func (f : Func.t) =
   let c1 = collapse_chains f in

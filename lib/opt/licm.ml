@@ -56,7 +56,8 @@ let is_pure (i : Instr.t) =
       true
   | _ -> false
 
-let run_loop (f : Func.t) (dom : Dominance.t) (l : Natural_loops.loop) =
+let run_loop (cache : Cache.t) (f : Func.t) (dom : Dominance.t)
+    (l : Natural_loops.loop) =
   let changed = ref false in
   let loop_blocks =
     List.filter_map (Func.find_block f) l.Natural_loops.body
@@ -70,16 +71,14 @@ let run_loop (f : Func.t) (dom : Dominance.t) (l : Natural_loops.loop) =
           List.iter (fun d -> Reg.Tbl.replace defs_in_loop d (1 + (Option.value ~default:0 (Reg.Tbl.find_opt defs_in_loop d)))) i.Instr.dsts)
         b.Block.instrs)
     loop_blocks;
+  let md = Cache.memdep cache f in
   let stores_and_calls =
     List.concat_map
       (fun (b : Block.t) ->
-        List.filter
-          (fun (i : Instr.t) ->
-            Instr.is_store i || (Instr.is_call i && Memdep.call_touches_memory i))
-          b.Block.instrs)
+        Option.value ~default:[] (Hashtbl.find_opt md b.Block.label))
       loop_blocks
   in
-  let live = Liveness.compute f in
+  let live = Cache.liveness cache f in
   let header_live_in = Liveness.live_in live l.Natural_loops.header in
   let exit_live =
     List.fold_left
@@ -157,13 +156,24 @@ let run_loop (f : Func.t) (dom : Dominance.t) (l : Natural_loops.loop) =
       ph.Block.instrs <- List.rev hs);
   !changed
 
-let run_func (f : Func.t) =
-  let loops = Natural_loops.compute f in
-  let dom = Dominance.compute f in
+(* The loop nest and dominator tree are computed once up front and kept
+   through the whole scan even as hoisting rewrites the function — the
+   classic by-design staleness of LICM.  They are fetched into locals so the
+   cache itself can be invalidated after each mutating loop: per-loop
+   liveness (and the memory-dependence summary) must see the hoisted IR. *)
+let run_func ?cache (f : Func.t) =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let loops = Cache.loops cache f in
+  let dom = Cache.dominance cache f in
   List.fold_left
-    (fun acc l -> run_loop f dom l || acc)
+    (fun acc l ->
+      let moved = run_loop cache f dom l in
+      if moved then
+        Cache.invalidate cache ~preserve:Cache.[ Callgraph; Points_to ]
+          f.Func.name;
+      moved || acc)
     false
     (Natural_loops.innermost_first loops)
 
-let run (p : Program.t) =
-  List.fold_left (fun acc f -> run_func f || acc) false p.Program.funcs
+let run ?cache (p : Program.t) =
+  List.fold_left (fun acc f -> run_func ?cache f || acc) false p.Program.funcs

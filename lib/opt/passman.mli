@@ -1,0 +1,120 @@
+(** The pass manager behind the Figure-4 phase sequence.
+
+    Every transform is a registered pass declaring the analyses it
+    {e requires} and {e preserves} (see {!Epic_analysis.Cache.kind}).
+    Passes report [Changed]/[Unchanged] per function; the manager drops only
+    the non-preserved cache entries of the functions that actually changed
+    and puts them on a dirty worklist.  The classical-optimization fixed
+    point ({!fixed_point}) then runs over the dirty functions only — a
+    function untouched since it last stabilized is skipped entirely.
+
+    Each pass execution is instrumented into {!Epic_obs.Passes}: wall time,
+    fixed-point rounds, IR-size deltas, and the analysis-cache hit/miss
+    counters it incurred. *)
+
+type changes =
+  | Unchanged
+  | Changed of string list  (** names of the functions the pass mutated *)
+  | Changed_all
+      (** conservative: interprocedural passes (inlining, indirect-call
+          specialization) that rewrite an unknown set of functions *)
+
+type func_pass = {
+  fp_name : string;
+  fp_requires : Epic_analysis.Cache.kind list;
+  fp_preserves : Epic_analysis.Cache.kind list;
+  fp_run : Epic_analysis.Cache.t -> Epic_ir.Func.t -> bool;
+      (** intra-procedural transform; true iff it mutated the function *)
+}
+
+type prog_pass = {
+  pp_name : string;
+  pp_requires : Epic_analysis.Cache.kind list;
+  pp_preserves : Epic_analysis.Cache.kind list;
+  pp_run : Epic_analysis.Cache.t -> Epic_ir.Program.t -> changes;
+}
+
+type pass = Func_pass of func_pass | Prog_pass of prog_pass
+
+val pass_name : pass -> string
+
+val func_pass :
+  ?requires:Epic_analysis.Cache.kind list ->
+  ?preserves:Epic_analysis.Cache.kind list ->
+  string ->
+  (Epic_analysis.Cache.t -> Epic_ir.Func.t -> bool) ->
+  pass
+
+val prog_pass :
+  ?requires:Epic_analysis.Cache.kind list ->
+  ?preserves:Epic_analysis.Cache.kind list ->
+  string ->
+  (Epic_analysis.Cache.t -> Epic_ir.Program.t -> changes) ->
+  pass
+
+type t
+
+(** A manager for one compilation of [program]: fresh analysis cache, all
+    functions initially dirty.  [obs] receives the per-phase records (a
+    fresh registry when omitted). *)
+val create : ?obs:Epic_obs.Passes.t -> Epic_ir.Program.t -> t
+
+val cache : t -> Epic_analysis.Cache.t
+val obs : t -> Epic_obs.Passes.t
+val program : t -> Epic_ir.Program.t
+
+(** Register a pass by name; raises on duplicates. *)
+val register : t -> pass -> unit
+
+val find : t -> string -> pass
+
+(** Registered pass names, in registration order. *)
+val registered : t -> string list
+
+(** {1 Dirty-function worklist} *)
+
+val mark_dirty : t -> string -> unit
+val mark_all_dirty : t -> unit
+val is_dirty : t -> string -> bool
+
+(** Dirty functions in program order. *)
+val dirty_funcs : t -> Epic_ir.Func.t list
+
+(** Apply a change report: invalidate the changed functions' non-[preserves]
+    cache entries and mark them dirty. *)
+val note_changes : t -> preserves:Epic_analysis.Cache.kind list -> changes -> unit
+
+(** {1 Instrumented execution} *)
+
+(** [phase t ~name f] runs [f] as a named instrumented phase (wall time,
+    IR deltas, cache counters; [rounds_of] extracts a round count from the
+    result) and applies the changes it reports under [preserves]. *)
+val phase :
+  t ->
+  name:string ->
+  ?rounds_of:('a -> int) ->
+  ?preserves:Epic_analysis.Cache.kind list ->
+  (t -> 'a * changes) ->
+  'a
+
+(** Run one registered pass over the whole program as an instrumented
+    phase; returns what changed.  Function passes visit every function and
+    report per-function changes. *)
+val run_pass : t -> string -> changes
+
+(** The classical-optimization fixed point as a dirty-function worklist:
+    the registered [cleanup] function passes iterate to a per-function
+    fixed point over the dirty functions only (clean functions are
+    skipped); the optional [licm] pass then visits every function, with up
+    to [post_rounds] extra cleanup rounds where it moved code.  Functions
+    whose budget ran out while still changing stay dirty.  Returns the
+    round count (also recorded as the phase's [rounds]). *)
+val fixed_point :
+  t ->
+  name:string ->
+  ?max_rounds:int ->
+  ?post_rounds:int ->
+  cleanup:string list ->
+  ?licm:string ->
+  unit ->
+  int

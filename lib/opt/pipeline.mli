@@ -1,10 +1,25 @@
 (** The classical optimization pipeline (Figure 4's "classical
     optimization"): iterated local cleanups, control-flow simplification
     and loop-invariant code motion, run to a bounded fixed point; verifies
-    the program on exit. *)
+    the program on exit.  Expressed as {!Passman} passes so the fixed point
+    only revisits functions some pass has dirtied. *)
 
-(** One round of every classical pass; true if anything changed. *)
+(** One round of every classical pass over the whole program, cache-free —
+    the reference oracle the pass-manager fixed point is tested against;
+    true if anything changed. *)
 val classical_pass : Epic_ir.Program.t -> bool
+
+(** The cleanup passes of the fixed point, in canonical order (as
+    registered by {!register_classical}). *)
+val cleanup_passes : string list
+
+(** Register the six cleanup passes plus ["licm"] (with their preservation
+    contracts) on a manager. *)
+val register_classical : Passman.t -> unit
+
+(** The classical fixed point over the manager's dirty-function worklist,
+    instrumented as phase [name]; returns the round count. *)
+val run_classical_pm : ?max_rounds:int -> Passman.t -> name:string -> int
 
 val run_classical : ?max_rounds:int -> Epic_ir.Program.t -> unit
 

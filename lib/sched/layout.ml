@@ -42,7 +42,7 @@ let groups_of_block (b : Block.t) =
 
 (* Sink cold blocks to the end of the function, keeping control explicit. *)
 let sink_cold_blocks (f : Func.t) =
-  Epic_opt.Jumpopt.materialize_fallthroughs f;
+  ignore (Epic_opt.Jumpopt.materialize_fallthroughs f);
   Func.layout_cold_last f;
   ignore (Epic_opt.Jumpopt.remove_fallthrough_branches f)
 

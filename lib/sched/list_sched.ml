@@ -134,11 +134,15 @@ let schedule_block_inorder (f : Func.t) (live : Liveness.t) (b : Block.t) =
     stats.planned_cycles <- stats.planned_cycles + !cycle + 1
   end
 
-let run_func ?(reorder = true) (f : Func.t) =
-  let live = Liveness.compute f in
+let run_func ?cache ?(reorder = true) (f : Func.t) =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let live = Cache.liveness cache f in
   List.iter
     (if reorder then schedule_block f live else schedule_block_inorder f live)
-    f.Func.blocks
+    f.Func.blocks;
+  (* scheduling reorders instructions within blocks (and always stamps
+     issue cycles); only CFG-free global facts are kept *)
+  Cache.invalidate cache ~preserve:Cache.[ Callgraph; Points_to ] f.Func.name
 
-let run ?(reorder = true) (p : Program.t) =
-  List.iter (run_func ~reorder) p.Program.funcs
+let run ?cache ?(reorder = true) (p : Program.t) =
+  List.iter (run_func ?cache ~reorder) p.Program.funcs

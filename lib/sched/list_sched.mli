@@ -16,5 +16,7 @@ val reset_stats : unit -> unit
 val schedule_block :
   Epic_ir.Func.t -> Epic_analysis.Liveness.t -> Epic_ir.Block.t -> unit
 
-val run_func : ?reorder:bool -> Epic_ir.Func.t -> unit
-val run : ?reorder:bool -> Epic_ir.Program.t -> unit
+val run_func :
+  ?cache:Epic_analysis.Cache.t -> ?reorder:bool -> Epic_ir.Func.t -> unit
+val run :
+  ?cache:Epic_analysis.Cache.t -> ?reorder:bool -> Epic_ir.Program.t -> unit

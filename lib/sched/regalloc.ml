@@ -62,7 +62,7 @@ let positions (f : Func.t) =
   ranges
 
 (* Compute live intervals for all virtual registers. *)
-let intervals (f : Func.t) =
+let intervals (cache : Cache.t) (f : Func.t) =
   let tbl : interval Reg.Tbl.t = Reg.Tbl.create 64 in
   let note (r : Reg.t) pos =
     if not r.Reg.phys then begin
@@ -95,8 +95,8 @@ let intervals (f : Func.t) =
      (everything else is iteration-local and may be reused freely; without
      this restriction, unrolled hyperblocks exhaust the predicate file). *)
   let ranges = positions f in
-  let loops = Natural_loops.compute f in
-  let live = Liveness.compute f in
+  let loops = Cache.loops cache f in
+  let live = Cache.liveness cache f in
   List.iter
     (fun (l : Natural_loops.loop) ->
       let lo, hi =
@@ -380,8 +380,9 @@ let call_positions (f : Func.t) =
     f.Func.blocks;
   List.rev !calls
 
-let run_func (f : Func.t) =
-  let ivs = intervals f in
+let run_func ?cache (f : Func.t) =
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let ivs = intervals cache f in
   let by_class c = List.filter (fun iv -> iv.vreg.Reg.cls = c) ivs in
   let int_asg, int_spills = allocate_int (by_class Reg.Int) (call_positions f) in
   let flt_asg, flt_spills = allocate_class (by_class Reg.Flt) flt_pool Reg.Flt in
@@ -427,6 +428,11 @@ let run_func (f : Func.t) =
       List.iter
         (fun (r : Reg.t) -> if Reg.is_stacked r then Hashtbl.replace stacked r.Reg.id ())
         (Instr.uses i @ Instr.defs i));
-  f.Func.n_stacked <- Hashtbl.length stacked
+  f.Func.n_stacked <- Hashtbl.length stacked;
+  (* allocation always rewrites registers (and may insert spill code), so
+     the data-sensitive analyses are stale; the CFG is untouched *)
+  Cache.invalidate cache
+    ~preserve:Cache.[ Dominance; Loops; Callgraph; Points_to ]
+    f.Func.name
 
-let run (p : Program.t) = List.iter run_func p.Program.funcs
+let run ?cache (p : Program.t) = List.iter (run_func ?cache) p.Program.funcs

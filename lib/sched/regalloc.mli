@@ -14,5 +14,5 @@ type stats = { mutable spilled_vregs : int; mutable spill_code : int }
 
 val stats : stats
 val reset_stats : unit -> unit
-val run_func : Epic_ir.Func.t -> unit
-val run : Epic_ir.Program.t -> unit
+val run_func : ?cache:Epic_analysis.Cache.t -> Epic_ir.Func.t -> unit
+val run : ?cache:Epic_analysis.Cache.t -> Epic_ir.Program.t -> unit

@@ -6,6 +6,7 @@ let () =
       ("frontend", Test_frontend.suite);
       ("analysis", Test_analysis.suite);
       ("opt", Test_opt.suite);
+      ("passman", Test_passman.suite);
       ("ilp", Test_ilp.suite);
       ("sched", Test_sched.suite);
       ("sim", Test_sim.suite);

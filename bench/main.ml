@@ -11,7 +11,16 @@
 
    `--json FILE` additionally writes the whole suite result (per-workload,
    per-config cycles, category arrays, counters, pass timings, profiles)
-   as one JSON document — the machine-readable companion to the tables. *)
+   as one JSON document — the machine-readable companion to the tables.
+
+   `-j N` (or `--jobs N`) shards the 48 compile+simulate jobs over N
+   domains; the result is byte-identical to `-j 1` (the determinism test
+   and the CI gate enforce it).  `--workloads a,b,c` restricts the suite to
+   a subset, and `--normalize-time` zeroes the wall-clock fields of the
+   JSON export so two runs can be diffed byte-for-byte.
+
+   Exit status: non-zero if any run's simulated output diverged from the
+   reference interpreter (CI fails on divergence, not just a warning). *)
 
 let suite_artifacts =
   [ "table1"; "fig2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig10"; "stats" ]
@@ -99,13 +108,50 @@ let phase_benchmarks () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* Peel off `--json FILE` before artifact-name validation. *)
-  let rec split_json acc = function
-    | "--json" :: f :: rest -> (Some f, List.rev_append acc rest)
-    | a :: rest -> split_json (a :: acc) rest
-    | [] -> (None, List.rev acc)
+  (* Peel off the option flags before artifact-name validation. *)
+  let json_file = ref None in
+  let jobs = ref 1 in
+  let subset = ref None in
+  let normalize_time = ref false in
+  let int_arg flag v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> n
+    | _ ->
+        Printf.eprintf "%s expects a positive integer, got %S\n" flag v;
+        exit 2
   in
-  let json_file, args = split_json [] args in
+  let rec split_opts acc = function
+    | "--json" :: f :: rest ->
+        json_file := Some f;
+        split_opts acc rest
+    | ("-j" | "--jobs") :: v :: rest ->
+        jobs := int_arg "-j" v;
+        split_opts acc rest
+    | "--workloads" :: v :: rest ->
+        subset := Some (String.split_on_char ',' v);
+        split_opts acc rest
+    | "--normalize-time" :: rest ->
+        normalize_time := true;
+        split_opts acc rest
+    | a :: rest -> split_opts (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = split_opts [] args in
+  let json_file = !json_file in
+  let workloads =
+    match !subset with
+    | None -> Epic_workloads.Suite.all
+    | Some names ->
+        List.map
+          (fun n ->
+            match Epic_workloads.Suite.find n with
+            | Some w -> w
+            | None ->
+                Printf.eprintf "unknown workload %S\nknown: %s\n" n
+                  (String.concat " " Epic_workloads.Suite.names);
+                exit 2)
+          names
+  in
   let bad = List.filter (fun a -> not (List.mem a all_artifacts)) args in
   if bad <> [] then begin
     Printf.eprintf "unknown artifact(s): %s\nknown: %s\n"
@@ -117,13 +163,27 @@ let () =
   (* --json needs the suite even if only non-suite artifacts were named. *)
   let needs_suite = List.exists wanted suite_artifacts || json_file <> None in
   (if needs_suite then begin
-     prerr_endline "running the 12-workload suite under 4 configurations...";
-     let s = Epic_core.Experiments.run_suite ~progress:true () in
+     Printf.eprintf "running the %d-workload suite under 4 configurations (-j %d)...\n%!"
+       (List.length workloads) !jobs;
+     let s =
+       Epic_core.Experiments.run_suite ~workloads ~progress:true ~jobs:!jobs ()
+     in
      (match json_file with
      | Some f ->
-         Epic_obs.Json.to_file f (Epic_core.Export.suite_to_json s);
+         let doc = Epic_core.Export.suite_to_json s in
+         let doc = if !normalize_time then Epic_core.Export.normalize_time doc else doc in
+         Epic_obs.Json.to_file f doc;
          Printf.eprintf "wrote suite metrics to %s\n%!" f
      | None -> ());
+     (match Epic_core.Experiments.mismatches s with
+     | [] -> ()
+     | bad ->
+         List.iter
+           (fun (w, l) ->
+             Printf.eprintf "FAIL: %s/%s simulated output diverged from the reference interpreter\n"
+               w (Epic_core.Config.level_name l))
+           bad;
+         exit 1);
      if wanted "table1" then Epic_core.Report.print_table1 s;
      if wanted "fig2" then Epic_core.Report.print_fig2 s;
      if wanted "fig5" then Epic_core.Report.print_fig5 s;

@@ -3,10 +3,24 @@
    experiment: table1 fig2 fig5 fig6 fig7 fig8 fig10 stats spec_model
    profvar ablations. *)
 
-let usage = "experiments [table1|fig2|fig5|fig6|fig7|fig8|fig10|stats|spec_model|profvar|ablations]*"
+let usage = "experiments [-j N] [table1|fig2|fig5|fig6|fig7|fig8|fig10|stats|spec_model|profvar|ablations]*"
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* `-j N` / `--jobs N`: shard the suite over N domains (default 1). *)
+  let jobs = ref 1 in
+  let rec split_opts acc = function
+    | ("-j" | "--jobs") :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> jobs := n
+        | _ ->
+            prerr_endline usage;
+            exit 2);
+        split_opts acc rest
+    | a :: rest -> split_opts (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let args = split_opts [] args in
   let wanted x = args = [] || List.mem x args in
   let needs_suite =
     List.exists wanted [ "table1"; "fig2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig10"; "stats" ]
@@ -14,7 +28,8 @@ let () =
   if List.exists (fun a -> a = "-h" || a = "--help") args then print_endline usage
   else begin
     let suite =
-      if needs_suite then Some (Epic_core.Experiments.run_suite ~progress:true ())
+      if needs_suite then
+        Some (Epic_core.Experiments.run_suite ~progress:true ~jobs:!jobs ())
       else None
     in
     (match suite with

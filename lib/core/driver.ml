@@ -265,13 +265,13 @@ let compile_ir ?(config = Config.o_ns) ?passes ~(train : int64 array)
         specialized_calls = !specialized;
         peeled_loops = !peeled;
         unrolled_loops = !unrolled;
-        hyperblocks = Epic_ilp.Hyperblock.stats.Epic_ilp.Hyperblock.regions_converted;
-        superblocks = Epic_ilp.Superblock.stats.Epic_ilp.Superblock.traces_formed;
-        tail_dup_instrs = Epic_ilp.Superblock.stats.Epic_ilp.Superblock.tail_dup_instrs;
-        peel_instrs = Epic_ilp.Peel.stats.Epic_ilp.Peel.peel_instrs;
-        promoted_loads = Epic_ilp.Speculate.stats.Epic_ilp.Speculate.promoted;
-        marked_spec_loads = Epic_ilp.Speculate.stats.Epic_ilp.Speculate.marked;
-        advanced_loads = Epic_ilp.Data_spec.stats.Epic_ilp.Data_spec.advanced;
+        hyperblocks = (Epic_ilp.Hyperblock.stats ()).Epic_ilp.Hyperblock.regions_converted;
+        superblocks = (Epic_ilp.Superblock.stats ()).Epic_ilp.Superblock.traces_formed;
+        tail_dup_instrs = (Epic_ilp.Superblock.stats ()).Epic_ilp.Superblock.tail_dup_instrs;
+        peel_instrs = (Epic_ilp.Peel.stats ()).Epic_ilp.Peel.peel_instrs;
+        promoted_loads = (Epic_ilp.Speculate.stats ()).Epic_ilp.Speculate.promoted;
+        marked_spec_loads = (Epic_ilp.Speculate.stats ()).Epic_ilp.Speculate.marked;
+        advanced_loads = (Epic_ilp.Data_spec.stats ()).Epic_ilp.Data_spec.advanced;
         static_bundles = Epic_sched.Layout.static_bundles layout;
         code_bytes = layout.Epic_sched.Layout.code_bytes;
         fallback = None;

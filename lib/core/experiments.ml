@@ -52,20 +52,54 @@ let run_one ?(train : int64 array option) ?reference (w : Workload.t)
 
 let levels = [ Config.Gcc_like; Config.O_NS; Config.ILP_NS; Config.ILP_CS ]
 
-let run_suite ?(workloads = Suite.all) ?(progress = false) () =
-  let runs =
-    List.concat_map
+(* The suite is 12 workloads x 4 levels = 48 independent compile+simulate
+   jobs, sharded over a domain pool ([Pool.map]).  Determinism: each job
+   compiles its program from source, which resets the domain-local
+   instruction-id counter, so the ids — and with them branch-predictor
+   indexing and sample attribution — are identical whichever domain runs
+   the job.  Reference outputs are computed once per workload (phase 1) and
+   shared read-only with the 4 per-level jobs (phase 2).  Results come back
+   in index order, so [runs] is ordered exactly as the sequential walk. *)
+let run_suite ?(workloads = Suite.all) ?(progress = false) ?(jobs = 1) () =
+  let ws = Array.of_list workloads in
+  let references =
+    Pool.map ~jobs
       (fun (w : Workload.t) ->
-        let reference = reference_output w in
-        List.map
-          (fun level ->
-            if progress then
-              Fmt.epr "  running %s / %s...@." w.Workload.short (Config.level_name level);
-            (w.Workload.short, level, run_one ~reference w level))
-          levels)
-      workloads
+        if progress then Fmt.epr "  reference %s...@." w.Workload.short;
+        reference_output w)
+      ws
+  in
+  let pairs =
+    Array.of_list
+      (List.concat_map
+         (fun wi -> List.map (fun level -> (wi, level)) levels)
+         (List.init (Array.length ws) Fun.id))
+  in
+  let results =
+    Pool.map ~jobs
+      (fun (wi, level) ->
+        let w = ws.(wi) in
+        if progress then
+          Fmt.epr "  running %s / %s...@." w.Workload.short (Config.level_name level);
+        run_one ~reference:references.(wi) w level)
+      pairs
+  in
+  let runs =
+    Array.to_list
+      (Array.mapi
+         (fun i (wi, level) -> (ws.(wi).Workload.short, level, results.(i)))
+         pairs)
   in
   { runs; index = index_runs runs }
+
+(* Runs whose simulated output diverged from the reference interpreter.
+   [run_one] warns as it happens; this is the machine-checkable record the
+   bench harness and CI gate on. *)
+let mismatches (s : suite_result) =
+  List.filter_map
+    (fun (w, l, (r : Metrics.run)) ->
+      if r.Metrics.output_matches then None else Some (w, l))
+    s.runs
 
 let get (s : suite_result) (workload : string) (level : Config.level) =
   Hashtbl.find_opt s.index (workload, level)

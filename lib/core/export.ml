@@ -108,6 +108,20 @@ let run_to_json (r : Metrics.run) =
       ("output_matches", Json.Bool r.Metrics.output_matches);
     ]
 
+(* Wall-clock is the one nondeterministic ingredient of a run document;
+   zeroing it makes exports diffable byte-for-byte across runner shapes. *)
+let rec normalize_time = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.map
+           (fun (name, v) ->
+             match name with
+             | "wall_s" | "total_wall_s" -> (name, Json.Float 0.)
+             | _ -> (name, normalize_time v))
+           fields)
+  | Json.List l -> Json.List (List.map normalize_time l)
+  | j -> j
+
 let suite_to_json (s : Experiments.suite_result) =
   Json.Obj
     [

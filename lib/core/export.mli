@@ -13,3 +13,10 @@
 val config_to_json : Config.t -> Epic_obs.Json.t
 val run_to_json : Metrics.run -> Epic_obs.Json.t
 val suite_to_json : Experiments.suite_result -> Epic_obs.Json.t
+
+(** Zero every wall-clock field ([wall_s], [total_wall_s]) in a document,
+    recursively.  Everything else in a run/suite document is deterministic,
+    so two exports of the same suite — sequential or parallel, same or
+    different process — are byte-identical after normalization.  The
+    determinism test and the CI gate diff through this. *)
+val normalize_time : Epic_obs.Json.t -> Epic_obs.Json.t

@@ -1,0 +1,83 @@
+(* A fixed-size domain worker pool over a mutex-protected job queue.
+
+   The design favours determinism over cleverness: the job list is an
+   array, workers pull the next unstarted index under a mutex, and results
+   land in a slot array at their own index — so the result order is the
+   input order no matter how the scheduler interleaves completions.  The
+   suite runner builds on this to make `-j N` byte-identical to `-j 1`
+   (every job is an independent compile+simulate whose only shared state is
+   read-only; see DESIGN.md, "Domain-safety contract"). *)
+
+type 'b slot = Empty | Done of 'b
+
+(* Work-dispatch state shared by the caller and the spawned domains.  All
+   fields are protected by [lock] except [slots], whose cells are written
+   by exactly one worker each (the happens-before edge for the caller is
+   Domain.join). *)
+type ('a, 'b) shared = {
+  items : 'a array;
+  slots : 'b slot array;
+  lock : Mutex.t;
+  mutable next : int; (* next unstarted job index *)
+  mutable failed : (int * exn * Printexc.raw_backtrace) option;
+      (* raising job with the smallest index seen so far *)
+}
+
+let take sh =
+  Mutex.lock sh.lock;
+  let r =
+    if sh.failed = None && sh.next < Array.length sh.items then begin
+      let i = sh.next in
+      sh.next <- i + 1;
+      Some i
+    end
+    else None
+  in
+  Mutex.unlock sh.lock;
+  r
+
+let record_failure sh i exn bt =
+  Mutex.lock sh.lock;
+  (match sh.failed with
+  | Some (j, _, _) when j < i -> ()
+  | _ -> sh.failed <- Some (i, exn, bt));
+  Mutex.unlock sh.lock
+
+let rec worker f sh =
+  match take sh with
+  | None -> ()
+  | Some i ->
+      (match f sh.items.(i) with
+      | v -> sh.slots.(i) <- Done v
+      | exception exn -> record_failure sh i exn (Printexc.get_raw_backtrace ()));
+      worker f sh
+
+let map ~jobs f items =
+  if jobs < 1 then invalid_arg "Pool.map: jobs must be >= 1";
+  let n = Array.length items in
+  if jobs = 1 || n <= 1 then Array.map f items
+  else begin
+    let sh =
+      {
+        items;
+        slots = Array.make n Empty;
+        lock = Mutex.create ();
+        next = 0;
+        failed = None;
+      }
+    in
+    (* the caller is worker number [jobs]: spawn one domain fewer *)
+    let spawned =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn (fun () -> worker f sh))
+    in
+    worker f sh;
+    Array.iter Domain.join spawned;
+    match sh.failed with
+    | Some (_, exn, bt) -> Printexc.raise_with_backtrace exn bt
+    | None ->
+        Array.map
+          (function
+            | Done v -> v
+            | Empty -> assert false (* no failure => every index completed *))
+          sh.slots
+  end

@@ -1,0 +1,20 @@
+(** A dependency-free fixed-size domain worker pool.
+
+    [map ~jobs f items] applies [f] to every element of [items] and returns
+    the results in index order, regardless of the order in which jobs
+    complete.  With [jobs = 1] the whole array is processed sequentially in
+    the calling domain and no domain is ever spawned — bit-identical to
+    [Array.map f items].  With [jobs > 1], [min jobs (Array.length items)]
+    workers (the caller plus spawned domains) pull indices from a shared
+    mutex-protected queue.
+
+    Jobs must be domain-safe: they may only share state that is immutable
+    or domain-local (see DESIGN.md, "Domain-safety contract").  Each job is
+    started at most once; once any job raises, no further jobs are started.
+
+    If a job raises, [map] waits for the in-flight jobs, then re-raises the
+    exception of the raising job with the smallest index, with its original
+    backtrace.  Work already completed is discarded. *)
+
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** @raise Invalid_argument if [jobs < 1]. *)

@@ -25,10 +25,11 @@ let default_params = { min_block_weight = 16.0; max_advances_per_block = 8; wind
 
 type stats = { mutable advanced : int; mutable checks : int }
 
-let stats = { advanced = 0; checks = 0 }
+let stats_key = Domain.DLS.new_key (fun () -> { advanced = 0; checks = 0 })
+let stats () = Domain.DLS.get stats_key
 let reset_stats () =
-  stats.advanced <- 0;
-  stats.checks <- 0
+  (stats ()).advanced <- 0;
+  (stats ()).checks <- 0
 
 (* Stores within [window] instructions above [idx] that may alias [ld] —
    the spurious dependences blocking hoisting. *)
@@ -66,7 +67,7 @@ let insert_check (b : Block.t) (ld : Instr.t) =
         | i :: tl -> i :: ins tl
       in
       b.Block.instrs <- ins b.Block.instrs;
-      stats.checks <- stats.checks + 1
+      (stats ()).checks <- (stats ()).checks + 1
   | _ -> ()
 
 let run_block (ps : params) (b : Block.t) =
@@ -89,7 +90,7 @@ let run_block (ps : params) (b : Block.t) =
               i.Instr.op <- Opcode.Ld (sz, Opcode.Spec_advanced);
               i.Instr.attrs.Instr.speculated <- true;
               advanced := i :: !advanced;
-              stats.advanced <- stats.advanced + 1
+              (stats ()).advanced <- (stats ()).advanced + 1
             end
         | _ -> ())
       instrs;
@@ -100,9 +101,9 @@ let run_block (ps : params) (b : Block.t) =
 (* Returns true when any load was advanced in this function (every
    mutation bumps the stats counters). *)
 let run_func ?(params = default_params) (f : Func.t) =
-  let a0 = stats.advanced and c0 = stats.checks in
+  let a0 = (stats ()).advanced and c0 = (stats ()).checks in
   List.iter (run_block params) f.Func.blocks;
-  stats.advanced <> a0 || stats.checks <> c0
+  (stats ()).advanced <> a0 || (stats ()).checks <> c0
 
 let run ?(params = default_params) (p : Program.t) =
   List.iter (fun f -> ignore (run_func ~params f)) p.Program.funcs

@@ -14,7 +14,7 @@ val default_params : params
 
 type stats = { mutable advanced : int; mutable checks : int }
 
-val stats : stats
+val stats : unit -> stats
 val reset_stats : unit -> unit
 
 (** True when the function was mutated. *)

@@ -6,7 +6,7 @@
 
 type stats = { mutable chains_rebalanced : int; mutable links_rewritten : int }
 
-val stats : stats
+val stats : unit -> stats
 val reset_stats : unit -> unit
 
 val run_block :

@@ -44,10 +44,11 @@ let block_predicates (b : Block.t) =
 
 type stats = { mutable regions_converted : int; mutable branches_removed : int }
 
-let stats = { regions_converted = 0; branches_removed = 0 }
+let stats_key = Domain.DLS.new_key (fun () -> { regions_converted = 0; branches_removed = 0 })
+let stats () = Domain.DLS.get stats_key
 let reset_stats () =
-  stats.regions_converted <- 0;
-  stats.branches_removed <- 0
+  (stats ()).regions_converted <- 0;
+  (stats ()).branches_removed <- 0
 
 (* Can every instruction of this block be predicated? *)
 let arm_convertible (ps : params) (b : Block.t) =
@@ -231,8 +232,8 @@ let convert_region (f : Func.t) (ps : params) preds (a : Block.t) =
               f.Func.blocks <-
                 List.filter (fun x -> not (List.memq x removed)) f.Func.blocks;
               a.Block.kind <- Block.Hyper;
-              stats.regions_converted <- stats.regions_converted + 1;
-              stats.branches_removed <- stats.branches_removed + 1
+              (stats ()).regions_converted <- (stats ()).regions_converted + 1;
+              (stats ()).branches_removed <- (stats ()).branches_removed + 1
             in
             (match shape with
             | Triangle_taken (tb, join) -> finish (arm_instrs pt tb) join [ tb ]

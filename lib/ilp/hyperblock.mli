@@ -16,7 +16,7 @@ val default_params : params
 
 type stats = { mutable regions_converted : int; mutable branches_removed : int }
 
-val stats : stats
+val stats : unit -> stats
 val reset_stats : unit -> unit
 
 (** Distinct predicate registers appearing in a block (the pressure

@@ -30,10 +30,11 @@ let default_params =
 
 type stats = { mutable loops_peeled : int; mutable peel_instrs : int }
 
-let stats = { loops_peeled = 0; peel_instrs = 0 }
+let stats_key = Domain.DLS.new_key (fun () -> { loops_peeled = 0; peel_instrs = 0 })
+let stats () = Domain.DLS.get stats_key
 let reset_stats () =
-  stats.loops_peeled <- 0;
-  stats.peel_instrs <- 0
+  (stats ()).loops_peeled <- 0;
+  (stats ()).peel_instrs <- 0
 
 (* Peel one iteration of [l].  The copy's back edges go to the original
    header (entering the remainder loop); all external entries are redirected
@@ -101,8 +102,8 @@ let peel_loop (f : Func.t) (ps : params) (l : Natural_loops.loop) =
         b.Block.weight <- b.Block.weight *. reentry /. max l.Natural_loops.avg_trips 0.01;
         if ps.mark_remainder_cold && reentry < 0.25 then b.Block.cold <- true)
       body_blocks;
-    stats.loops_peeled <- stats.loops_peeled + 1;
-    stats.peel_instrs <- stats.peel_instrs + size;
+    (stats ()).loops_peeled <- (stats ()).loops_peeled + 1;
+    (stats ()).peel_instrs <- (stats ()).peel_instrs + size;
     true
   end
 

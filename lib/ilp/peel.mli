@@ -16,7 +16,7 @@ val default_params : params
 
 type stats = { mutable loops_peeled : int; mutable peel_instrs : int }
 
-val stats : stats
+val stats : unit -> stats
 val reset_stats : unit -> unit
 
 (** Returns the number of loops peeled. *)

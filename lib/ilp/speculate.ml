@@ -38,11 +38,12 @@ type stats = {
   mutable checks_inserted : int;
 }
 
-let stats = { promoted = 0; marked = 0; checks_inserted = 0 }
+let stats_key = Domain.DLS.new_key (fun () -> { promoted = 0; marked = 0; checks_inserted = 0 })
+let stats () = Domain.DLS.get stats_key
 let reset_stats () =
-  stats.promoted <- 0;
-  stats.marked <- 0;
-  stats.checks_inserted <- 0
+  (stats ()).promoted <- 0;
+  (stats ()).marked <- 0;
+  (stats ()).checks_inserted <- 0
 
 let spec_kind = function General -> Opcode.Spec_general | Sentinel -> Opcode.Spec_sentinel
 
@@ -144,7 +145,7 @@ let insert_check (b : Block.t) (ld : Instr.t) (guard : Reg.t option) =
         | i :: tl -> i :: ins tl
       in
       b.Block.instrs <- ins b.Block.instrs;
-      stats.checks_inserted <- stats.checks_inserted + 1
+      (stats ()).checks_inserted <- (stats ()).checks_inserted + 1
   | _ -> ()
 
 let run_block (ps : params) (f : Func.t) (b : Block.t) =
@@ -163,7 +164,7 @@ let run_block (ps : params) (f : Func.t) (b : Block.t) =
             i.Instr.attrs.Instr.speculated <- true;
             i.Instr.attrs.Instr.promoted <- true;
             incr promotions;
-            stats.promoted <- stats.promoted + 1;
+            (stats ()).promoted <- (stats ()).promoted + 1;
             if ps.model = Sentinel then insert_check b i (Some p)
         | _ -> ())
       b.Block.instrs;
@@ -178,7 +179,7 @@ let run_block (ps : params) (f : Func.t) (b : Block.t) =
             | [ d ] when List.length (defs_of d b.Block.instrs) = 1 ->
                 i.Instr.op <- Opcode.Ld (sz, spec_kind ps.model);
                 i.Instr.attrs.Instr.speculated <- true;
-                stats.marked <- stats.marked + 1;
+                (stats ()).marked <- (stats ()).marked + 1;
                 if ps.model = Sentinel then insert_check b i None
             | _ -> ())
         | _ -> ());
@@ -189,10 +190,10 @@ let run_block (ps : params) (f : Func.t) (b : Block.t) =
 (* Returns true when any load was promoted or marked in this function
    (every mutation bumps one of the stats counters). *)
 let run_func ?(params = default_params) (f : Func.t) =
-  let p0 = stats.promoted and m0 = stats.marked in
-  let c0 = stats.checks_inserted in
+  let p0 = (stats ()).promoted and m0 = (stats ()).marked in
+  let c0 = (stats ()).checks_inserted in
   List.iter (run_block params f) f.Func.blocks;
-  stats.promoted <> p0 || stats.marked <> m0 || stats.checks_inserted <> c0
+  (stats ()).promoted <> p0 || (stats ()).marked <> m0 || (stats ()).checks_inserted <> c0
 
 let run ?(params = default_params) (p : Program.t) =
   List.iter (fun f -> ignore (run_func ~params f)) p.Program.funcs

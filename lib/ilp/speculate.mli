@@ -21,7 +21,7 @@ type stats = {
   mutable checks_inserted : int;
 }
 
-val stats : stats
+val stats : unit -> stats
 val reset_stats : unit -> unit
 
 (** True when the function was mutated. *)

@@ -23,11 +23,12 @@ type stats = {
   mutable tail_dup_instrs : int;
 }
 
-let stats = { traces_formed = 0; blocks_merged = 0; tail_dup_instrs = 0 }
+let stats_key = Domain.DLS.new_key (fun () -> { traces_formed = 0; blocks_merged = 0; tail_dup_instrs = 0 })
+let stats () = Domain.DLS.get stats_key
 let reset_stats () =
-  stats.traces_formed <- 0;
-  stats.blocks_merged <- 0;
-  stats.tail_dup_instrs <- 0
+  (stats ()).traces_formed <- 0;
+  (stats ()).blocks_merged <- 0;
+  (stats ()).tail_dup_instrs <- 0
 
 (* Select traces: lists of block labels, hottest seeds first. *)
 let select_traces (f : Func.t) (ps : params) =
@@ -108,7 +109,7 @@ let remove_side_entrances (f : Func.t) (ps : params) (trace : string list) =
           let size = List.fold_left (fun n b -> n + Block.instr_count b) 0 suffix_blocks in
           if size <= !budget then begin
             budget := !budget - size;
-            stats.tail_dup_instrs <- stats.tail_dup_instrs + size;
+            (stats ()).tail_dup_instrs <- (stats ()).tail_dup_instrs + size;
             (* entry ratio: fraction of weight entering from outside *)
             let total_w =
               match Func.find_block f label with Some b -> max b.Block.weight 1. | None -> 1.
@@ -205,12 +206,12 @@ let merge_trace (f : Func.t) (trace : string list) =
             else begin
               head.Block.instrs <- head.Block.instrs @ b.Block.instrs;
               f.Func.blocks <- List.filter (fun x -> x != b) f.Func.blocks;
-              stats.blocks_merged <- stats.blocks_merged + 1
+              (stats ()).blocks_merged <- (stats ()).blocks_merged + 1
             end
           end)
         rest;
       head.Block.kind <- Block.Super;
-      stats.traces_formed <- stats.traces_formed + 1
+      (stats ()).traces_formed <- (stats ()).traces_formed + 1
 
 (* Returns true when the function was mutated.  Detected via the stats
    deltas plus block/instruction-count changes: trace merges bump
@@ -218,7 +219,7 @@ let merge_trace (f : Func.t) (trace : string list) =
    remaining mutations (fall-through materialization, unreachable-block
    removal) shift the counts. *)
 let run_func ?(params = default_params) (f : Func.t) =
-  let traces0 = stats.traces_formed and dup0 = stats.tail_dup_instrs in
+  let traces0 = (stats ()).traces_formed and dup0 = (stats ()).tail_dup_instrs in
   let blocks0 = List.length f.Func.blocks and instrs0 = Func.instr_count f in
   let traces = select_traces f params in
   List.iter
@@ -230,8 +231,8 @@ let run_func ?(params = default_params) (f : Func.t) =
       end)
     traces;
   Func.remove_unreachable f;
-  stats.traces_formed <> traces0
-  || stats.tail_dup_instrs <> dup0
+  (stats ()).traces_formed <> traces0
+  || (stats ()).tail_dup_instrs <> dup0
   || List.length f.Func.blocks <> blocks0
   || Func.instr_count f <> instrs0
 

@@ -18,7 +18,7 @@ type stats = {
   mutable tail_dup_instrs : int;
 }
 
-val stats : stats
+val stats : unit -> stats
 val reset_stats : unit -> unit
 
 val select_traces : Epic_ir.Func.t -> params -> string list list

@@ -8,7 +8,7 @@ val default_params : params
 
 type stats = { mutable loops_unrolled : int }
 
-val stats : stats
+val stats : unit -> stats
 val reset_stats : unit -> unit
 
 (** Returns the number of loops unrolled. *)

@@ -42,15 +42,23 @@ let default_attrs () =
     origin = -1;
   }
 
-let counter = ref 0
+(* The id counter is domain-local state: the parallel suite runner
+   (Epic_core.Pool) compiles independent programs on worker domains, and ids
+   must be reproduced exactly — they index the simulator's branch predictor
+   and attribute profile samples — so each domain gets its own counter and
+   every compilation resets it (the frontend calls [reset_ids] per program).
+   A compile+simulate job is therefore bit-identical whether it runs on the
+   main domain or on any worker. *)
+let counter = Domain.DLS.new_key (fun () -> ref 0)
 
-let reset_ids () = counter := 0
-let id_counter () = !counter
-let restore_ids n = counter := n
+let reset_ids () = Domain.DLS.get counter := 0
+let id_counter () = !(Domain.DLS.get counter)
+let restore_ids n = Domain.DLS.get counter := n
 
 let fresh_id () =
-  incr counter;
-  !counter
+  let c = Domain.DLS.get counter in
+  incr c;
+  !c
 
 let create ?pred ?(dsts = []) ?(srcs = []) op =
   let id = fresh_id () in

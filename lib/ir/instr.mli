@@ -28,10 +28,14 @@ type t = {
   attrs : attrs;
 }
 
-(** Reset the global id counter (done per program by the frontend). *)
+(** Reset the id counter (done per program by the frontend).  The counter
+    is domain-local ([Domain.DLS]): concurrent compilations on distinct
+    domains draw from independent counters, and because every compilation
+    starts from a reset, the ids assigned to a program do not depend on
+    which domain compiled it. *)
 val reset_ids : unit -> unit
 
-(** Current value of the global id counter. *)
+(** Current value of this domain's id counter. *)
 val id_counter : unit -> int
 
 (** Restore the global id counter to a previously saved value.  Used by the

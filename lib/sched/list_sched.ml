@@ -16,11 +16,12 @@ type stats = {
   mutable planned_cycles : int;
 }
 
-let stats = { blocks = 0; planned_ops = 0; planned_cycles = 0 }
+let stats_key = Domain.DLS.new_key (fun () -> { blocks = 0; planned_ops = 0; planned_cycles = 0 })
+let stats () = Domain.DLS.get stats_key
 let reset_stats () =
-  stats.blocks <- 0;
-  stats.planned_ops <- 0;
-  stats.planned_cycles <- 0
+  (stats ()).blocks <- 0;
+  (stats ()).planned_ops <- 0;
+  (stats ()).planned_cycles <- 0
 
 let schedule_block (f : Func.t) (live : Liveness.t) (b : Block.t) =
   let g = Dag.build f live b in
@@ -94,9 +95,9 @@ let schedule_block (f : Func.t) (live : Liveness.t) (b : Block.t) =
       List.stable_sort
         (fun (a : Instr.t) (b' : Instr.t) -> compare a.Instr.cycle b'.Instr.cycle)
         instrs;
-    stats.blocks <- stats.blocks + 1;
-    stats.planned_ops <- stats.planned_ops + n;
-    stats.planned_cycles <- stats.planned_cycles + !cycle
+    (stats ()).blocks <- (stats ()).blocks + 1;
+    (stats ()).planned_ops <- (stats ()).planned_ops + n;
+    (stats ()).planned_cycles <- (stats ()).planned_cycles + !cycle
   end
 
 (* Program-order scheduling: instructions keep their order; an instruction
@@ -129,9 +130,9 @@ let schedule_block_inorder (f : Func.t) (live : Liveness.t) (b : Block.t) =
           if e > earliest.(s) then earliest.(s) <- e)
         g.Dag.succs.(j)
     done;
-    stats.blocks <- stats.blocks + 1;
-    stats.planned_ops <- stats.planned_ops + n;
-    stats.planned_cycles <- stats.planned_cycles + !cycle + 1
+    (stats ()).blocks <- (stats ()).blocks + 1;
+    (stats ()).planned_ops <- (stats ()).planned_ops + n;
+    (stats ()).planned_cycles <- (stats ()).planned_cycles + !cycle + 1
   end
 
 let run_func ?cache ?(reorder = true) (f : Func.t) =

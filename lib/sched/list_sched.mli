@@ -10,7 +10,7 @@ type stats = {
   mutable planned_cycles : int;
 }
 
-val stats : stats
+val stats : unit -> stats
 val reset_stats : unit -> unit
 
 val schedule_block :

@@ -43,10 +43,11 @@ type stats = {
   mutable spill_code : int;
 }
 
-let stats = { spilled_vregs = 0; spill_code = 0 }
+let stats_key = Domain.DLS.new_key (fun () -> { spilled_vregs = 0; spill_code = 0 })
+let stats () = Domain.DLS.get stats_key
 let reset_stats () =
-  stats.spilled_vregs <- 0;
-  stats.spill_code <- 0
+  (stats ()).spilled_vregs <- 0;
+  (stats ()).spill_code <- 0
 
 (* Linearize: assign positions to all instructions in layout order; returns
    per-block (start, end) position ranges. *)
@@ -260,7 +261,7 @@ let insert_spill_code (f : Func.t) (slot_of : Reg.t -> int option) =
                     Instr.create (Opcode.Ld (Opcode.B8, Opcode.Nonspec))
                       ~dsts:[ vtmp ] ~srcs:[ Operand.Reg atmp ];
                   ];
-              stats.spill_code <- stats.spill_code + 2;
+              (stats ()).spill_code <- (stats ()).spill_code + 2;
               vtmp
             in
             let spill_store (r : Reg.t) off =
@@ -282,7 +283,7 @@ let insert_spill_code (f : Func.t) (slot_of : Reg.t -> int option) =
                     Instr.create (Opcode.St Opcode.B8)
                       ~srcs:[ Operand.Reg atmp; Operand.Reg vtmp ];
                   ];
-              stats.spill_code <- stats.spill_code + 2;
+              (stats ()).spill_code <- (stats ()).spill_code + 2;
               vtmp
             in
             let subst_use (r : Reg.t) =
@@ -394,7 +395,7 @@ let run_func ?cache (f : Func.t) =
     (fun k iv -> Reg.Tbl.replace slot_tbl iv.vreg (spill_base + (8 * k)))
     (int_spills @ flt_spills);
   let n_spills = List.length int_spills + List.length flt_spills in
-  stats.spilled_vregs <- stats.spilled_vregs + n_spills;
+  (stats ()).spilled_vregs <- (stats ()).spilled_vregs + n_spills;
   if n_spills > 0 then set_frame_size f (spill_base + (8 * n_spills));
   (* rewrite registers *)
   let map (r : Reg.t) =

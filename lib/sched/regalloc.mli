@@ -12,7 +12,7 @@ exception Out_of_registers of string
 
 type stats = { mutable spilled_vregs : int; mutable spill_code : int }
 
-val stats : stats
+val stats : unit -> stats
 val reset_stats : unit -> unit
 val run_func : ?cache:Epic_analysis.Cache.t -> Epic_ir.Func.t -> unit
 val run : ?cache:Epic_analysis.Cache.t -> Epic_ir.Program.t -> unit

@@ -7,6 +7,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("opt", Test_opt.suite);
       ("passman", Test_passman.suite);
+      ("pool", Test_pool.suite);
       ("ilp", Test_ilp.suite);
       ("sched", Test_sched.suite);
       ("sim", Test_sim.suite);

@@ -46,7 +46,7 @@ let test_hyperblock_converts_diamond () =
   Epic_ilp.Hyperblock.run p;
   Verify.check_program p;
   check cb "at least one region converted" true
-    (Epic_ilp.Hyperblock.stats.Epic_ilp.Hyperblock.regions_converted >= 1);
+    ((Epic_ilp.Hyperblock.stats ()).Epic_ilp.Hyperblock.regions_converted >= 1);
   check (Alcotest.pair ci cs) "semantics preserved" before (run p [||]);
   (* predicated instructions now exist *)
   let predicated = ref 0 in
@@ -95,7 +95,7 @@ let test_superblock_forms_trace () =
   let before = run p [||] in
   Epic_ilp.Superblock.run p;
   Verify.check_program p;
-  check cb "traces formed" true (Epic_ilp.Superblock.stats.Epic_ilp.Superblock.traces_formed >= 1);
+  check cb "traces formed" true ((Epic_ilp.Superblock.stats ()).Epic_ilp.Superblock.traces_formed >= 1);
   check (Alcotest.pair ci cs) "semantics preserved" before (run p [||])
 
 let test_superblock_tail_duplication () =
@@ -250,8 +250,8 @@ let test_speculate_general_preserves () =
   Epic_ilp.Speculate.run p;
   Verify.check_program p;
   check cb "loads were speculated" true
-    (Epic_ilp.Speculate.stats.Epic_ilp.Speculate.promoted
-     + Epic_ilp.Speculate.stats.Epic_ilp.Speculate.marked
+    ((Epic_ilp.Speculate.stats ()).Epic_ilp.Speculate.promoted
+     + (Epic_ilp.Speculate.stats ()).Epic_ilp.Speculate.marked
     > 0);
   check (Alcotest.pair ci cs) "general speculation preserves semantics" before (run p [||]);
   (* promoted wild loads produce NaT in the interpreter without faulting *)
@@ -272,8 +272,8 @@ let test_speculate_sentinel_inserts_checks () =
       match i.Instr.op with Opcode.Chk _ -> incr chks | _ -> ());
   check cb "chk.s present" true (!chks > 0);
   check ci "one chk per speculated load"
-    (Epic_ilp.Speculate.stats.Epic_ilp.Speculate.promoted
-    + Epic_ilp.Speculate.stats.Epic_ilp.Speculate.marked)
+    ((Epic_ilp.Speculate.stats ()).Epic_ilp.Speculate.promoted
+    + (Epic_ilp.Speculate.stats ()).Epic_ilp.Speculate.marked)
     !chks;
   check (Alcotest.pair ci cs) "sentinel speculation preserves semantics" before (run p [||])
 
@@ -318,7 +318,7 @@ let test_height_reduction () =
   let changed = Epic_ilp.Height.run p in
   Verify.check_program p;
   check cb "a chain was rebalanced" true changed;
-  check cb "stats recorded" true (Epic_ilp.Height.stats.Epic_ilp.Height.chains_rebalanced >= 1);
+  check cb "stats recorded" true ((Epic_ilp.Height.stats ()).Epic_ilp.Height.chains_rebalanced >= 1);
   check (Alcotest.pair ci cs) "height reduction preserves semantics" before (run p [| 4L |]);
   (* the dependence height of the rebalanced block must not be larger *)
   ignore (Epic_opt.Dce.run p)

@@ -15,9 +15,18 @@
 
    `-j N` (or `--jobs N`) shards the 48 compile+simulate jobs over N
    domains; the result is byte-identical to `-j 1` (the determinism test
-   and the CI gate enforce it).  `--workloads a,b,c` restricts the suite to
+   and the CI gate enforce it).  The default is the machine's recommended
+   domain count, capped at the job count; `-j 1` is the explicit
+   sequential escape hatch.  `--workloads a,b,c` restricts the suite to
    a subset, and `--normalize-time` zeroes the wall-clock fields of the
    JSON export so two runs can be diffed byte-for-byte.
+
+   `sweep` runs the machine-sensitivity matrix (lib/sweep) instead of the
+   paper artifacts; it only runs when named explicitly, never as part of
+   the default "everything" run.  `--variants v,..` selects machine
+   variants and `--sweep-baseline FILE` diffs the normalized sweep JSON
+   against a stored baseline, failing on any difference (the CI
+   regression gate).
 
    Exit status: non-zero if any run's simulated output diverged from the
    reference interpreter (CI fails on divergence, not just a warning). *)
@@ -25,8 +34,14 @@
 let suite_artifacts =
   [ "table1"; "fig2"; "fig5"; "fig6"; "fig7"; "fig8"; "fig10"; "stats" ]
 
+(* Artifacts that run only when named explicitly (too broad or too slow to
+   fold into the default "everything" run). *)
+let explicit_artifacts = [ "sweep" ]
+
 let all_artifacts =
-  suite_artifacts @ [ "spec_model"; "profvar"; "ablations"; "data_spec"; "phases" ]
+  suite_artifacts
+  @ [ "spec_model"; "profvar"; "ablations"; "data_spec"; "phases" ]
+  @ explicit_artifacts
 
 (* --- Bechamel: compiler-phase timings ----------------------------------- *)
 
@@ -110,9 +125,11 @@ let () =
   let args = List.tl (Array.to_list Sys.argv) in
   (* Peel off the option flags before artifact-name validation. *)
   let json_file = ref None in
-  let jobs = ref 1 in
+  let jobs = ref 0 (* 0 = auto: recommended domain count, capped at jobs *) in
   let subset = ref None in
   let normalize_time = ref false in
+  let sweep_variants = ref None in
+  let sweep_baseline = ref None in
   let int_arg flag v =
     match int_of_string_opt v with
     | Some n when n >= 1 -> n
@@ -132,6 +149,12 @@ let () =
         split_opts acc rest
     | "--normalize-time" :: rest ->
         normalize_time := true;
+        split_opts acc rest
+    | "--variants" :: v :: rest ->
+        sweep_variants := Some (String.split_on_char ',' v);
+        split_opts acc rest
+    | "--sweep-baseline" :: f :: rest ->
+        sweep_baseline := Some f;
         split_opts acc rest
     | a :: rest -> split_opts (a :: acc) rest
     | [] -> List.rev acc
@@ -159,14 +182,24 @@ let () =
       (String.concat " " all_artifacts);
     exit 2
   end;
-  let wanted x = args = [] || List.mem x args in
+  let wanted x =
+    if List.mem x explicit_artifacts then List.mem x args
+    else args = [] || List.mem x args
+  in
+  (* -j 0 (the default) resolves to the recommended domain count, capped at
+     the number of jobs so no idle domain is ever spawned. *)
+  let auto_jobs n_jobs =
+    if !jobs >= 1 then !jobs
+    else min (Domain.recommended_domain_count ()) (max 1 n_jobs)
+  in
   (* --json needs the suite even if only non-suite artifacts were named. *)
   let needs_suite = List.exists wanted suite_artifacts || json_file <> None in
   (if needs_suite then begin
+     let jobs = auto_jobs (4 * List.length workloads) in
      Printf.eprintf "running the %d-workload suite under 4 configurations (-j %d)...\n%!"
-       (List.length workloads) !jobs;
+       (List.length workloads) jobs;
      let s =
-       Epic_core.Experiments.run_suite ~workloads ~progress:true ~jobs:!jobs ()
+       Epic_core.Experiments.run_suite ~workloads ~progress:true ~jobs ()
      in
      (match json_file with
      | Some f ->
@@ -201,4 +234,63 @@ let () =
     Epic_core.Report.print_ablations (Epic_core.Experiments.ablations ());
   if wanted "data_spec" then
     Epic_core.Report.print_data_spec (Epic_core.Experiments.data_spec_experiment ());
-  if wanted "phases" then phase_benchmarks ()
+  if wanted "phases" then phase_benchmarks ();
+  if wanted "sweep" then begin
+    let open Epic_sweep.Sweep in
+    let vs =
+      match !sweep_variants with
+      | None -> variants
+      | Some names ->
+          List.map
+            (fun n ->
+              match find_variant n with
+              | Some v -> v
+              | None ->
+                  Printf.eprintf "unknown variant %S\n" n;
+                  exit 2)
+            names
+    in
+    (* sweep defaults to a bounded workload pair; --workloads widens it *)
+    let sweep_workloads =
+      match !subset with
+      | Some names -> names
+      | None -> [ "gzip"; "twolf" ]
+    in
+    let jobs = auto_jobs (List.length sweep_workloads * (1 + List.length vs)) in
+    Printf.eprintf "running the sensitivity sweep (%d variants, -j %d)...\n%!"
+      (List.length vs) jobs;
+    let r = run ~variants:vs ~progress:true ~jobs ~workloads:sweep_workloads () in
+    print_report Fmt.stdout r;
+    (match mismatches r with
+    | [] -> ()
+    | l ->
+        List.iter
+          (fun c ->
+            Printf.eprintf
+              "FAIL: sweep %s/%s/%s simulated output diverged from the reference\n"
+              c.c_workload c.c_variant c.c_ablation)
+          l;
+        exit 1);
+    match !sweep_baseline with
+    | None -> ()
+    | Some f ->
+        let norm j =
+          Epic_obs.Json.to_string ~pretty:true (Epic_core.Export.normalize_time j)
+        in
+        let stored =
+          match
+            In_channel.with_open_text f In_channel.input_all
+            |> Epic_obs.Json.of_string
+          with
+          | Ok j -> j
+          | Error e ->
+              Printf.eprintf "cannot parse %s: %s\n" f e;
+              exit 2
+        in
+        if norm stored = norm (to_json r) then
+          Printf.eprintf "sweep baseline %s matches\n%!" f
+        else begin
+          Printf.eprintf "FAIL: sweep result differs from baseline %s\n" f;
+          exit 1
+        end
+  end

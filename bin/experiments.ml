@@ -7,8 +7,10 @@ let usage = "experiments [-j N] [table1|fig2|fig5|fig6|fig7|fig8|fig10|stats|spe
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  (* `-j N` / `--jobs N`: shard the suite over N domains (default 1). *)
-  let jobs = ref 1 in
+  (* `-j N` / `--jobs N`: shard the suite over N domains.  The default is
+     the recommended domain count capped at the job count; `-j 1` is the
+     explicit sequential escape hatch. *)
+  let jobs = ref 0 in
   let rec split_opts acc = function
     | ("-j" | "--jobs") :: v :: rest ->
         (match int_of_string_opt v with
@@ -28,8 +30,16 @@ let () =
   if List.exists (fun a -> a = "-h" || a = "--help") args then print_endline usage
   else begin
     let suite =
-      if needs_suite then
-        Some (Epic_core.Experiments.run_suite ~progress:true ~jobs:!jobs ())
+      if needs_suite then begin
+        let jobs =
+          if !jobs >= 1 then !jobs
+          else
+            min
+              (Domain.recommended_domain_count ())
+              (4 * List.length Epic_workloads.Suite.all)
+        in
+        Some (Epic_core.Experiments.run_suite ~progress:true ~jobs ())
+      end
       else None
     in
     (match suite with

@@ -4,8 +4,9 @@
 
      dune exec bin/fuzz.exe [SEED] [COUNT]
 
-   On a failure the offending program is written to
-   /tmp/epic_fuzz_<seed>_<case>.c and the process exits 1. *)
+   On a failure the offending seed and program source are printed to
+   stdout (so CI logs carry the full reproducer), the program is also
+   written to /tmp/epic_fuzz_<seed>_<case>.c, and the process exits 1. *)
 
 let () =
   let seed = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 42 in
@@ -29,7 +30,9 @@ let () =
     if !failed then begin
       let path = Printf.sprintf "/tmp/epic_fuzz_%d_%d.c" seed case in
       Out_channel.with_open_text path (fun oc -> output_string oc src);
+      Printf.printf "reproduce with: fuzz.exe %d %d (case %d)\n" seed case case;
       Printf.printf "program saved to %s\n" path;
+      Printf.printf "--- offending program ---\n%s\n-------------------------\n" src;
       exit 1
     end;
     if case mod 20 = 0 then Printf.eprintf "  ...%d/%d\n%!" case count

@@ -15,6 +15,9 @@ type compiled = {
   program : Program.t;
   layout : Epic_sched.Layout.t;
   config : Config.t;
+  desc : Epic_mach.Machine_desc.t;
+      (* the machine description the schedule was planned against; [run]
+         hands it to the simulator so both sides read the same machine *)
   transform_stats : transform_stats;
   pass_records : Epic_obs.Passes.record list;
       (* wall time, rounds and IR-size deltas per phase, in order *)
@@ -133,8 +136,10 @@ let register_backend m (config : Config.t) ~peeled ~unrolled =
 (* Compile IR under [config], profiling with [train] input.  [passes]
    accumulates the per-phase instrumentation: wall time, fixed-point
    rounds, IR-size deltas and analysis-cache hit/miss counters. *)
-let compile_ir ?(config = Config.o_ns) ?passes ~(train : int64 array)
+let compile_ir ?(config = Config.o_ns) ?desc ?passes ~(train : int64 array)
     (p : Program.t) =
+  let desc = match desc with Some d -> d | None -> Epic_mach.Itanium.desc () in
+  Epic_mach.Itanium.with_desc desc @@ fun () ->
   let obs = match passes with Some pm -> pm | None -> Epic_obs.Passes.create () in
   reset_pass_stats ();
   Verify.check_program p;
@@ -255,6 +260,7 @@ let compile_ir ?(config = Config.o_ns) ?passes ~(train : int64 array)
     program = p;
     layout;
     config;
+    desc;
     pass_records = Epic_obs.Passes.records obs;
     transform_stats =
       {
@@ -285,7 +291,7 @@ let compile_ir ?(config = Config.o_ns) ?passes ~(train : int64 array)
    source is parsed and lowered exactly once; fallback attempts recompile
    from a deep copy of the pre-optimization IR snapshot, and record the
    level they landed on in [transform_stats.fallback]. *)
-let compile ?(config = Config.o_ns) ~(train : int64 array) (src : string) =
+let compile ?(config = Config.o_ns) ?desc ~(train : int64 array) (src : string) =
   let t0 = Sys.time () in
   let p0 = Epic_frontend.Lower.compile_source src in
   let parse_s = Sys.time () -. t0 in
@@ -296,7 +302,7 @@ let compile ?(config = Config.o_ns) ~(train : int64 array) (src : string) =
     let pm = Epic_obs.Passes.create () in
     Epic_obs.Passes.add pm ~name:"frontend: parse+lower" ~wall_s:parse_s
       ~rounds:1 ~instrs:(0, i1) ~blocks:(0, b1) ~bytes:(0, y1) ();
-    let c = compile_ir ~config ~passes:pm ~train p in
+    let c = compile_ir ~config ?desc ~passes:pm ~train p in
     { c with transform_stats = { c.transform_stats with fallback } }
   in
   (* A fallback restarts from the snapshot exactly as a recompile from
@@ -316,7 +322,8 @@ let compile ?(config = Config.o_ns) ~(train : int64 array) (src : string) =
 
 (* Run a compiled binary on the machine simulator. *)
 let run ?fuel ?trace ?profile (c : compiled) (input : int64 array) =
-  Epic_sim.Machine.run ?fuel ?trace ?profile c.program c.layout input
+  Epic_sim.Machine.run ?fuel ?trace ?profile ~desc:c.desc c.program c.layout
+    input
 
 (* Reference semantics: the pre-backend program still runs on the
    high-level interpreter (scheduling does not change IR meaning), so a

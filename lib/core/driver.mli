@@ -7,6 +7,9 @@ type compiled = {
   program : Epic_ir.Program.t;  (** the final (scheduled, allocated) IR *)
   layout : Epic_sched.Layout.t;  (** bundles and code addresses *)
   config : Config.t;
+  desc : Epic_mach.Machine_desc.t;
+      (** the machine description the schedule was planned against; [run]
+          simulates under the same description *)
   transform_stats : transform_stats;
   pass_records : Epic_obs.Passes.record list;
       (** per-phase wall time, fixed-point rounds and IR-size deltas, in
@@ -45,9 +48,16 @@ val reset_pass_stats : unit -> unit
 (** Compile an already-lowered program under [config], profiling on the
     [train] input.  The program is transformed in place.  [passes]
     accumulates the per-phase instrumentation records (a fresh registry is
-    used when omitted; either way the records land in [pass_records]). *)
+    used when omitted; either way the records land in [pass_records]).
+
+    [desc] is the machine description to compile for (planned latencies,
+    issue geometry); the whole phase sequence runs inside
+    {!Epic_mach.Itanium.with_desc}, and the description is recorded in the
+    result so {!run} simulates the same machine.  Default: the domain's
+    current description, normally {!Epic_mach.Machine_desc.itanium2}. *)
 val compile_ir :
   ?config:Config.t ->
+  ?desc:Epic_mach.Machine_desc.t ->
   ?passes:Epic_obs.Passes.t ->
   train:int64 array ->
   Epic_ir.Program.t ->
@@ -58,7 +68,12 @@ val compile_ir :
     exhaust the predicate register file; the source is lowered once and
     fallback attempts restart from a deep copy of the pre-optimization IR,
     recording the level reached in [transform_stats.fallback]. *)
-val compile : ?config:Config.t -> train:int64 array -> string -> compiled
+val compile :
+  ?config:Config.t ->
+  ?desc:Epic_mach.Machine_desc.t ->
+  train:int64 array ->
+  string ->
+  compiled
 
 (** Run a compiled binary on the Itanium-2-class simulator; returns
     (exit code, program output, final machine state with all counters).

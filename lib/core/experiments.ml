@@ -33,11 +33,11 @@ let reference_output (w : Workload.t) =
    exact accounting on every workload. *)
 let sample_period = 97
 
-let run_one ?(train : int64 array option) ?reference (w : Workload.t)
+let run_one ?(train : int64 array option) ?reference ?desc (w : Workload.t)
     (level : Config.level) =
   let config = config_for w level in
   let train = match train with Some t -> t | None -> w.Workload.train in
-  let compiled = Driver.compile ~config ~train w.Workload.source in
+  let compiled = Driver.compile ~config ?desc ~train w.Workload.source in
   (* the reference interpretation is per-workload, not per-level: suite
      runs compute it once and pass it in *)
   let ref_code, ref_out =

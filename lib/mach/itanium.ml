@@ -1,7 +1,15 @@
-(* The Itanium 2 machine model used by the scheduler and bundler: execution
-   unit classes, per-cycle issue capacities (six-issue: up to two bundles per
-   cycle), and planned operation latencies.  Figures follow the Itanium 2
-   reference manual (scaled where DESIGN.md says so). *)
+(* The machine model used by the scheduler and bundler: execution unit
+   classes, per-cycle issue capacities and planned operation latencies.  All
+   numbers come from the current machine description (Machine_desc.t); the
+   default is [Machine_desc.itanium2] (six-issue: up to two bundles per
+   cycle, figures following the Itanium 2 reference manual, scaled where
+   DESIGN.md says so).
+
+   The current description is domain-local state: each compile+simulate job
+   runs entirely in one domain, and [with_desc] scopes a variant description
+   to one compilation (the sensitivity sweeps run different variants on
+   different domains concurrently).  Reading it is a DLS array lookup, cheap
+   enough for the scheduler's inner loops. *)
 
 open Epic_ir
 
@@ -24,24 +32,43 @@ let class_of (op : Opcode.t) =
   | Opcode.Br | Opcode.Br_call | Opcode.Br_ret -> UB
   | Opcode.Nop -> UA
 
-(* Planned (static) result latency in cycles: the delay the compiler must
-   schedule between a producer and its consumer. *)
-let latency (op : Opcode.t) =
+(* --- the current machine description (domain-local) --------------------- *)
+
+let desc_key = Domain.DLS.new_key (fun () -> Machine_desc.itanium2)
+let desc () = Domain.DLS.get desc_key
+let set_desc d = Domain.DLS.set desc_key d
+
+(* Run [f] with [d] as the current description, restoring the previous one
+   afterwards (also on exception — the driver's register-pressure fallback
+   recompiles inside this scope). *)
+let with_desc d f =
+  let old = Domain.DLS.get desc_key in
+  Domain.DLS.set desc_key d;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set desc_key old) f
+
+(* Planned (static) result latency in cycles under description [d]: the
+   delay the compiler must schedule between a producer and its consumer. *)
+let latency_in (d : Machine_desc.t) (op : Opcode.t) =
   match op with
   | Opcode.Add | Opcode.Sub | Opcode.And | Opcode.Or | Opcode.Xor
   | Opcode.Mov | Opcode.Lea | Opcode.Sxt _ ->
-      1
-  | Opcode.Shl | Opcode.Shr | Opcode.Sra -> 1
-  | Opcode.Cmp _ -> 1 (* 0 to a dependent branch; see [dep_latency] *)
-  | Opcode.Mul -> 3
-  | Opcode.Div | Opcode.Rem -> 16 (* software-expanded on real HW *)
-  | Opcode.Ld (_, _) -> 1 (* Itanium 2 integer L1D load-to-use *)
-  | Opcode.St _ -> 1
-  | Opcode.Chk _ | Opcode.Chka _ -> 1
-  | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fneg | Opcode.Fcmp _ -> 4
-  | Opcode.Fdiv -> 24
-  | Opcode.Cvt_fi | Opcode.Cvt_if -> 4
-  | Opcode.Br | Opcode.Br_call | Opcode.Br_ret | Opcode.Alloc | Opcode.Nop -> 1
+      d.Machine_desc.lat_alu
+  | Opcode.Shl | Opcode.Shr | Opcode.Sra -> d.Machine_desc.lat_alu
+  | Opcode.Cmp _ ->
+      d.Machine_desc.lat_alu (* 0 to a dependent branch; see [dep_latency] *)
+  | Opcode.Mul -> d.Machine_desc.lat_mul
+  | Opcode.Div | Opcode.Rem -> d.Machine_desc.lat_div
+  | Opcode.Ld (_, _) -> d.Machine_desc.lat_load
+  | Opcode.St _ -> d.Machine_desc.lat_alu
+  | Opcode.Chk _ | Opcode.Chka _ -> d.Machine_desc.lat_alu
+  | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fneg | Opcode.Fcmp _ ->
+      d.Machine_desc.lat_fp
+  | Opcode.Fdiv -> d.Machine_desc.lat_fdiv
+  | Opcode.Cvt_fi | Opcode.Cvt_if -> d.Machine_desc.lat_fp
+  | Opcode.Br | Opcode.Br_call | Opcode.Br_ret | Opcode.Alloc | Opcode.Nop ->
+      d.Machine_desc.lat_alu
+
+let latency (op : Opcode.t) = latency_in (desc ()) op
 
 (* Latency of a register dependence from [producer] to [consumer] through
    register [r].  IA-64 allows a compare and a branch that consumes its
@@ -53,10 +80,7 @@ let dep_latency (producer : Instr.t) (consumer : Instr.t) (r : Reg.t) =
       0
   | _ -> latency producer.Instr.op
 
-(* Float loads are served from L2 on Itanium 2 (no FP data in L1D). *)
-let float_load_latency = 6
-
-(* Per-cycle issue capacities (two bundles = six slots). *)
+(* Per-cycle issue capacities (itanium2: two bundles = six slots). *)
 type caps = {
   mutable total : int;
   mutable m : int; (* memory slots *)
@@ -67,7 +91,17 @@ type caps = {
   mutable st : int; (* store pipes within M *)
 }
 
-let fresh_caps () = { total = 6; m = 4; i = 2; f = 2; b = 3; ld = 2; st = 2 }
+let fresh_caps () =
+  let d = desc () in
+  {
+    total = d.Machine_desc.issue_width;
+    m = d.Machine_desc.m_slots;
+    i = d.Machine_desc.i_slots;
+    f = d.Machine_desc.f_slots;
+    b = d.Machine_desc.b_slots;
+    ld = d.Machine_desc.ld_pipes;
+    st = d.Machine_desc.st_pipes;
+  }
 
 (* Try to account one instruction against [caps]; true if it fits. *)
 let take caps (i : Instr.t) =
@@ -120,35 +154,5 @@ let take caps (i : Instr.t) =
     if ok then caps.total <- caps.total - 1;
     ok
 
-(* --- Memory hierarchy parameters (scaled; see DESIGN.md section 5.4) --- *)
-
-let l1i_size = 2048
-let l1i_line = 64
-let l1i_assoc = 4
-let l1d_size = 2048
-let l1d_line = 64
-let l1d_assoc = 4
-let l2_size = 16 * 1024
-let l2_line = 128
-let l2_assoc = 8
-let l3_size = 128 * 1024
-let l3_line = 128
-let l3_assoc = 12
-
-let l2_latency = 5
-let l3_latency = 12
-let mem_latency = 140
-
-let dtlb_entries = 32
-let vhpt_walk_cycles = 25 (* hardware walker, successful *)
-let wild_walk_cycles = 80 (* failed walk + uncached page-table query *)
-let nat_page_cycles = 2 (* architected NaT page at address 0 *)
-let page_fault_cycles = 400 (* OS fault handler (kernel time) *)
-
-let branch_mispredict_penalty = 6
-let call_overhead = 2 (* br.call pipeline redirect + alloc *)
-let return_overhead = 2 (* br.ret redirect + RSE bookkeeping *)
-let chk_recovery_penalty = 8 (* pipeline redirect into recovery *)
-
-(* Register stack: 96 physical stacked registers back r32-r127. *)
-let rse_spill_cost_per_reg = 1 (* cycles per mandatory spill/fill *)
+(* Code-layout geometry the backend reads (function padding, fetch chunks). *)
+let l1i_line () = (desc ()).Machine_desc.l1i.Machine_desc.line

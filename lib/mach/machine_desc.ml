@@ -1,0 +1,104 @@
+(* First-class machine descriptions.  Every microarchitectural constant the
+   scheduler plans against and the simulator charges for lives in one record,
+   with [itanium2] as the canonical value (the scaled Itanium 2 of DESIGN.md
+   section 5.4).  Perturbing a copy of [itanium2] yields a machine variant for
+   the sensitivity sweeps (lib/sweep); the compiler and the simulator read the
+   same description, so planned latencies and the event model never diverge.
+
+   The two [perfect_*] switches are attribution idealizations, not physical
+   machines: the cache/predictor state and the global clock evolve exactly as
+   on the baseline, but the corresponding stall category is charged zero
+   cycles.  That makes "what if the I-cache/predictor were free" a controlled
+   ablation whose category deltas are confined to the targeted category. *)
+
+type cache_geom = { size : int; line : int; assoc : int }
+
+type t = {
+  name : string;
+  (* issue: [bundles_per_cycle] bundles of three slots fetched and issued per
+     front-end cycle; the per-class slot counts bound what one group holds. *)
+  bundles_per_cycle : int;
+  issue_width : int; (* total slots per cycle (bundles x 3) *)
+  m_slots : int; (* memory slots *)
+  i_slots : int;
+  f_slots : int;
+  b_slots : int;
+  ld_pipes : int; (* load pipes within M *)
+  st_pipes : int; (* store pipes within M *)
+  (* planned (static) result latencies the scheduler inserts *)
+  lat_alu : int;
+  lat_mul : int;
+  lat_div : int; (* software-expanded on real HW *)
+  lat_fp : int;
+  lat_fdiv : int;
+  lat_load : int; (* integer L1D load-to-use *)
+  float_load_latency : int; (* FP loads are served from L2 on Itanium 2 *)
+  (* memory hierarchy (scaled; see DESIGN.md section 5.4) *)
+  l1i : cache_geom;
+  l1d : cache_geom;
+  l2 : cache_geom;
+  l3 : cache_geom;
+  l2_latency : int;
+  l3_latency : int;
+  mem_latency : int;
+  perfect_icache : bool; (* charge no front-end stall cycles *)
+  (* data TLB and the OS walk model *)
+  dtlb_entries : int;
+  vhpt_walk_cycles : int; (* hardware walker, successful *)
+  wild_walk_cycles : int; (* failed walk + uncached page-table query *)
+  nat_page_cycles : int; (* architected NaT page at address 0 *)
+  page_fault_cycles : int; (* OS fault handler (kernel time) *)
+  (* branch prediction *)
+  bp_bits : int; (* log2 of the two-bit counter table *)
+  bp_history_bits : int;
+  branch_mispredict_penalty : int;
+  perfect_predictor : bool; (* charge no misprediction flush cycles *)
+  (* calls and the register stack engine *)
+  call_overhead : int; (* br.call pipeline redirect + alloc *)
+  return_overhead : int; (* br.ret redirect + RSE bookkeeping *)
+  chk_recovery_penalty : int; (* pipeline redirect into recovery *)
+  rse_physical : int; (* physical stacked registers backing r32-r127 *)
+  rse_spill_cost_per_reg : int; (* cycles per mandatory spill/fill *)
+}
+
+let itanium2 =
+  {
+    name = "itanium2";
+    bundles_per_cycle = 2;
+    issue_width = 6;
+    m_slots = 4;
+    i_slots = 2;
+    f_slots = 2;
+    b_slots = 3;
+    ld_pipes = 2;
+    st_pipes = 2;
+    lat_alu = 1;
+    lat_mul = 3;
+    lat_div = 16;
+    lat_fp = 4;
+    lat_fdiv = 24;
+    lat_load = 1;
+    float_load_latency = 6;
+    l1i = { size = 2048; line = 64; assoc = 4 };
+    l1d = { size = 2048; line = 64; assoc = 4 };
+    l2 = { size = 16 * 1024; line = 128; assoc = 8 };
+    l3 = { size = 128 * 1024; line = 128; assoc = 12 };
+    l2_latency = 5;
+    l3_latency = 12;
+    mem_latency = 140;
+    perfect_icache = false;
+    dtlb_entries = 32;
+    vhpt_walk_cycles = 25;
+    wild_walk_cycles = 80;
+    nat_page_cycles = 2;
+    page_fault_cycles = 400;
+    bp_bits = 12;
+    bp_history_bits = 8;
+    branch_mispredict_penalty = 6;
+    perfect_predictor = false;
+    call_overhead = 2;
+    return_overhead = 2;
+    chk_recovery_penalty = 8;
+    rse_physical = Epic_ir.Reg.num_stacked_physical;
+    rse_spill_cost_per_reg = 1;
+  }

@@ -1,0 +1,60 @@
+(** First-class machine descriptions: every microarchitectural constant the
+    scheduler plans against and the simulator charges for, in one record.
+    [itanium2] is the canonical value; sensitivity sweeps (lib/sweep) run
+    perturbed copies of it.  The compiler and the simulator read the same
+    description (threaded via {!Itanium.with_desc} and
+    [Epic_sim.Machine.run ?desc]), so planned latencies and the event model
+    never diverge.
+
+    The [perfect_*] switches are attribution idealizations: cache/predictor
+    state and the global clock evolve exactly as on the baseline machine, but
+    the corresponding stall category is charged zero cycles — so the deltas
+    of a perfect-component variant are confined to that category. *)
+
+type cache_geom = { size : int; line : int; assoc : int }
+
+type t = {
+  name : string;
+  bundles_per_cycle : int;
+  issue_width : int;  (** total slots per cycle (bundles x 3) *)
+  m_slots : int;
+  i_slots : int;
+  f_slots : int;
+  b_slots : int;
+  ld_pipes : int;
+  st_pipes : int;
+  lat_alu : int;
+  lat_mul : int;
+  lat_div : int;
+  lat_fp : int;
+  lat_fdiv : int;
+  lat_load : int;
+  float_load_latency : int;
+  l1i : cache_geom;
+  l1d : cache_geom;
+  l2 : cache_geom;
+  l3 : cache_geom;
+  l2_latency : int;
+  l3_latency : int;
+  mem_latency : int;
+  perfect_icache : bool;
+  dtlb_entries : int;
+  vhpt_walk_cycles : int;
+  wild_walk_cycles : int;
+  nat_page_cycles : int;
+  page_fault_cycles : int;
+  bp_bits : int;
+  bp_history_bits : int;
+  branch_mispredict_penalty : int;
+  perfect_predictor : bool;
+  call_overhead : int;
+  return_overhead : int;
+  chk_recovery_penalty : int;
+  rse_physical : int;
+  rse_spill_cost_per_reg : int;
+}
+
+(** The canonical (scaled) Itanium 2 description; the single source of the
+    machine constants the pre-refactor code spread across
+    [Epic_mach.Itanium] and the simulator units. *)
+val itanium2 : t

@@ -101,7 +101,7 @@ let build (p : Program.t) =
             { label = b.Block.label; groups = Array.of_list groups })
         f.Func.blocks;
       (* pad between functions to a cache-line boundary *)
-      let line = Int64.of_int Itanium.l1i_line in
+      let line = Int64.of_int (Itanium.l1i_line ()) in
       let rem = Int64.rem !addr line in
       if not (Int64.equal rem 0L) then addr := Int64.add !addr (Int64.sub line rem))
     p.Program.funcs;

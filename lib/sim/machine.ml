@@ -91,6 +91,7 @@ type t = {
   dtlb : Tlb.t;
   bp : Branch_pred.t;
   rse : Rse.t;
+  desc : Machine_desc.t; (* the machine being simulated *)
   acc : Accounting.t;
   c : counters;
   mutable cycle : int;
@@ -103,11 +104,17 @@ type t = {
   prof : Epic_obs.Profile.t option; (* PC-sampling profiler *)
 }
 
-let create ?(fuel = 400_000_000) ?trace ?profile (program : Program.t)
-    (layout : Layout.t) (input : int64 array) =
+let create ?(fuel = 400_000_000) ?trace ?profile
+    ?(desc = Itanium.desc ()) (program : Program.t) (layout : Layout.t)
+    (input : int64 array) =
   Program.assign_addresses program;
   let mem = Memimage.create () in
   Memimage.load_program mem program;
+  let geom (g : Machine_desc.cache_geom) = (g.Machine_desc.size, g.Machine_desc.line, g.Machine_desc.assoc) in
+  let cache name g =
+    let size, line, assoc = geom g in
+    Cache.create ~name ~size ~line ~assoc
+  in
   {
     program;
     layout;
@@ -115,17 +122,18 @@ let create ?(fuel = 400_000_000) ?trace ?profile (program : Program.t)
     heap = Program.heap_base;
     output = Buffer.create 256;
     input;
-    l1i =
-      Cache.create ~name:"L1I" ~size:Itanium.l1i_size ~line:Itanium.l1i_line
-        ~assoc:Itanium.l1i_assoc;
-    l1d =
-      Cache.create ~name:"L1D" ~size:Itanium.l1d_size ~line:Itanium.l1d_line
-        ~assoc:Itanium.l1d_assoc;
-    l2 = Cache.create ~name:"L2" ~size:Itanium.l2_size ~line:Itanium.l2_line ~assoc:Itanium.l2_assoc;
-    l3 = Cache.create ~name:"L3" ~size:Itanium.l3_size ~line:Itanium.l3_line ~assoc:Itanium.l3_assoc;
-    dtlb = Tlb.create ~entries:Itanium.dtlb_entries ();
-    bp = Branch_pred.create ();
-    rse = Rse.create ();
+    l1i = cache "L1I" desc.Machine_desc.l1i;
+    l1d = cache "L1D" desc.Machine_desc.l1d;
+    l2 = cache "L2" desc.Machine_desc.l2;
+    l3 = cache "L3" desc.Machine_desc.l3;
+    dtlb = Tlb.create ~entries:desc.Machine_desc.dtlb_entries ();
+    bp =
+      Branch_pred.create ~bits:desc.Machine_desc.bp_bits
+        ~history_bits:desc.Machine_desc.bp_history_bits ();
+    rse =
+      Rse.create ~physical:desc.Machine_desc.rse_physical
+        ~cost_per_reg:desc.Machine_desc.rse_spill_cost_per_reg ();
+    desc;
     acc = Accounting.create ();
     c = fresh_counters ();
     cycle = 0;
@@ -138,7 +146,18 @@ let create ?(fuel = 400_000_000) ?trace ?profile (program : Program.t)
     prof = profile;
   }
 
-let charge st cat n = Accounting.charge st.acc st.cur_func cat n
+(* Charge [n] cycles to [cat].  Under a [perfect_*] idealization the
+   targeted category is charged zero while the clock (advanced by the
+   callers) and every model's state evolve exactly as on the baseline — so
+   an idealized run differs from the baseline only in that one category. *)
+let charge st cat n =
+  let suppressed =
+    match cat with
+    | Accounting.Front_end -> st.desc.Machine_desc.perfect_icache
+    | Accounting.Br_mispredict -> st.desc.Machine_desc.perfect_predictor
+    | _ -> false
+  in
+  if not suppressed then Accounting.charge st.acc st.cur_func cat n
 
 (* Emit a trace event (free when tracing is disabled, the default). *)
 let emit st kind addr =
@@ -159,6 +178,7 @@ let sample_tick st =
 
 (* Penalty cycles beyond the planned L1 latency for a data access. *)
 let dcache_extra st (addr : int64) ~(is_float : bool) =
+  let d = st.desc in
   if is_float then
     (* Itanium 2 keeps no FP data in L1D; FP loads are served from L2, and
        the compiler plans [float_load_latency] already *)
@@ -166,29 +186,30 @@ let dcache_extra st (addr : int64) ~(is_float : bool) =
     else begin
       emit st Epic_obs.Trace.L2_miss addr;
       if Cache.access st.l3 addr then
-        max 0 (Itanium.l3_latency - Itanium.float_load_latency)
-      else Itanium.mem_latency - Itanium.float_load_latency
+        max 0 (d.Machine_desc.l3_latency - d.Machine_desc.float_load_latency)
+      else d.Machine_desc.mem_latency - d.Machine_desc.float_load_latency
     end
   else if Cache.access st.l1d addr then 0
   else begin
     emit st Epic_obs.Trace.L1d_miss addr;
-    if Cache.access st.l2 addr then Itanium.l2_latency - 1
+    if Cache.access st.l2 addr then d.Machine_desc.l2_latency - 1
     else begin
       emit st Epic_obs.Trace.L2_miss addr;
-      if Cache.access st.l3 addr then Itanium.l3_latency - 1
-      else Itanium.mem_latency
+      if Cache.access st.l3 addr then d.Machine_desc.l3_latency - 1
+      else d.Machine_desc.mem_latency
     end
   end
 
 let icache_penalty st (addr : int64) =
+  let d = st.desc in
   if Cache.access st.l1i addr then 0
   else begin
     emit st Epic_obs.Trace.L1i_miss addr;
-    if Cache.access st.l2 addr then Itanium.l2_latency
+    if Cache.access st.l2 addr then d.Machine_desc.l2_latency
     else begin
       emit st Epic_obs.Trace.L2_miss addr;
-      if Cache.access st.l3 addr then Itanium.l3_latency
-      else Itanium.mem_latency
+      if Cache.access st.l3 addr then d.Machine_desc.l3_latency
+      else d.Machine_desc.mem_latency
     end
   end
 
@@ -208,8 +229,8 @@ let translate st (addr : int64) (spec : Opcode.spec_kind) =
         | Opcode.Nonspec | Opcode.Spec_general | Opcode.Spec_advanced ->
             Tlb.fill st.dtlb addr;
             emit st Epic_obs.Trace.Dtlb_walk addr;
-            charge st Accounting.Micropipe Itanium.vhpt_walk_cycles;
-            st.cycle <- st.cycle + Itanium.vhpt_walk_cycles;
+            charge st Accounting.Micropipe st.desc.Machine_desc.vhpt_walk_cycles;
+            st.cycle <- st.cycle + st.desc.Machine_desc.vhpt_walk_cycles;
             `Ok 0)
     | Memimage.Null_page -> (
         match spec with
@@ -218,8 +239,8 @@ let translate st (addr : int64) (spec : Opcode.spec_kind) =
         | _ ->
             (* architected NaT page: cheap *)
             emit st Epic_obs.Trace.Nat_deferral addr;
-            charge st Accounting.Micropipe Itanium.nat_page_cycles;
-            st.cycle <- st.cycle + Itanium.nat_page_cycles;
+            charge st Accounting.Micropipe st.desc.Machine_desc.nat_page_cycles;
+            st.cycle <- st.cycle + st.desc.Machine_desc.nat_page_cycles;
             `Nat 0)
     | Memimage.Unmapped -> (
         match spec with
@@ -229,9 +250,10 @@ let translate st (addr : int64) (spec : Opcode.spec_kind) =
             (* wild load: failed walk + uncached page-table query (kernel) *)
             emit st Epic_obs.Trace.Wild_load addr;
             st.c.wild_loads <- st.c.wild_loads + 1;
-            st.c.kernel_ops <- st.c.kernel_ops + Itanium.wild_walk_cycles / 4;
-            charge st Accounting.Kernel Itanium.wild_walk_cycles;
-            st.cycle <- st.cycle + Itanium.wild_walk_cycles;
+            st.c.kernel_ops <-
+              st.c.kernel_ops + (st.desc.Machine_desc.wild_walk_cycles / 4);
+            charge st Accounting.Kernel st.desc.Machine_desc.wild_walk_cycles;
+            st.cycle <- st.cycle + st.desc.Machine_desc.wild_walk_cycles;
             `Nat 0
         | Opcode.Spec_sentinel ->
             emit st Epic_obs.Trace.Nat_deferral addr;
@@ -494,8 +516,9 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
         let correct = Branch_pred.predict_and_update st.bp i.Instr.id false in
         if not correct then begin
           emit st Epic_obs.Trace.Br_mispredict (Int64.of_int i.Instr.id);
-          charge st Accounting.Br_mispredict Itanium.branch_mispredict_penalty;
-          st.cycle <- st.cycle + Itanium.branch_mispredict_penalty
+          charge st Accounting.Br_mispredict
+            st.desc.Machine_desc.branch_mispredict_penalty;
+          st.cycle <- st.cycle + st.desc.Machine_desc.branch_mispredict_penalty
         end
       end
   | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem
@@ -658,8 +681,8 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
           if is_nat then begin
             (* recovery: pipeline redirect + non-speculative reload *)
             st.c.chk_recoveries <- st.c.chk_recoveries + 1;
-            charge st Accounting.Misc Itanium.chk_recovery_penalty;
-            st.cycle <- st.cycle + Itanium.chk_recovery_penalty;
+            charge st Accounting.Misc st.desc.Machine_desc.chk_recovery_penalty;
+            st.cycle <- st.cycle + st.desc.Machine_desc.chk_recovery_penalty;
             let addr, na = operand_int st fr a in
             emit st Epic_obs.Trace.Chk_recovery addr;
             if na then raise (Machine_fault "chk recovery with NaT address")
@@ -681,8 +704,8 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
           if not (Hashtbl.mem fr.alat r.Reg.id) then begin
             (* the entry was invalidated: redirect + non-speculative reload *)
             st.c.chk_recoveries <- st.c.chk_recoveries + 1;
-            charge st Accounting.Misc Itanium.chk_recovery_penalty;
-            st.cycle <- st.cycle + Itanium.chk_recovery_penalty;
+            charge st Accounting.Misc st.desc.Machine_desc.chk_recovery_penalty;
+            st.cycle <- st.cycle + st.desc.Machine_desc.chk_recovery_penalty;
             let addr, na = operand_int st fr a in
             emit st Epic_obs.Trace.Chk_recovery addr;
             if na then raise (Machine_fault "chk.a recovery with NaT address")
@@ -707,8 +730,9 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
             let correct = Branch_pred.predict_and_update st.bp i.Instr.id true in
             if not correct then begin
               emit st Epic_obs.Trace.Br_mispredict (Int64.of_int i.Instr.id);
-              charge st Accounting.Br_mispredict Itanium.branch_mispredict_penalty;
-              st.cycle <- st.cycle + Itanium.branch_mispredict_penalty
+              charge st Accounting.Br_mispredict
+                st.desc.Machine_desc.branch_mispredict_penalty;
+              st.cycle <- st.cycle + st.desc.Machine_desc.branch_mispredict_penalty
             end
           end;
           raise (Taken l)
@@ -776,8 +800,8 @@ and exec_call st (caller_fr : frame) (fname : string) (args : (int64 * bool) lis
   | Some k -> do_intrinsic st k args
   | None ->
       let f = Program.find_func_exn st.program fname in
-      charge st Accounting.Unstalled Itanium.call_overhead;
-      st.cycle <- st.cycle + Itanium.call_overhead;
+      charge st Accounting.Unstalled st.desc.Machine_desc.call_overhead;
+      st.cycle <- st.cycle + st.desc.Machine_desc.call_overhead;
       (* RSE push *)
       let spill_cycles = Rse.on_call st.rse (max 1 f.Func.n_stacked) in
       if spill_cycles > 0 then begin
@@ -810,8 +834,8 @@ and exec_call st (caller_fr : frame) (fname : string) (args : (int64 * bool) lis
       sample_tick st;
       st.cur_func <- saved_func;
       st.cur_block <- saved_block;
-      charge st Accounting.Unstalled Itanium.return_overhead;
-      st.cycle <- st.cycle + Itanium.return_overhead;
+      charge st Accounting.Unstalled st.desc.Machine_desc.return_overhead;
+      st.cycle <- st.cycle + st.desc.Machine_desc.return_overhead;
       let fill_cycles = Rse.on_return st.rse in
       if fill_cycles > 0 then begin
         emit st Epic_obs.Trace.Rse_fill 0L;
@@ -833,10 +857,12 @@ and exec_blocks st (fr : frame) (block : Block.t) =
            Array.iter
              (fun (g : Layout.group) ->
                st.c.groups <- st.c.groups + 1;
-               (* fetch: one access per 32-byte chunk of the group's bundles *)
-               let chunks = max 1 ((g.Layout.n_bundles + 1) / 2) in
+               (* fetch: one access per [bundles_per_cycle]-bundle chunk
+                  (32 bytes on itanium2) of the group's bundles *)
+               let bpc = st.desc.Machine_desc.bundles_per_cycle in
+               let chunks = max 1 ((g.Layout.n_bundles + bpc - 1) / bpc) in
                for k = 0 to chunks - 1 do
-                 let addr = Int64.add g.Layout.addr (Int64.of_int (k * 32)) in
+                 let addr = Int64.add g.Layout.addr (Int64.of_int (k * bpc * 16)) in
                  let pen = icache_penalty st addr in
                  if pen > 0 then begin
                    charge st Accounting.Front_end pen;
@@ -870,9 +896,9 @@ and exec_blocks st (fr : frame) (block : Block.t) =
   run_block block
 
 (* Run a whole program; returns (exit code, output, state). *)
-let run ?fuel ?trace ?profile (p : Program.t) (layout : Layout.t)
+let run ?fuel ?trace ?profile ?desc (p : Program.t) (layout : Layout.t)
     (input : int64 array) =
-  let st = create ?fuel ?trace ?profile p layout input in
+  let st = create ?fuel ?trace ?profile ?desc p layout input in
   let main_fr = fresh_frame (Program.find_func_exn p p.Program.entry) in
   main_fr.ints.(Reg.sp.Reg.id) <- Int64.sub Program.stack_top 128L;
   let code =

@@ -47,6 +47,7 @@ type t = {
   dtlb : Tlb.t;
   bp : Branch_pred.t;
   rse : Rse.t;
+  desc : Machine_desc.t;  (** the machine description being simulated *)
   acc : Accounting.t;  (** the nine-way cycle accounting *)
   c : counters;
   mutable cycle : int;  (** the global clock *)
@@ -68,11 +69,19 @@ type t = {
     [trace] enables architectural event tracing (see {!Epic_obs.Trace});
     [profile] enables PC sampling (see {!Epic_obs.Profile}).  Both are off
     by default and, when off, leave every counter and cycle identical to a
-    plain run. *)
+    plain run.
+
+    [desc] selects the machine description to simulate; the default is the
+    domain's current description ({!Epic_mach.Itanium.desc}), normally
+    {!Machine_desc.itanium2}.  For a run to be meaningful the program must
+    have been scheduled under the same description (the driver guarantees
+    this by compiling inside [Itanium.with_desc] and passing the
+    description along). *)
 val run :
   ?fuel:int ->
   ?trace:Epic_obs.Trace.t ->
   ?profile:Epic_obs.Profile.t ->
+  ?desc:Machine_desc.t ->
   Epic_ir.Program.t ->
   Epic_sched.Layout.t ->
   int64 array ->

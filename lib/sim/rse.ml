@@ -1,21 +1,27 @@
 (* Register Stack Engine model (Section 4.4).  Each call pushes the callee's
-   stacked-register frame; when the cumulative resident count exceeds the 96
-   physical stacked registers, the RSE must spill the oldest frames to the
-   backing store (and fill them back on return), costing bus cycles that the
-   paper's Figure 5 shows as "register stack engine" time. *)
+   stacked-register frame; when the cumulative resident count exceeds the
+   physical stacked registers (96 on Itanium 2), the RSE must spill the
+   oldest frames to the backing store (and fill them back on return),
+   costing bus cycles that the paper's Figure 5 shows as "register stack
+   engine" time.  The geometry and per-register cost come from the machine
+   description at creation time. *)
 
 type frame = { size : int; mutable resident : int }
 
 type t = {
+  physical : int;
+  cost_per_reg : int; (* cycles per mandatory spill/fill *)
   mutable frames : frame list; (* innermost first *)
   mutable resident_total : int;
   mutable spills : int;
   mutable fills : int;
 }
 
-let physical = Epic_ir.Reg.num_stacked_physical
-
-let create () = { frames = []; resident_total = 0; spills = 0; fills = 0 }
+let create ?(physical = Epic_mach.Machine_desc.itanium2.Epic_mach.Machine_desc.rse_physical)
+    ?(cost_per_reg =
+      Epic_mach.Machine_desc.itanium2.Epic_mach.Machine_desc.rse_spill_cost_per_reg)
+    () =
+  { physical; cost_per_reg; frames = []; resident_total = 0; spills = 0; fills = 0 }
 
 (* Push a frame of [size] stacked registers; returns the spill cycles. *)
 let on_call t size =
@@ -26,16 +32,16 @@ let on_call t size =
   (* spill oldest frames until we fit *)
   let rec spill_oldest = function
     | [] -> ()
-    | _ when t.resident_total <= physical -> ()
+    | _ when t.resident_total <= t.physical -> ()
     | [ oldest ] ->
-        let take = min oldest.resident (t.resident_total - physical) in
+        let take = min oldest.resident (t.resident_total - t.physical) in
         oldest.resident <- oldest.resident - take;
         t.resident_total <- t.resident_total - take;
         spilled := !spilled + take
     | x :: tl ->
         spill_oldest tl;
-        if t.resident_total > physical then begin
-          let take = min x.resident (t.resident_total - physical) in
+        if t.resident_total > t.physical then begin
+          let take = min x.resident (t.resident_total - t.physical) in
           x.resident <- x.resident - take;
           t.resident_total <- t.resident_total - take;
           spilled := !spilled + take
@@ -43,7 +49,7 @@ let on_call t size =
   in
   (match t.frames with _cur :: rest -> spill_oldest rest | [] -> ());
   t.spills <- t.spills + !spilled;
-  !spilled * Epic_mach.Itanium.rse_spill_cost_per_reg
+  !spilled * t.cost_per_reg
 
 (* Pop the current frame; the caller's frame must be fully resident again.
    Returns the fill cycles. *)
@@ -63,7 +69,7 @@ let on_return t =
         | [] -> 0
       in
       t.fills <- t.fills + fills;
-      fills * Epic_mach.Itanium.rse_spill_cost_per_reg
+      fills * t.cost_per_reg
 
 let reset t =
   t.frames <- [];

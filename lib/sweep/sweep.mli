@@ -1,0 +1,126 @@
+(** Machine-sensitivity sweeps: a declarative experiment matrix of named
+    machine-description variants (one knob of {!Epic_mach.Machine_desc}
+    turned at a time) crossed with compiler ablations (one
+    {!Epic_core.Config} knob), executed over the {!Epic_core.Pool} domain
+    runner, producing per-cell
+    stall-category deltas against the [itanium2 x ILP-CS] baseline and a
+    geomean tornado ordering.
+
+    Each variant isolates one machine assumption behind a paper finding:
+    [perfect-icache] and [perfect-predictor] suppress only the accounting
+    charge of their category (the clock and all cache/predictor state still
+    evolve exactly as in the baseline), so their deltas are confined to
+    exactly the targeted category and the total can never exceed the
+    baseline.  The geometry variants ([half-l2], [tiny-dtlb],
+    [no-rse-backing], [2x-mem-latency]) change the simulated machine and
+    recompile under it, so their effects may spread across categories. *)
+
+type expect = [ `Faster | `Slower | `Either ]
+
+(** A named machine variant. *)
+type variant = {
+  v_name : string;
+  v_desc : Epic_mach.Machine_desc.t;
+  v_isolates : string;
+      (** one line: which paper finding this variant isolates *)
+  v_targets : Epic_sim.Accounting.category list;
+      (** the stall categories this variant is aimed at; for the perfect-*
+          variants the deltas are provably confined to these *)
+  v_expect : expect;
+      (** sign of the expected total-cycle effect vs the baseline *)
+}
+
+(** A named compiler ablation: a tweak applied to the workload's ILP-CS
+    configuration. *)
+type ablation = {
+  a_name : string;
+  a_tweak : Epic_core.Config.t -> Epic_core.Config.t;
+}
+
+(** The built-in machine variants, in canonical order: [perfect-icache],
+    [perfect-predictor], [half-l2], [no-rse-backing], [2x-mem-latency],
+    [tiny-dtlb]. *)
+val variants : variant list
+
+(** The built-in compiler ablations, mirroring
+    {!Epic_core.Experiments.ablations}:
+    the identity baseline [ILP-CS] first, then [no-hyperblock], [no-peel],
+    [no-unroll], [no-tail-dup], [no-inline], [no-height-red]. *)
+val ablations : ablation list
+
+(** [itanium2], targets nothing. *)
+val baseline_variant : variant
+
+(** [ILP-CS], the identity tweak. *)
+val baseline_ablation : ablation
+
+val find_variant : string -> variant option
+val find_ablation : string -> ablation option
+
+(** One executed matrix cell. *)
+type cell = {
+  c_workload : string;
+  c_variant : string;
+  c_ablation : string;
+  c_cycles : float;  (** total accounted cycles *)
+  c_categories : float array;  (** the nine accounting categories *)
+  c_output_ok : bool;
+      (** simulated output still matches the reference interpreter *)
+}
+
+type row = {
+  t_variant : string;
+  t_ablation : string;
+  t_geomean_ratio : float;  (** geomean over workloads of cycles/baseline *)
+}
+
+type report = {
+  r_workloads : string list;
+  r_variants : variant list;
+  r_ablations : ablation list;
+  r_baseline : cell list;  (** one baseline cell per workload, suite order *)
+  r_cells : cell list;  (** non-baseline cells, workload-major order *)
+  r_tornado : row list;  (** (variant, ablation) combos by descending effect *)
+  r_wall_s : float;
+}
+
+(** Execute the matrix: per-workload reference outputs are computed once
+    (phase 1) and shared read-only, then every cell — the per-workload
+    baseline plus [workloads x variants x ablations] — compiles and
+    simulates independently on the {!Epic_core.Pool} (phase 2).  Results
+    are in
+    deterministic workload-major order regardless of [jobs].
+
+    @raise Invalid_argument on an unknown workload name or [jobs < 1]. *)
+val run :
+  ?variants:variant list ->
+  ?ablations:ablation list ->
+  ?progress:bool ->
+  jobs:int ->
+  workloads:string list ->
+  unit ->
+  report
+
+(** The baseline cell for a workload.  @raise Not_found if absent. *)
+val baseline_of : report -> string -> cell
+
+(** Per-category deltas of a cell vs its workload's baseline
+    (cell - baseline, length 9). *)
+val deltas : report -> cell -> float array
+
+(** Cells whose simulated output diverged from the reference. *)
+val mismatches : report -> cell list
+
+val desc_to_json : Epic_mach.Machine_desc.t -> Epic_obs.Json.t
+
+(** The sensitivity document.  Schema (stable; additions only):
+    [sweep], [baseline] (variant/ablation names), [workloads], [variants]
+    (name, isolates, targets, expect, desc), [ablations], [cells]
+    (workload, variant, ablation, cycles, cycle_ratio, categories, deltas,
+    output_matches), [tornado] and [total_wall_s].  Pass the result through
+    {!Epic_core.Export.normalize_time} before diffing. *)
+val to_json : report -> Epic_obs.Json.t
+
+(** Human-readable sensitivity report: per-workload variant tables with
+    cycle ratios and the dominant delta categories, then the tornado. *)
+val print_report : Format.formatter -> report -> unit

@@ -14,4 +14,5 @@ let () =
       ("integration", Test_integration.suite);
       ("obs", Test_obs.suite);
       ("paper-shapes", Test_workload_shapes.suite);
+      ("sweep", Test_sweep.suite);
     ]

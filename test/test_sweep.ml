@@ -1,0 +1,169 @@
+(* Machine-description plumbing and the sensitivity-sweep subsystem:
+   non-default geometries must actually change the component models in the
+   expected direction, the default description must reproduce the seed
+   behaviour exactly, and the sweep matrix's perfect-* idealizations must
+   confine their deltas to the targeted accounting category. *)
+
+open Epic_sim
+module Md = Epic_mach.Machine_desc
+module Sweep = Epic_sweep.Sweep
+
+(* Halving the L1I size halves the sets: a round-robin stream of 24
+   distinct lines fits the full 32-line cache (cold misses only) but
+   thrashes the halved 16-line one (LRU round-robin always evicts the
+   next line needed). *)
+let test_cache_geometry () =
+  let stream cache =
+    Cache.reset cache;
+    for _round = 1 to 50 do
+      for k = 0 to 23 do
+        ignore (Cache.access cache (Int64.of_int (k * 64)))
+      done
+    done;
+    cache.Cache.misses
+  in
+  let g = Md.itanium2.Md.l1i in
+  let full =
+    Cache.create ~name:"l1i" ~size:g.Md.size ~line:g.Md.line ~assoc:g.Md.assoc
+  in
+  let half =
+    Cache.create ~name:"l1i/2" ~size:(g.Md.size / 2) ~line:g.Md.line
+      ~assoc:g.Md.assoc
+  in
+  let m_full = stream full and m_half = stream half in
+  Alcotest.(check int) "full cache: cold misses only" 24 m_full;
+  Alcotest.(check bool)
+    (Printf.sprintf "half cache misses at least doubles (%d vs %d)" m_half
+       m_full)
+    true
+    (m_half >= 2 * m_full)
+
+(* A 4-entry DTLB thrashes on an 8-page round-robin that a 32-entry one
+   absorbs after the cold misses. *)
+let test_tlb_geometry () =
+  let stream tlb =
+    Tlb.reset tlb;
+    for _round = 1 to 50 do
+      for p = 0 to 7 do
+        let addr = Int64.of_int (p * 1 lsl 20) in
+        if not (Tlb.lookup tlb addr) then Tlb.fill tlb addr
+      done
+    done;
+    tlb.Tlb.misses
+  in
+  let big = Tlb.create ~entries:Md.itanium2.Md.dtlb_entries () in
+  let tiny = Tlb.create ~entries:4 () in
+  let m_big = stream big and m_tiny = stream tiny in
+  Alcotest.(check int) "32 entries: cold misses only" 8 m_big;
+  Alcotest.(check bool)
+    (Printf.sprintf "4 entries thrash (%d vs %d)" m_tiny m_big)
+    true
+    (m_tiny >= 2 * m_big)
+
+(* A small table aliases biased sites that the full table keeps apart:
+   64 sites whose (fixed) outcome is their bit 4, which a 16-entry index
+   discards — aliased sites disagree and thrash the shared counter, while
+   the 4096-entry table gives every site its own.  History is disabled on
+   both so the comparison isolates table size. *)
+let test_predictor_geometry () =
+  let stream bp =
+    for _round = 1 to 100 do
+      for site = 0 to 63 do
+        let taken = site land 16 <> 0 in
+        ignore (Branch_pred.predict_and_update bp site taken)
+      done
+    done;
+    bp.Branch_pred.mispredictions
+  in
+  let big =
+    Branch_pred.create ~bits:Md.itanium2.Md.bp_bits ~history_bits:0 ()
+  in
+  let small = Branch_pred.create ~bits:4 ~history_bits:0 () in
+  let m_big = stream big and m_small = stream small in
+  Alcotest.(check bool)
+    (Printf.sprintf "small table mispredicts at least as much (%d vs %d)"
+       m_small m_big)
+    true
+    (m_small >= m_big)
+
+(* The default description is the single source of the seed's machine
+   constants: compiling and simulating under an explicit
+   [Machine_desc.itanium2] must reproduce the default-run metrics JSON
+   byte-for-byte (wall-clock normalized). *)
+let test_default_desc_identity () =
+  let w = Epic_workloads.Suite.find_exn "gzip" in
+  let norm r =
+    Epic_obs.Json.to_string ~pretty:true
+      (Epic_core.Export.normalize_time (Epic_core.Export.run_to_json r))
+  in
+  let implicit = Epic_core.Experiments.run_one w Epic_core.Config.ILP_CS in
+  let explicit_ =
+    Epic_core.Experiments.run_one ~desc:Md.itanium2 w Epic_core.Config.ILP_CS
+  in
+  Alcotest.(check string)
+    "explicit itanium2 desc == default" (norm implicit) (norm explicit_)
+
+(* Matrix smoke: two workloads x three variants.  The perfect-*
+   idealizations suppress only their category's accounting charge, so
+   they can never be slower and their deltas are confined to exactly the
+   targeted category; doubling memory latency can never be faster. *)
+let test_sweep_matrix () =
+  let variants =
+    List.map
+      (fun n -> Option.get (Sweep.find_variant n))
+      [ "perfect-icache"; "perfect-predictor"; "2x-mem-latency" ]
+  in
+  let r =
+    Sweep.run ~variants ~jobs:2 ~workloads:[ "gzip"; "twolf" ] ()
+  in
+  Alcotest.(check int) "cells" 6 (List.length r.Sweep.r_cells);
+  Alcotest.(check (list pass)) "no mismatches" [] (Sweep.mismatches r);
+  List.iter
+    (fun (c : Sweep.cell) ->
+      let b = Sweep.baseline_of r c.Sweep.c_workload in
+      let ds = Sweep.deltas r c in
+      let confined target =
+        List.iter
+          (fun cat ->
+            if cat <> target then
+              Alcotest.(check (float 0.))
+                (Printf.sprintf "%s/%s: %s delta zero" c.Sweep.c_workload
+                   c.Sweep.c_variant (Accounting.name cat))
+                0.
+                ds.(Accounting.index cat))
+          Accounting.all_categories;
+        Alcotest.(check bool)
+          (Printf.sprintf "%s/%s: targeted delta nonzero" c.Sweep.c_workload
+             c.Sweep.c_variant)
+          true
+          (ds.(Accounting.index target) < 0.)
+      in
+      match c.Sweep.c_variant with
+      | "perfect-icache" ->
+          Alcotest.(check bool) "perfect-icache never slower" true
+            (c.Sweep.c_cycles <= b.Sweep.c_cycles);
+          confined Accounting.Front_end
+      | "perfect-predictor" ->
+          Alcotest.(check bool) "perfect-predictor never slower" true
+            (c.Sweep.c_cycles <= b.Sweep.c_cycles);
+          confined Accounting.Br_mispredict
+      | "2x-mem-latency" ->
+          Alcotest.(check bool) "2x-mem-latency never faster" true
+            (c.Sweep.c_cycles >= b.Sweep.c_cycles)
+      | v -> Alcotest.failf "unexpected variant %s" v)
+    r.Sweep.r_cells;
+  (* the tornado covers every (variant, ablation) combo exactly once *)
+  Alcotest.(check int) "tornado rows" 3 (List.length r.Sweep.r_tornado)
+
+let suite =
+  [
+    Alcotest.test_case "cache: halved L1I doubles conflict misses" `Quick
+      test_cache_geometry;
+    Alcotest.test_case "tlb: tiny DTLB thrashes" `Quick test_tlb_geometry;
+    Alcotest.test_case "predictor: small table aliases" `Quick
+      test_predictor_geometry;
+    Alcotest.test_case "default desc reproduces seed metrics" `Slow
+      test_default_desc_identity;
+    Alcotest.test_case "sweep matrix: signs and confinement" `Slow
+      test_sweep_matrix;
+  ]

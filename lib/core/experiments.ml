@@ -44,11 +44,26 @@ let run_one ?(train : int64 array option) ?reference ?desc (w : Workload.t)
     match reference with Some r -> r | None -> reference_output w
   in
   let profile = Epic_obs.Profile.create ~period:sample_period () in
+  (* time the simulation and its GC traffic (host observability; exports
+     zero this under --normalize-time, so determinism diffs are unaffected) *)
+  let gc0 = Gc.quick_stat () in
+  let t0 = Sys.time () in
   let code, out, st = Driver.run ~profile compiled w.Workload.reference in
+  let wall = Sys.time () -. t0 in
+  let gc1 = Gc.quick_stat () in
+  let host =
+    {
+      Metrics.h_wall_s = wall;
+      h_minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+      h_major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+      h_minor_collections = gc1.Gc.minor_collections - gc0.Gc.minor_collections;
+      h_major_collections = gc1.Gc.major_collections - gc0.Gc.major_collections;
+    }
+  in
   let ok = code = ref_code && out = ref_out in
   if not ok then
     Fmt.epr "WARNING: %s/%s output mismatch@." w.Workload.short (Config.name config);
-  Metrics.of_machine ~workload:w.Workload.short ~profile compiled st ~output_matches:ok
+  Metrics.of_machine ~workload:w.Workload.short ~profile ~host compiled st ~output_matches:ok
 
 let levels = [ Config.Gcc_like; Config.O_NS; Config.ILP_NS; Config.ILP_CS ]
 

@@ -106,18 +106,35 @@ let run_to_json (r : Metrics.run) =
         | Some p -> Epic_obs.Profile.summary_to_json p
         | None -> Json.Null );
       ("output_matches", Json.Bool r.Metrics.output_matches);
+      ( "host",
+        match r.Metrics.host with
+        | Some h ->
+            Json.Obj
+              [
+                ("wall_s", Json.Float h.Metrics.h_wall_s);
+                ("minor_words", Json.Float h.Metrics.h_minor_words);
+                ("major_words", Json.Float h.Metrics.h_major_words);
+                ("minor_collections", Json.Int h.Metrics.h_minor_collections);
+                ("major_collections", Json.Int h.Metrics.h_major_collections);
+              ]
+        | None -> Json.Null );
     ]
 
 (* Wall-clock is the one nondeterministic ingredient of a run document;
-   zeroing it makes exports diffable byte-for-byte across runner shapes. *)
+   zeroing it makes exports diffable byte-for-byte across runner shapes.
+   The [host] section (wall time and GC traffic of the simulation) is
+   host-noise through and through, so normalization drops it whole: zeroed
+   fields would still leave a key that pre-host documents lack, and the
+   engine-equivalence gate diffs normalized exports across revisions. *)
 let rec normalize_time = function
   | Json.Obj fields ->
       Json.Obj
-        (List.map
+        (List.filter_map
            (fun (name, v) ->
              match name with
-             | "wall_s" | "total_wall_s" -> (name, Json.Float 0.)
-             | _ -> (name, normalize_time v))
+             | "host" -> None
+             | "wall_s" | "total_wall_s" -> Some (name, Json.Float 0.)
+             | _ -> Some (name, normalize_time v))
            fields)
   | Json.List l -> Json.List (List.map normalize_time l)
   | j -> j

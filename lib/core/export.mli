@@ -6,7 +6,9 @@
     - a run document has [workload], [config], [cycles], [planned],
       [categories] (all nine accounting categories by name), [counters],
       [derived] (IPCs and prediction rate), [by_func], [transform_stats],
-      [passes] (per-pass instrumentation) and optional [profile];
+      [passes] (per-pass instrumentation), optional [profile] and an
+      optional [host] section (wall seconds and GC traffic of the
+      simulation, from {!Metrics.host_stats});
     - a suite document has [suite], [sample_period], [workloads], [configs]
       and a [runs] array of run documents. *)
 
@@ -15,8 +17,11 @@ val run_to_json : Metrics.run -> Epic_obs.Json.t
 val suite_to_json : Experiments.suite_result -> Epic_obs.Json.t
 
 (** Zero every wall-clock field ([wall_s], [total_wall_s]) in a document,
-    recursively.  Everything else in a run/suite document is deterministic,
-    so two exports of the same suite — sequential or parallel, same or
-    different process — are byte-identical after normalization.  The
-    determinism test and the CI gate diff through this. *)
+    recursively, and drop [host] sections whole (they are host noise, and
+    a zeroed-but-present key would still break diffs against documents
+    exported before the section existed).  Everything else in a run/suite
+    document is deterministic, so two exports of the same suite —
+    sequential or parallel, same or different process, optimized or seed
+    engines — are byte-identical after normalization.  The determinism
+    test and the CI gate diff through this. *)
 val normalize_time : Epic_obs.Json.t -> Epic_obs.Json.t

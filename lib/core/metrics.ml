@@ -1,6 +1,18 @@
 (* Measurements extracted from one simulated run — the counter set the paper
    reads from Pfmon, plus compiler-side statistics. *)
 
+(* Host-side cost of producing the run: wall time and GC traffic of the
+   simulation itself (not the compile).  Pure observability — nothing
+   architectural is derived from it, and exports zero it under
+   [--normalize-time] so documents stay diffable. *)
+type host_stats = {
+  h_wall_s : float;
+  h_minor_words : float;
+  h_major_words : float;
+  h_minor_collections : int;
+  h_major_collections : int;
+}
+
 type run = {
   workload : string;
   config : Config.t;
@@ -29,9 +41,10 @@ type run = {
   passes : Epic_obs.Passes.record list; (* per-pass compiler instrumentation *)
   profile : Epic_obs.Profile.summary option; (* PC samples, when sampling ran *)
   output_matches : bool; (* simulator output == reference interpreter output *)
+  host : host_stats option; (* host-side run cost, when the caller timed it *)
 }
 
-let of_machine ~(workload : string) ?profile (compiled : Driver.compiled)
+let of_machine ~(workload : string) ?profile ?host (compiled : Driver.compiled)
     (st : Epic_sim.Machine.t) ~(output_matches : bool) =
   let open Epic_sim in
   let acc = st.Machine.acc in
@@ -65,6 +78,7 @@ let of_machine ~(workload : string) ?profile (compiled : Driver.compiled)
     passes = compiled.Driver.pass_records;
     profile = Option.map Epic_obs.Profile.summarize profile;
     output_matches;
+    host;
   }
 
 (* Estimated cycles spent in [f] from PC samples (samples x period) when a

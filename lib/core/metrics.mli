@@ -2,6 +2,18 @@
     paper reads from Pfmon, plus compiler-side statistics — and the derived
     quantities the figures plot. *)
 
+(** Host-side cost of the simulation that produced a run: wall time and GC
+    traffic ({!Gc.quick_stat} deltas).  Pure observability — nothing
+    architectural derives from it, and {!Export.normalize_time} zeroes it so
+    exports stay diffable across hosts. *)
+type host_stats = {
+  h_wall_s : float;
+  h_minor_words : float;
+  h_major_words : float;
+  h_minor_collections : int;
+  h_major_collections : int;
+}
+
 type run = {
   workload : string;
   config : Config.t;
@@ -33,13 +45,17 @@ type run = {
       (** PC-sampling profile, when the run sampled *)
   output_matches : bool;
       (** simulator output equalled the reference interpreter's *)
+  host : host_stats option;
+      (** host-side run cost, when the caller timed the simulation *)
 }
 
 (** [profile] embeds the run's PC-sampling profile (pass the profiler
-    given to {!Driver.run}). *)
+    given to {!Driver.run}); [host] attaches the host-side cost of the
+    simulation (see {!host_stats}). *)
 val of_machine :
   workload:string ->
   ?profile:Epic_obs.Profile.t ->
+  ?host:host_stats ->
   Driver.compiled ->
   Epic_sim.Machine.t ->
   output_matches:bool ->

@@ -2,6 +2,22 @@
    and counters for generating fresh virtual registers and labels.  The first
    block is the entry. *)
 
+(* Predecoded control flow (DESIGN.md §10): per-function label->block and
+   block->fallthrough tables, so the execution engines resolve a taken
+   branch or a block exit in one hash lookup instead of a linear scan of
+   the block list.  The cache is keyed on the *physical identity* of the
+   [blocks] list: OCaml lists are immutable, so every structural change —
+   insertion, removal, reordering, reassignment — necessarily replaces the
+   list spine, and a simple [==] check detects it.  In-place mutation of a
+   block's instructions never changes its label or layout position, so it
+   cannot stale the index. *)
+type index = {
+  ix_spine : Block.t list; (* the blocks value this index was built from *)
+  ix_blocks : (string, Block.t) Hashtbl.t; (* label -> first block *)
+  ix_fall : (string, Block.t * Block.t option) Hashtbl.t;
+      (* label -> (first block with that label, its layout successor) *)
+}
+
 type t = {
   name : string;
   mutable params : Reg.t list;
@@ -11,6 +27,7 @@ type t = {
   mutable frame_bytes : int; (* memory-stack frame for local arrays/spills *)
   mutable n_stacked : int; (* stacked registers used, set by regalloc *)
   mutable returns_float : bool;
+  mutable index : index option; (* lazily built; auto-invalidated by spine *)
 }
 
 let create name params =
@@ -23,7 +40,34 @@ let create name params =
     frame_bytes = 0;
     n_stacked = 0;
     returns_float = false;
+    index = None;
   }
+
+let build_index (blocks : Block.t list) =
+  let n = List.length blocks in
+  let ix_blocks = Hashtbl.create (max 8 (2 * n)) in
+  let ix_fall = Hashtbl.create (max 8 (2 * n)) in
+  let rec go = function
+    | [] -> ()
+    | (b : Block.t) :: tl ->
+        (* duplicate labels: keep the first, matching [List.find_opt] *)
+        if not (Hashtbl.mem ix_blocks b.Block.label) then begin
+          Hashtbl.add ix_blocks b.Block.label b;
+          Hashtbl.add ix_fall b.Block.label
+            (b, match tl with nb :: _ -> Some nb | [] -> None)
+        end;
+        go tl
+  in
+  go blocks;
+  { ix_spine = blocks; ix_blocks; ix_fall }
+
+let index f =
+  match f.index with
+  | Some ix when ix.ix_spine == f.blocks -> ix
+  | _ ->
+      let ix = build_index f.blocks in
+      f.index <- Some ix;
+      ix
 
 (* A structural deep copy: fresh blocks and instructions; registers are
    immutable values and stay shared.  Lets a driver snapshot a function
@@ -38,6 +82,7 @@ let copy f =
     frame_bytes = f.frame_bytes;
     n_stacked = f.n_stacked;
     returns_float = f.returns_float;
+    index = None;
   }
 
 let entry f =
@@ -55,7 +100,7 @@ let fresh_label f base =
   f.next_label <- n + 1;
   Printf.sprintf "%s_%d" base n
 
-let find_block f label = List.find_opt (fun b -> b.Block.label = label) f.blocks
+let find_block f label = Hashtbl.find_opt (index f).ix_blocks label
 
 let find_block_exn f label =
   match find_block f label with
@@ -71,14 +116,19 @@ let block_index f label =
   go 0 f.blocks
 
 (* The block control falls through to when [b] does not take a branch, i.e.
-   the next block in layout order.  [None] at the end of the layout. *)
+   the next block in layout order.  [None] at the end of the layout.  The
+   indexed fast path applies when [b] is the first block bearing its label
+   (always, for well-formed functions); a duplicate-label alias falls back
+   to the exact linear scan. *)
 let fallthrough f b =
-  let rec go = function
-    | x :: (y :: _ as tl) ->
-        if x == b then Some y else go tl
-    | [ _ ] | [] -> None
-  in
-  go f.blocks
+  match Hashtbl.find_opt (index f).ix_fall b.Block.label with
+  | Some (b', next) when b' == b -> next
+  | _ ->
+      let rec go = function
+        | x :: (y :: _ as tl) -> if x == b then Some y else go tl
+        | [ _ ] | [] -> None
+      in
+      go f.blocks
 
 (* All successors of [b]: explicit branch targets plus the fall-through block
    when the block can fall through. *)

@@ -2,6 +2,12 @@
     the entry and fall-through follows layout), parameter registers, and
     counters for fresh virtual registers and labels. *)
 
+type index
+(** Predecoded label->block / block->fallthrough tables (DESIGN.md §10).
+    Built lazily by {!find_block}/{!fallthrough}; keyed on the physical
+    identity of [blocks], so any structural change (which necessarily
+    replaces the immutable list spine) invalidates it automatically. *)
+
 type t = {
   name : string;
   mutable params : Reg.t list;
@@ -11,6 +17,7 @@ type t = {
   mutable frame_bytes : int;  (** memory-stack frame (arrays, spills) *)
   mutable n_stacked : int;  (** stacked registers used; set by regalloc *)
   mutable returns_float : bool;
+  mutable index : index option;  (** label-index cache; managed internally *)
 }
 
 val create : string -> Reg.t list -> t

@@ -41,16 +41,37 @@ type state = {
   mutable wild_loads : int; (* speculative accesses to unmapped pages *)
   mutable alat_recoveries : int; (* chk.a found its entry invalidated *)
   hooks : hooks;
+  vspans : (string, int * int * int) Hashtbl.t;
+      (* per-function virtual-register bank sizes (ints+brr, flts, prds);
+         a host-speed cache, computed on first call of each function *)
 }
 
 (* One ALAT per frame would be unsound across our per-frame register files;
    like the hardware we keep one ALAT, keyed by destination register, and
    conservatively flush it at calls. *)
 
-
+(* The frame's register file is flat (DESIGN.md §10): per-class arrays
+   mirroring the simulator's frame, instead of a [value Reg.Tbl.t].  Values
+   are coerced to the destination register's class at write time (with the
+   same [as_int]/[as_float]/[as_pred] conversions reads used to apply), so
+   every register access is a couple of array loads rather than a hashed
+   lookup on a boxed key.  Physical banks have the IA-64 geometry; virtual
+   banks are sized by the largest virtual id the function actually uses
+   (hand-built test programs use small ids; [Func.fresh_reg] ids start at
+   1000).  Branch registers never reach the executed IR and fold into the
+   integer banks, as in the simulator. *)
 type frame = {
-  env : value Reg.Tbl.t;
   func : Func.t;
+  pints : int64 array; (* physical r0-r127 (r0 writes dropped) *)
+  pinat : bool array;
+  pflts : float array; (* physical f0-f127 *)
+  pfnat : bool array;
+  pprds : bool array; (* physical p0-p63 (p0 pinned true) *)
+  vints : int64 array; (* virtual, indexed by id *)
+  vinat : bool array;
+  vflts : float array;
+  vfnat : bool array;
+  vprds : bool array;
   alat : (int64 * int) Reg.Tbl.t; (* advanced-load entries: reg -> (addr, size) *)
 }
 
@@ -70,19 +91,56 @@ let create ?(hooks = no_hooks) ?(fuel = 400_000_000) program input =
     wild_loads = 0;
     alat_recoveries = 0;
     hooks;
+    vspans = Hashtbl.create 16;
   }
 
-let read_reg fr (r : Reg.t) =
-  if Reg.equal r Reg.r0 then Vi 0L
-  else if Reg.equal r Reg.p0 then Vp true
-  else
-    match Reg.Tbl.find_opt fr.env r with
-    | Some v -> v
-    | None -> ( match r.Reg.cls with Reg.Prd -> Vp false | Reg.Flt -> Vf 0. | _ -> Vi 0L)
+(* Virtual-register bank sizes for [f]: one more than the largest virtual id
+   of each class appearing anywhere in the function (params, destinations,
+   sources, qualifying predicates).  Every register the interpreter can
+   touch during a call appears in one of those positions. *)
+let compute_vspans (f : Func.t) =
+  let si = ref 0 and sf = ref 0 and sp = ref 0 in
+  let see (r : Reg.t) =
+    if not r.Reg.phys then
+      match r.Reg.cls with
+      | Reg.Int | Reg.Brr -> if r.Reg.id >= !si then si := r.Reg.id + 1
+      | Reg.Flt -> if r.Reg.id >= !sf then sf := r.Reg.id + 1
+      | Reg.Prd -> if r.Reg.id >= !sp then sp := r.Reg.id + 1
+  in
+  List.iter see f.Func.params;
+  Func.iter_instrs f (fun (i : Instr.t) ->
+      List.iter see i.Instr.dsts;
+      List.iter (function Operand.Reg r -> see r | _ -> ()) i.Instr.srcs;
+      match i.Instr.pred with Some p -> see p | None -> ());
+  (!si, !sf, !sp)
 
-let write_reg fr (r : Reg.t) v =
-  if Reg.equal r Reg.r0 || Reg.equal r Reg.p0 then ()
-  else Reg.Tbl.replace fr.env r v
+let vspans st (f : Func.t) =
+  match Hashtbl.find_opt st.vspans f.Func.name with
+  | Some s -> s
+  | None ->
+      let s = compute_vspans f in
+      Hashtbl.add st.vspans f.Func.name s;
+      s
+
+let fresh_frame st (f : Func.t) =
+  let si, sf, sp = vspans st f in
+  let pprds = Array.make Reg.num_prd false in
+  pprds.(0) <- true;
+  (* p0 hardwired *)
+  {
+    func = f;
+    pints = Array.make Reg.num_int 0L;
+    pinat = Array.make Reg.num_int false;
+    pflts = Array.make Reg.num_flt 0.;
+    pfnat = Array.make Reg.num_flt false;
+    pprds;
+    vints = Array.make si 0L;
+    vinat = Array.make si false;
+    vflts = Array.make sf 0.;
+    vfnat = Array.make sf false;
+    vprds = Array.make sp false;
+    alat = Reg.Tbl.create 8;
+  }
 
 let as_int = function
   | Vi i -> `I i
@@ -100,6 +158,46 @@ let as_pred = function
   | Vp b -> b
   | Vi i -> not (Int64.equal i 0L)
   | Vf _ | Vnat -> false
+
+let read_reg fr (r : Reg.t) =
+  let id = r.Reg.id in
+  match r.Reg.cls with
+  | Reg.Prd -> Vp (if r.Reg.phys then fr.pprds.(id) else fr.vprds.(id))
+  | Reg.Flt ->
+      if r.Reg.phys then
+        if fr.pfnat.(id) then Vnat else Vf fr.pflts.(id)
+      else if fr.vfnat.(id) then Vnat
+      else Vf fr.vflts.(id)
+  | Reg.Int | Reg.Brr ->
+      if r.Reg.phys then
+        if fr.pinat.(id) then Vnat else Vi fr.pints.(id)
+      else if fr.vinat.(id) then Vnat
+      else Vi fr.vints.(id)
+
+let write_reg fr (r : Reg.t) v =
+  let id = r.Reg.id in
+  match r.Reg.cls with
+  | Reg.Prd ->
+      if r.Reg.phys then begin
+        if id <> 0 then fr.pprds.(id) <- as_pred v (* p0 pinned *)
+      end
+      else fr.vprds.(id) <- as_pred v
+  | Reg.Flt -> (
+      let flts, fnat = if r.Reg.phys then (fr.pflts, fr.pfnat) else (fr.vflts, fr.vfnat) in
+      match as_float v with
+      | `F f ->
+          flts.(id) <- f;
+          fnat.(id) <- false
+      | `Nat -> fnat.(id) <- true)
+  | Reg.Int | Reg.Brr ->
+      if r.Reg.phys && id = 0 then () (* r0 hardwired zero *)
+      else
+        let ints, inat = if r.Reg.phys then (fr.pints, fr.pinat) else (fr.vints, fr.vinat) in
+        (match as_int v with
+        | `I i ->
+            ints.(id) <- i;
+            inat.(id) <- false
+        | `Nat -> inat.(id) <- true)
 
 let operand_value st fr (o : Operand.t) =
   match o with
@@ -221,7 +319,7 @@ let rec exec_call st (fname : string) (args : value list) (caller_sp : int64) =
   | Some k -> do_intrinsic st k args
   | None ->
       let f = Program.find_func_exn st.program fname in
-      let fr = { env = Reg.Tbl.create 64; func = f; alat = Reg.Tbl.create 8 } in
+      let fr = fresh_frame st f in
       List.iteri
         (fun i p -> match List.nth_opt args i with
           | Some v -> write_reg fr p v
@@ -417,21 +515,23 @@ and exec_instrs st fr (b : Block.t) = function
               in
               (match (as_int (operand_value st fr a), as_int stored) with
               | `I addr, `I x -> (
-                  (* invalidate overlapping advanced-load entries *)
-                  let bytes = Opcode.size_bytes sz in
-                  let stale =
-                    Reg.Tbl.fold
-                      (fun r (a, n) acc ->
+                  (* invalidate overlapping advanced-load entries; the ALAT
+                     is empty unless an advanced load is in flight, so check
+                     the size before scanning, and drop stale entries in
+                     place rather than via an intermediate list *)
+                  if Reg.Tbl.length fr.alat > 0 then begin
+                    let bytes = Opcode.size_bytes sz in
+                    Reg.Tbl.filter_map_inplace
+                      (fun _r ((a, n) as e) ->
                         let lo = max (Int64.to_int a) (Int64.to_int addr) in
                         let hi =
                           min
                             (Int64.to_int a + n)
                             (Int64.to_int addr + bytes)
                         in
-                        if lo < hi then r :: acc else acc)
-                      fr.alat []
-                  in
-                  List.iter (Reg.Tbl.remove fr.alat) stale;
+                        if lo < hi then None else Some e)
+                      fr.alat
+                  end;
                   match Memimage.classify st.mem addr with
                   | Memimage.Ok -> Memimage.write st.mem addr (Opcode.size_bytes sz) x
                   | Memimage.Null_page | Memimage.Unmapped ->

@@ -40,6 +40,9 @@ type state = {
   mutable wild_loads : int;  (** speculative accesses to unmapped pages *)
   mutable alat_recoveries : int;  (** chk.a entries found invalidated *)
   hooks : hooks;
+  vspans : (string, int * int * int) Hashtbl.t;
+      (** internal host-speed cache: per-function virtual-register bank
+          sizes (see DESIGN.md §10); not meaningful to callers *)
 }
 
 (** Run [program] with the given input vector (read by the [input]

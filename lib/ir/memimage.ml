@@ -2,7 +2,16 @@
    interpreter and (as the backing store) by the machine simulator.  Pages
    must be explicitly mapped; accesses to unmapped pages are reported to the
    caller so that speculative "wild loads" (Section 4.3 of the paper) can be
-   modelled rather than silently absorbed. *)
+   modelled rather than silently absorbed.
+
+   Host-performance notes (DESIGN.md §10): accesses that fit inside one
+   page — the overwhelming majority, since the simulated ABI aligns scalars
+   — are performed as single word-granularity [Bytes] reads/writes instead
+   of per-byte loops, and the page handle of the most recent access is
+   cached so consecutive accesses to the same page (stack traffic, array
+   walks) skip the page-table hash entirely.  Pages are never unmapped and
+   their [Bytes] handles never move, so the one-entry handle cache can
+   never go stale. *)
 
 let page_bits = 9
 let page_size = 1 lsl page_bits (* 512 B; scaled from 16 kB (see DESIGN.md) *)
@@ -10,11 +19,19 @@ let page_size = 1 lsl page_bits (* 512 B; scaled from 16 kB (see DESIGN.md) *)
 type t = {
   pages : (int, Bytes.t) Hashtbl.t;
   mutable mapped_count : int;
+  mutable last_idx : int; (* page index of [last_page]; -1 = empty cache *)
+  mutable last_page : Bytes.t;
 }
 
 type access = Ok | Unmapped | Null_page
 
-let create () = { pages = Hashtbl.create 64; mapped_count = 0 }
+let create () =
+  {
+    pages = Hashtbl.create 64;
+    mapped_count = 0;
+    last_idx = -1;
+    last_page = Bytes.empty;
+  }
 
 let page_of_addr (a : int64) = Int64.to_int (Int64.shift_right_logical a 9)
 
@@ -40,25 +57,39 @@ let classify t (a : int64) =
   else if is_mapped t a then Ok
   else Unmapped
 
-let rec read_byte t (a : int64) =
-  match Hashtbl.find_opt t.pages (page_of_addr a) with
-  | Some page -> Char.code (Bytes.get page (Int64.to_int a land (page_size - 1)))
-  | None ->
-      map_page t (page_of_addr a);
-      read_byte t a
+(* The page backing [idx], mapping it on demand (the policy decision of
+   whether an unmapped access is legal lives above this layer). *)
+let page t idx =
+  if idx = t.last_idx then t.last_page
+  else
+    let p =
+      match Hashtbl.find_opt t.pages idx with
+      | Some p -> p
+      | None ->
+          map_page t idx;
+          Hashtbl.find t.pages idx
+    in
+    t.last_idx <- idx;
+    t.last_page <- p;
+    p
 
-let rec write_byte t (a : int64) (v : int) =
-  match Hashtbl.find_opt t.pages (page_of_addr a) with
-  | Some page -> Bytes.set page (Int64.to_int a land (page_size - 1)) (Char.chr (v land 0xff))
-  | None ->
-      map_page t (page_of_addr a);
-      write_byte t a v
+let read_byte t (a : int64) =
+  Char.code
+    (Bytes.get (page t (page_of_addr a)) (Int64.to_int a land (page_size - 1)))
+
+let write_byte t (a : int64) (v : int) =
+  Bytes.set
+    (page t (page_of_addr a))
+    (Int64.to_int a land (page_size - 1))
+    (Char.chr (v land 0xff))
 
 (* Little-endian reads/writes of 1, 4 or 8 bytes.  The caller is responsible
    for having consulted [classify]; these map pages on demand so that the
    interpreter and simulator never crash on technically-unmapped accesses
    (the policy decision lives above this layer). *)
-let read t (a : int64) (size : int) =
+
+(* Slow path: assemble byte-by-byte (the access straddles a page edge). *)
+let read_slow t (a : int64) (size : int) =
   let rec go i acc =
     if i >= size then acc
     else
@@ -73,12 +104,34 @@ let read t (a : int64) (size : int) =
       Int64.shift_right (Int64.shift_left raw 32) 32
   | _ -> raw
 
-let write t (a : int64) (size : int) (v : int64) =
+let read t (a : int64) (size : int) =
+  let off = Int64.to_int a land (page_size - 1) in
+  if off + size <= page_size then
+    let p = page t (page_of_addr a) in
+    match size with
+    | 8 -> Bytes.get_int64_le p off
+    | 4 -> Int64.of_int32 (Bytes.get_int32_le p off) (* sign-extends *)
+    | 1 -> Int64.of_int (Bytes.get_uint8 p off)
+    | _ -> read_slow t a size
+  else read_slow t a size
+
+let write_slow t (a : int64) (size : int) (v : int64) =
   for i = 0 to size - 1 do
     write_byte t
       (Int64.add a (Int64.of_int i))
       (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xffL))
   done
+
+let write t (a : int64) (size : int) (v : int64) =
+  let off = Int64.to_int a land (page_size - 1) in
+  if off + size <= page_size then
+    let p = page t (page_of_addr a) in
+    match size with
+    | 8 -> Bytes.set_int64_le p off v
+    | 4 -> Bytes.set_int32_le p off (Int64.to_int32 v) (* low 4 bytes *)
+    | 1 -> Bytes.set_uint8 p off (Int64.to_int v land 0xff)
+    | _ -> write_slow t a size v
+  else write_slow t a size v
 
 (* Initialize the image from a program's global data and map the stack and
    the NaT page.  Returns unit; addresses must already be assigned. *)

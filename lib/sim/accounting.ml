@@ -48,21 +48,27 @@ type t = {
 
 let create () = { totals = Array.make 9 0.; by_func = Hashtbl.create 32 }
 
-let charge t (func : string) (cat : category) (cycles : int) =
+let bins t (func : string) =
+  match Hashtbl.find_opt t.by_func func with
+  | Some b -> b
+  | None ->
+      let b = Array.make 9 0. in
+      Hashtbl.replace t.by_func func b;
+      b
+
+(* Hot-path variant: the caller has already fetched (and may cache) the
+   function's bins, so a charge is two array updates with no string
+   hashing.  [charge] below remains the convenience form. *)
+let charge_bins t (b : float array) (cat : category) (cycles : int) =
   if cycles > 0 then begin
     let c = float_of_int cycles in
     let k = index cat in
     t.totals.(k) <- t.totals.(k) +. c;
-    let bins =
-      match Hashtbl.find_opt t.by_func func with
-      | Some b -> b
-      | None ->
-          let b = Array.make 9 0. in
-          Hashtbl.replace t.by_func func b;
-          b
-    in
-    bins.(k) <- bins.(k) +. c
+    b.(k) <- b.(k) +. c
   end
+
+let charge t (func : string) (cat : category) (cycles : int) =
+  if cycles > 0 then charge_bins t (bins t func) cat cycles
 
 let total t = Array.fold_left ( +. ) 0. t.totals
 let get t cat = t.totals.(index cat)

@@ -29,6 +29,16 @@ val create : unit -> t
 (** [charge t func cat cycles] attributes cycles globally and to [func]. *)
 val charge : t -> string -> category -> int -> unit
 
+(** [bins t func] is [func]'s per-function bin array, created on demand.
+    Callers may hold on to it and charge through {!charge_bins}; the array
+    is the live accounting state, not a copy. *)
+val bins : t -> string -> float array
+
+(** [charge_bins t b cat cycles] is {!charge} with the per-function bins
+    already in hand — the simulator's hot path, skipping the name lookup.
+    [b] must come from {!bins} on the same [t]. *)
+val charge_bins : t -> float array -> category -> int -> unit
+
 (** Sum of all categories: the program's total cycles. *)
 val total : t -> float
 

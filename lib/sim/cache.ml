@@ -1,11 +1,19 @@
-(* Set-associative LRU cache model. *)
+(* Set-associative LRU cache model.
+
+   Host-performance note (DESIGN.md §10): line numbers are kept as native
+   ints.  A line number is the address shifted right *logically* by
+   [line_bits] >= 2 (every real line is at least 4 bytes), so it is
+   non-negative and below 2^62 — it always fits an OCaml int exactly, and
+   the tag compare in the lookup loop is an unboxed integer compare
+   instead of a boxed [Int64] one. *)
 
 type t = {
   name : string;
   sets : int;
   assoc : int;
   line_bits : int;
-  tags : int64 array; (* sets * assoc; -1 = invalid *)
+  sets_mask : int; (* sets - 1 when sets is a power of two, else -1 *)
+  tags : int array; (* sets * assoc; -1 = invalid (lines are >= 0) *)
   age : int array; (* LRU stamps *)
   mutable clock : int;
   mutable accesses : int;
@@ -23,53 +31,66 @@ let create ~name ~size ~line ~assoc =
     sets;
     assoc;
     line_bits = log2i line;
-    tags = Array.make (sets * assoc) (-1L);
+    (* every real geometry has power-of-two sets, making the set index a
+       mask; the [mod] path stays for hypothetical odd configurations *)
+    sets_mask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
+    tags = Array.make (sets * assoc) (-1);
     age = Array.make (sets * assoc) 0;
     clock = 0;
     accesses = 0;
     misses = 0;
   }
 
+let line_of t (addr : int64) =
+  Int64.to_int (Int64.shift_right_logical addr t.line_bits)
+
+(* The set index of a (non-negative) line number: a bitmask when the set
+   count is a power of two, a division otherwise. *)
+let set_of_line t (line : int) =
+  if t.sets_mask >= 0 then line land t.sets_mask else line mod t.sets
+
 (* Access [addr]; returns true on hit.  Misses allocate. *)
 let access t (addr : int64) =
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
-  let line = Int64.shift_right_logical addr t.line_bits in
-  let set = Int64.to_int (Int64.rem line (Int64.of_int t.sets)) in
+  let line = line_of t addr in
+  let set = set_of_line t line in
   let base = set * t.assoc in
-  let rec find k =
-    if k >= t.assoc then None
-    else if Int64.equal t.tags.(base + k) line then Some k
-    else find (k + 1)
-  in
-  match find 0 with
-  | Some k ->
-      t.age.(base + k) <- t.clock;
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      (* evict LRU way *)
-      let victim = ref 0 in
-      for k = 1 to t.assoc - 1 do
-        if t.age.(base + k) < t.age.(base + !victim) then victim := k
-      done;
-      t.tags.(base + !victim) <- line;
-      t.age.(base + !victim) <- t.clock;
-      false
+  let hit = ref (-1) in
+  let k = ref 0 in
+  while !hit < 0 && !k < t.assoc do
+    if t.tags.(base + !k) = line then hit := !k;
+    incr k
+  done;
+  if !hit >= 0 then begin
+    t.age.(base + !hit) <- t.clock;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    (* evict LRU way *)
+    let victim = ref 0 in
+    for k = 1 to t.assoc - 1 do
+      if t.age.(base + k) < t.age.(base + !victim) then victim := k
+    done;
+    t.tags.(base + !victim) <- line;
+    t.age.(base + !victim) <- t.clock;
+    false
+  end
 
 (* Probe without allocating (used by tests). *)
 let probe t (addr : int64) =
-  let line = Int64.shift_right_logical addr t.line_bits in
-  let set = Int64.to_int (Int64.rem line (Int64.of_int t.sets)) in
+  let line = line_of t addr in
+  let set = set_of_line t line in
   let base = set * t.assoc in
   let rec find k =
     if k >= t.assoc then false
-    else Int64.equal t.tags.(base + k) line || find (k + 1)
+    else t.tags.(base + k) = line || find (k + 1)
   in
   find 0
 
 let reset t =
-  Array.fill t.tags 0 (Array.length t.tags) (-1L);
+  Array.fill t.tags 0 (Array.length t.tags) (-1);
   Array.fill t.age 0 (Array.length t.age) 0;
   t.accesses <- 0;
   t.misses <- 0;

@@ -6,7 +6,13 @@ type t = {
   sets : int;
   assoc : int;
   line_bits : int;
-  tags : int64 array;
+  sets_mask : int;
+      (** [sets - 1] when [sets] is a power of two (so the set index is a
+          bitmask rather than a division), [-1] otherwise *)
+  tags : int array;
+      (** line numbers as native ints ([-1] = invalid): a line number is a
+          logical shift of the address by at least 2 bits, so it is
+          non-negative and always fits an OCaml int exactly *)
   age : int array;
   mutable clock : int;
   mutable accesses : int;

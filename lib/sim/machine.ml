@@ -51,7 +51,7 @@ let fresh_counters () =
 type reason = Rload | Rfload | Rlong
 
 type frame = {
-  func : Func.t;
+  mutable func : Func.t; (* mutable so a pooled frame can be re-targeted *)
   ints : int64 array;
   nat : bool array;
   flts : float array;
@@ -77,9 +77,102 @@ let fresh_frame (func : Func.t) =
     alat = Hashtbl.create 8;
   }
 
+(* Predecoded control flow (DESIGN.md §10): the layout's tuple-keyed
+   hashtable and the function's block list are resolved once, before the
+   first instruction executes, into per-function tables — so a taken branch
+   is one string-keyed hash lookup and a fall-through is one pointer load,
+   instead of a (func, label) tuple allocation + hash plus a linear
+   [List.find_opt] scan per block exit.  Faults for blocks without layout
+   (or layouts that fall off the end) are still raised only if the block is
+   actually reached, preserving the lazy fault semantics. *)
+type dblock = {
+  db_block : Block.t;
+  db_layout : Layout.block_layout option; (* None -> fault when executed *)
+  mutable db_fall : dblock option; (* next block in layout order *)
+}
+
+type dfunc = {
+  df_func : Func.t;
+  df_blocks : dblock array; (* layout order; index 0 = entry *)
+  df_by_label : (string, dblock) Hashtbl.t; (* first block per label *)
+  (* one-entry memo for taken-branch resolution, keyed by the *physical*
+     label string: a loop's back edge raises the same [Operand.Label]
+     string every iteration, so the common case skips the hash lookup *)
+  mutable df_hot_label : string;
+  mutable df_hot_target : dblock option;
+  (* register spans: 1 + the highest register id the function can touch,
+     per bank, from scanning params, predicates, dests and sources (plus
+     sp).  A pooled frame only needs clearing up to these; stall/ready
+     state for Int, Brr and Prd classes lives in the integer bank, so
+     [df_ispan] covers all three. *)
+  df_ispan : int;
+  df_fspan : int;
+  df_pspan : int;
+}
+
+(* The span of registers [f] can touch (see [df_ispan] above). *)
+let span_scan (f : Func.t) =
+  let ispan = ref (Reg.sp.Reg.id + 1) in
+  let fspan = ref 0 in
+  let pspan = ref 0 in
+  let see (r : Reg.t) =
+    match r.Reg.cls with
+    | Reg.Flt -> if r.Reg.id >= !fspan then fspan := r.Reg.id + 1
+    | Reg.Prd ->
+        if r.Reg.id >= !pspan then pspan := r.Reg.id + 1;
+        if r.Reg.id >= !ispan then ispan := r.Reg.id + 1
+    | _ -> if r.Reg.id >= !ispan then ispan := r.Reg.id + 1
+  in
+  List.iter see f.Func.params;
+  List.iter
+    (fun (b : Block.t) ->
+      List.iter
+        (fun (i : Instr.t) ->
+          (match i.Instr.pred with Some p -> see p | None -> ());
+          List.iter see i.Instr.dsts;
+          List.iter
+            (fun (o : Operand.t) ->
+              match o with Operand.Reg r -> see r | _ -> ())
+            i.Instr.srcs)
+        b.Block.instrs)
+    f.Func.blocks;
+  (min !ispan Reg.num_int, min !fspan Reg.num_flt, min !pspan Reg.num_prd)
+
+let decode_func (layout : Layout.t) (f : Func.t) =
+  let dbs =
+    Array.of_list
+      (List.map
+         (fun (b : Block.t) ->
+           {
+             db_block = b;
+             db_layout = Layout.block_layout layout f.Func.name b.Block.label;
+             db_fall = None;
+           })
+         f.Func.blocks)
+  in
+  let by_label = Hashtbl.create (max 8 (2 * Array.length dbs)) in
+  Array.iteri
+    (fun i db ->
+      if i + 1 < Array.length dbs then db.db_fall <- Some dbs.(i + 1);
+      if not (Hashtbl.mem by_label db.db_block.Block.label) then
+        Hashtbl.add by_label db.db_block.Block.label db)
+    dbs;
+  let ispan, fspan, pspan = span_scan f in
+  {
+    df_func = f;
+    df_blocks = dbs;
+    df_by_label = by_label;
+    df_hot_label = "\000"; (* sentinel: physically equal to no label *)
+    df_hot_target = None;
+    df_ispan = ispan;
+    df_fspan = fspan;
+    df_pspan = pspan;
+  }
+
 type t = {
   program : Program.t;
   layout : Layout.t;
+  decoded : (string, dfunc) Hashtbl.t; (* function name -> decoded body *)
   mem : Memimage.t;
   mutable heap : int64;
   output : Buffer.t;
@@ -102,6 +195,15 @@ type t = {
   mutable cur_block : string; (* for per-block sample attribution *)
   trace : Epic_obs.Trace.t option; (* event tracing; None = disabled, free *)
   prof : Epic_obs.Profile.t option; (* PC-sampling profiler *)
+  (* Host-speed scratch state (DESIGN.md §10): operand evaluation reports
+     the NaT bit and load penalties through these fields instead of
+     returning tuples, so the per-instruction hot path allocates nothing. *)
+  mutable onat : bool; (* NaT bit of the last operand/register read *)
+  mutable ld_extra : int; (* cache penalty of the last [load_value] *)
+  mutable cur_bins : float array; (* accounting bins of [cur_bins_for] *)
+  mutable cur_bins_for : string; (* physically: the name [cur_bins] is for *)
+  syms : (string, int64) Hashtbl.t; (* memoized symbol addresses *)
+  mutable free_frames : frame list; (* frame pool: released call frames *)
 }
 
 let create ?(fuel = 400_000_000) ?trace ?profile
@@ -110,6 +212,11 @@ let create ?(fuel = 400_000_000) ?trace ?profile
   Program.assign_addresses program;
   let mem = Memimage.create () in
   Memimage.load_program mem program;
+  let decoded = Hashtbl.create 64 in
+  List.iter
+    (fun (f : Func.t) ->
+      Hashtbl.replace decoded f.Func.name (decode_func layout f))
+    program.Program.funcs;
   let geom (g : Machine_desc.cache_geom) = (g.Machine_desc.size, g.Machine_desc.line, g.Machine_desc.assoc) in
   let cache name g =
     let size, line, assoc = geom g in
@@ -118,6 +225,7 @@ let create ?(fuel = 400_000_000) ?trace ?profile
   {
     program;
     layout;
+    decoded;
     mem;
     heap = Program.heap_base;
     output = Buffer.create 256;
@@ -144,6 +252,12 @@ let create ?(fuel = 400_000_000) ?trace ?profile
     cur_block = "entry";
     trace;
     prof = profile;
+    onat = false;
+    ld_extra = 0;
+    cur_bins = [||];
+    cur_bins_for = "\000"; (* sentinel: no function is named this *)
+    syms = Hashtbl.create 32;
+    free_frames = [];
   }
 
 (* Charge [n] cycles to [cat].  Under a [perfect_*] idealization the
@@ -151,13 +265,51 @@ let create ?(fuel = 400_000_000) ?trace ?profile
    callers) and every model's state evolve exactly as on the baseline — so
    an idealized run differs from the baseline only in that one category. *)
 let charge st cat n =
-  let suppressed =
-    match cat with
-    | Accounting.Front_end -> st.desc.Machine_desc.perfect_icache
-    | Accounting.Br_mispredict -> st.desc.Machine_desc.perfect_predictor
-    | _ -> false
-  in
-  if not suppressed then Accounting.charge st.acc st.cur_func cat n
+  if n > 0 then begin
+    let suppressed =
+      match cat with
+      | Accounting.Front_end -> st.desc.Machine_desc.perfect_icache
+      | Accounting.Br_mispredict -> st.desc.Machine_desc.perfect_predictor
+      | _ -> false
+    in
+    if not suppressed then begin
+      (* The bins of the charged function are cached keyed by the physical
+         [cur_func] string; a miss (function change, or the same name via a
+         different string) is one hash lookup, a hit is free.  Bins are
+         still created only on the first positive charge, exactly as when
+         every charge went through [Accounting.charge]. *)
+      if not (st.cur_bins_for == st.cur_func) then begin
+        st.cur_bins <- Accounting.bins st.acc st.cur_func;
+        st.cur_bins_for <- st.cur_func
+      end;
+      Accounting.charge_bins st.acc st.cur_bins cat n
+    end
+  end
+
+(* Frame pool (DESIGN.md §10): call frames are ~900 words of register
+   state, so per-call allocation dominates GC traffic in call-heavy code.
+   A released frame is cleared back to the all-zero state a fresh frame
+   starts in — but only over the callee's register spans (every register
+   the function can read, write, stall on or mark ready lies inside them)
+   and only the fields a fresh frame guarantees: register values, NaT
+   bits, predicate bits and ready times.  The reason arrays are only read
+   under [ready > cycle], which a cleared ready time makes false. *)
+let alloc_frame st (df : dfunc) (func : Func.t) =
+  match st.free_frames with
+  | [] -> fresh_frame func
+  | fr :: tl ->
+      st.free_frames <- tl;
+      fr.func <- func;
+      Array.fill fr.ints 0 df.df_ispan 0L;
+      Array.fill fr.nat 0 df.df_ispan false;
+      Array.fill fr.flts 0 df.df_fspan 0.;
+      Array.fill fr.prds 0 df.df_pspan false;
+      Array.fill fr.iready 0 df.df_ispan 0;
+      Array.fill fr.fready 0 df.df_fspan 0;
+      if Hashtbl.length fr.alat > 0 then Hashtbl.reset fr.alat;
+      fr
+
+let release_frame st (fr : frame) = st.free_frames <- fr :: st.free_frames
 
 (* Emit a trace event (free when tracing is disabled, the default). *)
 let emit st kind addr =
@@ -279,9 +431,19 @@ let stall_on st (fr : frame) (r : Reg.t) =
     st.cycle <- ready
   end
 
+(* Register and operand readers report the NaT bit through [st.onat]
+   rather than in a returned tuple: with the value coming straight out of
+   the frame's arrays, the integer hot path allocates nothing. *)
 let read_int st fr (r : Reg.t) =
   stall_on st fr r;
-  if r.Reg.id = 0 then (0L, false) else (fr.ints.(r.Reg.id), fr.nat.(r.Reg.id))
+  if r.Reg.id = 0 then begin
+    st.onat <- false;
+    0L
+  end
+  else begin
+    st.onat <- fr.nat.(r.Reg.id);
+    fr.ints.(r.Reg.id)
+  end
 
 let read_flt st fr (r : Reg.t) =
   stall_on st fr r;
@@ -309,33 +471,67 @@ let mark_ready st fr (r : Reg.t) (extra : int) (reason : reason) =
       fr.iready.(r.Reg.id) <- st.cycle + extra;
       fr.ireason.(r.Reg.id) <- reason
 
-(* Evaluate an integer-class operand: (value, nat). *)
+(* Symbol addresses never change after [Program.assign_addresses], so they
+   are resolved once and memoized — the seed scanned the globals list (and
+   possibly the function list) on every reference. *)
+let sym_address st (s : string) =
+  match Hashtbl.find_opt st.syms s with
+  | Some a -> a
+  | None ->
+      let a =
+        match Program.find_global st.program s with
+        | Some g -> g.Program.address
+        | None -> Program.func_address st.program s
+      in
+      Hashtbl.add st.syms s a;
+      a
+
+(* Evaluate an integer-class operand; the NaT bit lands in [st.onat]. *)
 let operand_int st fr (o : Operand.t) =
   match o with
   | Operand.Reg r -> (
       match r.Reg.cls with
-      | Reg.Flt -> (Int64.of_float (read_flt st fr r), false)
-      | Reg.Prd -> ((if read_prd st fr r then 1L else 0L), false)
+      | Reg.Flt ->
+          let v = Int64.of_float (read_flt st fr r) in
+          st.onat <- false;
+          v
+      | Reg.Prd ->
+          let v = if read_prd st fr r then 1L else 0L in
+          st.onat <- false;
+          v
       | _ -> read_int st fr r)
-  | Operand.Imm i -> (i, false)
-  | Operand.Fimm f -> (Int64.of_float f, false)
-  | Operand.Label _ -> (0L, false)
-  | Operand.Sym s -> (
-      match Program.find_global st.program s with
-      | Some g -> (g.Program.address, false)
-      | None -> (Program.func_address st.program s, false))
+  | Operand.Imm i ->
+      st.onat <- false;
+      i
+  | Operand.Fimm f ->
+      st.onat <- false;
+      Int64.of_float f
+  | Operand.Label _ ->
+      st.onat <- false;
+      0L
+  | Operand.Sym s ->
+      st.onat <- false;
+      sym_address st s
 
 let operand_flt st fr (o : Operand.t) =
   match o with
   | Operand.Reg r -> (
       match r.Reg.cls with
-      | Reg.Flt -> (read_flt st fr r, false)
+      | Reg.Flt ->
+          st.onat <- false;
+          read_flt st fr r
       | _ ->
-          let v, n = read_int st fr r in
-          (Int64.to_float v, n))
-  | Operand.Fimm f -> (f, false)
-  | Operand.Imm i -> (Int64.to_float i, false)
-  | _ -> (0., false)
+          (* [read_int] leaves the register's NaT bit in [st.onat] *)
+          Int64.to_float (read_int st fr r))
+  | Operand.Fimm f ->
+      st.onat <- false;
+      f
+  | Operand.Imm i ->
+      st.onat <- false;
+      Int64.to_float i
+  | _ ->
+      st.onat <- false;
+      0.
 
 (* --- intrinsics ---------------------------------------------------------- *)
 
@@ -444,16 +640,65 @@ let flt_alu op (a : float) (b : float) =
   | Opcode.Fdiv -> a /. b
   | _ -> invalid_arg "flt_alu"
 
-(* Perform a load's data access (translation already done, result Ok). *)
+(* Perform a load's data access (translation already done, result Ok);
+   returns the raw bits, with the cache penalty left in [st.ld_extra]. *)
 let load_value st (addr : int64) (sz : Opcode.size) ~(is_float : bool) =
-  let extra = dcache_extra st addr ~is_float in
-  let raw = Memimage.read st.mem addr (Opcode.size_bytes sz) in
-  (raw, extra)
+  st.ld_extra <- dcache_extra st addr ~is_float;
+  Memimage.read st.mem addr (Opcode.size_bytes sz)
+
+(* Evaluate a compare's two sources and the condition, encoded without
+   allocation: -1 = deferred (a NaT input), 0 = false, 1 = true.  The
+   second source is evaluated before the first, preserving the register
+   stall (and hence cycle-accounting) order of the seed's tuple build. *)
+let cmp_result st fr ~(fcmp : bool) cond (i : Instr.t) =
+  match i.Instr.srcs with
+  | [ a; b ] ->
+      if fcmp then begin
+        let y = operand_flt st fr b in
+        let ny = st.onat in
+        let x = operand_flt st fr a in
+        if st.onat || ny then -1
+        else if Opcode.eval_fcmp cond x y then 1
+        else 0
+      end
+      else begin
+        let y = operand_int st fr b in
+        let ny = st.onat in
+        let x = operand_int st fr a in
+        if st.onat || ny then -1
+        else if Opcode.eval_icmp cond x y then 1
+        else 0
+      end
+  | _ -> raise (Machine_fault "cmp arity")
 
 let drain_store_buffer st =
   let elapsed = st.cycle - st.sb_last_cycle in
   st.sb_last_cycle <- st.cycle;
   st.sb_work <- max 0 (st.sb_work - elapsed)
+
+(* Bind call arguments to the callee's parameter registers (missing
+   arguments leave the fresh-frame zeros in place), and call results to the
+   caller's destination registers (missing results read as 0/false) — as
+   parallel walks, not the seed's quadratic [List.nth_opt] per element. *)
+let rec bind_params fr (params : Reg.t list) (args : (int64 * bool) list) =
+  match (params, args) with
+  | [], _ | _, [] -> ()
+  | p :: ps, (v, na) :: tl ->
+      if p.Reg.cls = Reg.Flt then write_flt fr p (Int64.float_of_bits v)
+      else write_int fr p v na;
+      bind_params fr ps tl
+
+let rec bind_results fr (dsts : Reg.t list) (results : (int64 * bool) list) =
+  match (dsts, results) with
+  | [], _ -> ()
+  | d :: ds, (v, na) :: tl ->
+      (if d.Reg.cls = Reg.Flt then write_flt fr d (Int64.float_of_bits v)
+       else write_int fr d v na);
+      bind_results fr ds tl
+  | d :: ds, [] ->
+      (if d.Reg.cls = Reg.Flt then write_flt fr d (Int64.float_of_bits 0L)
+       else write_int fr d 0L false);
+      bind_results fr ds []
 
 (* Execute one instruction.  Raises [Taken l] for a taken branch,
    [Returned vs] for a return. *)
@@ -469,66 +714,58 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
       match i.Instr.dsts with
       | [ pt; pf ] -> (
           st.c.useful_ops <- st.c.useful_ops + 1;
-          let result () =
-            match i.Instr.srcs with
-            | [ a; b ] ->
-                if fcmp then (
-                  match (operand_flt st fr a, operand_flt st fr b) with
-                  | (x, false), (y, false) -> Some (Opcode.eval_fcmp cond x y)
-                  | _ -> None)
-                else (
-                  match (operand_int st fr a, operand_int st fr b) with
-                  | (x, false), (y, false) -> Some (Opcode.eval_icmp cond x y)
-                  | _ -> None)
-            | _ -> raise (Machine_fault "cmp arity")
-          in
           match ct with
           | Opcode.Norm ->
               if guard then (
-                match result () with
-                | Some r ->
-                    write_prd fr pt r;
-                    write_prd fr pf (not r)
-                | None ->
+                match cmp_result st fr ~fcmp cond i with
+                | -1 ->
                     write_prd fr pt false;
-                    write_prd fr pf false)
+                    write_prd fr pf false
+                | r ->
+                    write_prd fr pt (r = 1);
+                    write_prd fr pf (r = 0))
           | Opcode.Unc ->
               write_prd fr pt false;
               write_prd fr pf false;
               if guard then (
-                match result () with
-                | Some r ->
-                    write_prd fr pt r;
-                    write_prd fr pf (not r)
-                | None -> ())
+                match cmp_result st fr ~fcmp cond i with
+                | -1 -> ()
+                | r ->
+                    write_prd fr pt (r = 1);
+                    write_prd fr pf (r = 0))
           | Opcode.Orform ->
               if guard then (
-                match result () with
-                | Some true ->
+                match cmp_result st fr ~fcmp cond i with
+                | 1 ->
                     write_prd fr pt true;
                     write_prd fr pf true
-                | Some false | None -> ()))
+                | _ -> ()))
       | _ -> raise (Machine_fault "cmp without two dests"))
-  | _ when not guard ->
+  | _ when not guard -> (
       st.c.squashed_ops <- st.c.squashed_ops + 1;
-      if i.Instr.op = Opcode.Br then begin
-        st.c.branches <- st.c.branches + 1;
-        let correct = Branch_pred.predict_and_update st.bp i.Instr.id false in
-        if not correct then begin
-          emit st Epic_obs.Trace.Br_mispredict (Int64.of_int i.Instr.id);
-          charge st Accounting.Br_mispredict
-            st.desc.Machine_desc.branch_mispredict_penalty;
-          st.cycle <- st.cycle + st.desc.Machine_desc.branch_mispredict_penalty
-        end
-      end
+      (* pattern match rather than [=]: Opcode.t has parameterized
+         constructors, so [=] would be a generic structural compare *)
+      match i.Instr.op with
+      | Opcode.Br ->
+          st.c.branches <- st.c.branches + 1;
+          let correct = Branch_pred.predict_and_update st.bp i.Instr.id false in
+          if not correct then begin
+            emit st Epic_obs.Trace.Br_mispredict (Int64.of_int i.Instr.id);
+            charge st Accounting.Br_mispredict
+              st.desc.Machine_desc.branch_mispredict_penalty;
+            st.cycle <- st.cycle + st.desc.Machine_desc.branch_mispredict_penalty
+          end
+      | _ -> ())
   | Opcode.Add | Opcode.Sub | Opcode.Mul | Opcode.Div | Opcode.Rem
   | Opcode.And | Opcode.Or | Opcode.Xor | Opcode.Shl | Opcode.Shr | Opcode.Sra
     -> (
       match (i.Instr.dsts, i.Instr.srcs) with
       | [ d ], [ a; b ] ->
           st.c.useful_ops <- st.c.useful_ops + 1;
-          let va, na = operand_int st fr a in
-          let vb, nb = operand_int st fr b in
+          let va = operand_int st fr a in
+          let na = st.onat in
+          let vb = operand_int st fr b in
+          let nb = st.onat in
           if na || nb then write_int fr d 0L true
           else begin
             (match int_alu i.Instr.op va vb with
@@ -545,38 +782,40 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
       match (i.Instr.dsts, i.Instr.srcs) with
       | [ d ], [ a; b ] ->
           st.c.useful_ops <- st.c.useful_ops + 1;
-          let va, _ = operand_flt st fr a in
-          let vb, _ = operand_flt st fr b in
+          let va = operand_flt st fr a in
+          let vb = operand_flt st fr b in
           write_flt fr d (flt_alu i.Instr.op va vb);
-          if i.Instr.op = Opcode.Fdiv then mark_ready st fr d 8 Rfload
+          (match i.Instr.op with
+          | Opcode.Fdiv -> mark_ready st fr d 8 Rfload
+          | _ -> ())
       | _ -> raise (Machine_fault "bad FP op"))
   | Opcode.Fneg -> (
       match (i.Instr.dsts, i.Instr.srcs) with
       | [ d ], [ a ] ->
           st.c.useful_ops <- st.c.useful_ops + 1;
-          write_flt fr d (-.fst (operand_flt st fr a))
+          write_flt fr d (-.operand_flt st fr a)
       | _ -> raise (Machine_fault "bad fneg"))
   | Opcode.Cvt_fi -> (
       match (i.Instr.dsts, i.Instr.srcs) with
       | [ d ], [ a ] ->
           st.c.useful_ops <- st.c.useful_ops + 1;
-          let v, n = operand_flt st fr a in
-          write_int fr d (Int64.of_float v) n
+          let v = operand_flt st fr a in
+          write_int fr d (Int64.of_float v) st.onat
       | _ -> raise (Machine_fault "bad cvt.fi"))
   | Opcode.Cvt_if -> (
       match (i.Instr.dsts, i.Instr.srcs) with
       | [ d ], [ a ] ->
           st.c.useful_ops <- st.c.useful_ops + 1;
-          let v, _ = operand_int st fr a in
-          write_flt fr d (Int64.to_float v)
+          write_flt fr d (Int64.to_float (operand_int st fr a))
       | _ -> raise (Machine_fault "bad cvt.if"))
   | Opcode.Mov | Opcode.Sxt _ -> (
       match (i.Instr.dsts, i.Instr.srcs) with
       | [ d ], [ a ] ->
           st.c.useful_ops <- st.c.useful_ops + 1;
-          if d.Reg.cls = Reg.Flt then write_flt fr d (fst (operand_flt st fr a))
+          if d.Reg.cls = Reg.Flt then write_flt fr d (operand_flt st fr a)
           else begin
-            let v, n = operand_int st fr a in
+            let v = operand_int st fr a in
+            let n = st.onat in
             let v =
               match i.Instr.op with
               | Opcode.Sxt sz ->
@@ -591,8 +830,8 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
       match (i.Instr.dsts, i.Instr.srcs) with
       | [ d ], [ base; off ] ->
           st.c.useful_ops <- st.c.useful_ops + 1;
-          let vb, _ = operand_int st fr base in
-          let vo, _ = operand_int st fr off in
+          let vb = operand_int st fr base in
+          let vo = operand_int st fr off in
           write_int fr d (Int64.add vb vo) false
       | _ -> raise (Machine_fault "bad lea"))
   | Opcode.Ld (sz, spec) -> (
@@ -600,7 +839,8 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
       | [ d ], [ a ] -> (
           st.c.useful_ops <- st.c.useful_ops + 1;
           if spec <> Opcode.Nonspec then st.c.spec_loads <- st.c.spec_loads + 1;
-          let addr, na = operand_int st fr a in
+          let addr = operand_int st fr a in
+          let na = st.onat in
           if spec <> Opcode.Nonspec then emit st Epic_obs.Trace.Spec_load addr;
           if na then begin
             (* NaT address: propagate deferral *)
@@ -616,7 +856,8 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
                 if spec = Opcode.Spec_advanced then
                   Hashtbl.replace fr.alat d.Reg.id (addr, Opcode.size_bytes sz);
                 let is_float = d.Reg.cls = Reg.Flt in
-                let raw, extra = load_value st addr sz ~is_float in
+                let raw = load_value st addr sz ~is_float in
+                let extra = st.ld_extra in
                 if is_float then begin
                   write_flt fr d (Int64.float_of_bits raw);
                   if extra > 0 then mark_ready st fr d extra Rfload
@@ -630,14 +871,20 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
       match i.Instr.srcs with
       | [ a; v ] -> (
           st.c.useful_ops <- st.c.useful_ops + 1;
-          let addr, na = operand_int st fr a in
-          let data, nv =
+          let addr = operand_int st fr a in
+          let na = st.onat in
+          let data =
             match v with
             | Operand.Reg r when r.Reg.cls = Reg.Flt ->
-                (Int64.bits_of_float (read_flt st fr r), false)
-            | Operand.Fimm fv -> (Int64.bits_of_float fv, false)
+                let d = Int64.bits_of_float (read_flt st fr r) in
+                st.onat <- false;
+                d
+            | Operand.Fimm fv ->
+                st.onat <- false;
+                Int64.bits_of_float fv
             | _ -> operand_int st fr v
           in
+          let nv = st.onat in
           if na || nv then begin
             st.c.nat_consumed <- st.c.nat_consumed + 1;
             charge st Accounting.Misc 2
@@ -645,17 +892,19 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
           else
             match translate st addr Opcode.Nonspec with
             | `Ok _ ->
-                (* ALAT snoop: stores invalidate overlapping advanced loads *)
-                let bytes = Opcode.size_bytes sz in
-                let stale =
-                  Hashtbl.fold
-                    (fun rid (a, n) acc ->
+                (* ALAT snoop: stores invalidate overlapping advanced loads.
+                   The table is empty in the common case (no advanced load in
+                   flight), so check the size first; otherwise drop stale
+                   entries in place, with no intermediate list. *)
+                if Hashtbl.length fr.alat > 0 then begin
+                  let bytes = Opcode.size_bytes sz in
+                  Hashtbl.filter_map_inplace
+                    (fun _rid ((a, n) as e) ->
                       let lo = max (Int64.to_int a) (Int64.to_int addr) in
                       let hi = min (Int64.to_int a + n) (Int64.to_int addr + bytes) in
-                      if lo < hi then rid :: acc else acc)
-                    fr.alat []
-                in
-                List.iter (Hashtbl.remove fr.alat) stale;
+                      if lo < hi then None else Some e)
+                    fr.alat
+                end;
                 Memimage.write st.mem addr (Opcode.size_bytes sz) data;
                 drain_store_buffer st;
                 let extra = dcache_extra st addr ~is_float:false in
@@ -683,16 +932,16 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
             st.c.chk_recoveries <- st.c.chk_recoveries + 1;
             charge st Accounting.Misc st.desc.Machine_desc.chk_recovery_penalty;
             st.cycle <- st.cycle + st.desc.Machine_desc.chk_recovery_penalty;
-            let addr, na = operand_int st fr a in
+            let addr = operand_int st fr a in
             emit st Epic_obs.Trace.Chk_recovery addr;
-            if na then raise (Machine_fault "chk recovery with NaT address")
+            if st.onat then raise (Machine_fault "chk recovery with NaT address")
             else
               match translate st addr Opcode.Nonspec with
               | `Ok _ ->
-                  let raw, extra = load_value st addr sz ~is_float:(r.Reg.cls = Reg.Flt) in
+                  let raw = load_value st addr sz ~is_float:(r.Reg.cls = Reg.Flt) in
                   if r.Reg.cls = Reg.Flt then write_flt fr r (Int64.float_of_bits raw)
                   else write_int fr r raw false;
-                  if extra > 0 then mark_ready st fr r extra Rload
+                  if st.ld_extra > 0 then mark_ready st fr r st.ld_extra Rload
               | `Nat _ -> assert false
           end
       | _ -> raise (Machine_fault "bad chk"))
@@ -706,16 +955,16 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
             st.c.chk_recoveries <- st.c.chk_recoveries + 1;
             charge st Accounting.Misc st.desc.Machine_desc.chk_recovery_penalty;
             st.cycle <- st.cycle + st.desc.Machine_desc.chk_recovery_penalty;
-            let addr, na = operand_int st fr a in
+            let addr = operand_int st fr a in
             emit st Epic_obs.Trace.Chk_recovery addr;
-            if na then raise (Machine_fault "chk.a recovery with NaT address")
+            if st.onat then raise (Machine_fault "chk.a recovery with NaT address")
             else
               match translate st addr Opcode.Nonspec with
               | `Ok _ ->
-                  let raw, extra = load_value st addr sz ~is_float:(r.Reg.cls = Reg.Flt) in
+                  let raw = load_value st addr sz ~is_float:(r.Reg.cls = Reg.Flt) in
                   if r.Reg.cls = Reg.Flt then write_flt fr r (Int64.float_of_bits raw)
                   else write_int fr r raw false;
-                  if extra > 0 then mark_ready st fr r extra Rload
+                  if st.ld_extra > 0 then mark_ready st fr r st.ld_extra Rload
               | `Nat _ -> assert false
           end
       | _ -> raise (Machine_fault "bad chk.a"))
@@ -724,17 +973,17 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
       st.c.branches <- st.c.branches + 1;
       match i.Instr.srcs with
       | [ Operand.Label l ] ->
-          if i.Instr.pred = None then Branch_pred.record_unconditional st.bp
-          else begin
-            (* conditional, and the guard was true (we are here) *)
-            let correct = Branch_pred.predict_and_update st.bp i.Instr.id true in
-            if not correct then begin
-              emit st Epic_obs.Trace.Br_mispredict (Int64.of_int i.Instr.id);
-              charge st Accounting.Br_mispredict
-                st.desc.Machine_desc.branch_mispredict_penalty;
-              st.cycle <- st.cycle + st.desc.Machine_desc.branch_mispredict_penalty
-            end
-          end;
+          (match i.Instr.pred with
+          | None -> Branch_pred.record_unconditional st.bp
+          | Some _ ->
+              (* conditional, and the guard was true (we are here) *)
+              let correct = Branch_pred.predict_and_update st.bp i.Instr.id true in
+              if not correct then begin
+                emit st Epic_obs.Trace.Br_mispredict (Int64.of_int i.Instr.id);
+                charge st Accounting.Br_mispredict
+                  st.desc.Machine_desc.branch_mispredict_penalty;
+                st.cycle <- st.cycle + st.desc.Machine_desc.branch_mispredict_penalty
+              end);
           raise (Taken l)
       | _ -> raise (Machine_fault "bad br"))
   | Opcode.Br_call -> (
@@ -751,31 +1000,28 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
                 | Operand.Reg r when r.Reg.cls = Reg.Flt ->
                     (Int64.bits_of_float (read_flt st fr r), false)
                 | Operand.Fimm fv -> (Int64.bits_of_float fv, false)
-                | _ -> operand_int st fr o)
+                | _ ->
+                    let v = operand_int st fr o in
+                    (v, st.onat))
               args
           in
           let fname =
             match target with
             | Operand.Sym s -> s
             | Operand.Reg r -> (
-                let addr, na = read_int st fr r in
-                if na then raise (Machine_fault "indirect call through NaT")
+                let addr = read_int st fr r in
+                if st.onat then raise (Machine_fault "indirect call through NaT")
                 else
                   match Program.func_at_address st.program addr with
                   | Some s -> s
                   | None -> raise (Machine_fault (Printf.sprintf "indirect call to 0x%Lx" addr)))
             | _ -> raise (Machine_fault "bad call target")
           in
-          Hashtbl.reset fr.alat;
+          (* the ALAT is flushed at calls; skip the reset (which allocates
+             a fresh bucket array) when it is already empty *)
+          if Hashtbl.length fr.alat > 0 then Hashtbl.reset fr.alat;
           let results = exec_call st fr fname argv in
-          List.iteri
-            (fun n (d : Reg.t) ->
-              let v, na =
-                match List.nth_opt results n with Some x -> x | None -> (0L, false)
-              in
-              if d.Reg.cls = Reg.Flt then write_flt fr d (Int64.float_of_bits v)
-              else write_int fr d v na)
-            i.Instr.dsts
+          bind_results fr i.Instr.dsts results
       | [] -> raise (Machine_fault "bad call"))
   | Opcode.Br_ret ->
       st.c.useful_ops <- st.c.useful_ops + 1;
@@ -788,7 +1034,9 @@ let rec exec_instr st (fr : frame) (i : Instr.t) =
             | Operand.Reg r when r.Reg.cls = Reg.Flt ->
                 (Int64.bits_of_float (read_flt st fr r), false)
             | Operand.Fimm fv -> (Int64.bits_of_float fv, false)
-            | _ -> operand_int st fr o)
+            | _ ->
+                let v = operand_int st fr o in
+                (v, st.onat))
           i.Instr.srcs
       in
       raise (Returned vals)
@@ -800,6 +1048,15 @@ and exec_call st (caller_fr : frame) (fname : string) (args : (int64 * bool) lis
   | Some k -> do_intrinsic st k args
   | None ->
       let f = Program.find_func_exn st.program fname in
+      let df =
+        match Hashtbl.find_opt st.decoded fname with
+        | Some df -> df
+        | None ->
+            (* a function registered after [create]; decode on first call *)
+            let df = decode_func st.layout f in
+            Hashtbl.replace st.decoded fname df;
+            df
+      in
       charge st Accounting.Unstalled st.desc.Machine_desc.call_overhead;
       st.cycle <- st.cycle + st.desc.Machine_desc.call_overhead;
       (* RSE push *)
@@ -811,25 +1068,22 @@ and exec_call st (caller_fr : frame) (fname : string) (args : (int64 * bool) lis
       end;
       (* settle samples owed to the caller before attribution switches *)
       sample_tick st;
-      let fr = fresh_frame f in
-      List.iteri
-        (fun n (p : Reg.t) ->
-          match List.nth_opt args n with
-          | Some (v, na) ->
-              if p.Reg.cls = Reg.Flt then write_flt fr p (Int64.float_of_bits v)
-              else write_int fr p v na
-          | None -> ())
-        f.Func.params;
+      let fr = alloc_frame st df f in
+      bind_params fr f.Func.params args;
       fr.ints.(Reg.sp.Reg.id) <- caller_fr.ints.(Reg.sp.Reg.id);
       let saved_func = st.cur_func in
       let saved_block = st.cur_block in
       st.cur_func <- fname;
+      (* [Func.entry] both checks non-emptiness (same fault as before) and
+         is, by construction, the block decoded at index 0 *)
+      ignore (Func.entry f);
       let result =
         try
-          exec_blocks st fr (Func.entry f);
+          exec_blocks st fr df df.df_blocks.(0);
           []
         with Returned vs -> vs
       in
+      release_frame st fr;
       (* settle samples owed to the callee before attribution reverts *)
       sample_tick st;
       st.cur_func <- saved_func;
@@ -844,56 +1098,82 @@ and exec_call st (caller_fr : frame) (fname : string) (args : (int64 * bool) lis
       end;
       result
 
-(* Execute from [block] until return. *)
-and exec_blocks st (fr : frame) (block : Block.t) =
+(* Execute a group's instruction list; a top-level walker rather than a
+   [List.iter] closure so the per-group hot path allocates nothing. *)
+and exec_instrs st fr = function
+  | [] -> ()
+  | i :: tl ->
+      exec_instr st fr i;
+      exec_instrs st fr tl
+
+(* Execute from [block] until return, navigating the predecoded tables.
+   The walk is a loop over a mutable current block (no per-block state is
+   allocated); it terminates only by exception ([Returned] for the normal
+   return path, or a fault). *)
+and exec_blocks st (fr : frame) (df : dfunc) (block : dblock) =
   let f = fr.func in
-  let rec run_block (b : Block.t) =
-    match Layout.block_layout st.layout f.Func.name b.Block.label with
+  let cur = ref block in
+  while true do
+    let db = !cur in
+    let b = db.db_block in
+    match db.db_layout with
     | None -> raise (Machine_fault ("no layout for block " ^ b.Block.label))
-    | Some bl -> (
+    | Some bl ->
         st.cur_block <- b.Block.label;
-        let taken = ref None in
-        (try
-           Array.iter
-             (fun (g : Layout.group) ->
-               st.c.groups <- st.c.groups + 1;
-               (* fetch: one access per [bundles_per_cycle]-bundle chunk
-                  (32 bytes on itanium2) of the group's bundles *)
-               let bpc = st.desc.Machine_desc.bundles_per_cycle in
-               let chunks = max 1 ((g.Layout.n_bundles + bpc - 1) / bpc) in
-               for k = 0 to chunks - 1 do
-                 let addr = Int64.add g.Layout.addr (Int64.of_int (k * bpc * 16)) in
-                 let pen = icache_penalty st addr in
-                 if pen > 0 then begin
-                   charge st Accounting.Front_end pen;
-                   st.cycle <- st.cycle + pen
-                 end
-               done;
-               st.c.nop_ops <- st.c.nop_ops + g.Layout.n_nops;
-               (* issue: one cycle per fetch chunk *)
-               charge st Accounting.Unstalled chunks;
-               st.cycle <- st.cycle + chunks;
-               List.iter (fun i -> exec_instr st fr i) g.Layout.instrs;
-               (* sampling attribution point: this group's cycles (issue,
-                  stalls, penalties) belong to the current block *)
-               sample_tick st)
-             bl.Layout.groups
-         with
-        | Taken l ->
-            sample_tick st;
-            taken := Some l);
-        match !taken with
-        | Some l -> (
-            match Func.find_block f l with
-            | Some nb -> run_block nb
-            | None -> raise (Machine_fault ("branch to unknown label " ^ l)))
-        | None -> (
+        let next =
+          try
+            let groups = bl.Layout.groups in
+            for gi = 0 to Array.length groups - 1 do
+              let g = groups.(gi) in
+              st.c.groups <- st.c.groups + 1;
+              (* fetch: one access per [bundles_per_cycle]-bundle chunk
+                 (32 bytes on itanium2) of the group's bundles *)
+              let bpc = st.desc.Machine_desc.bundles_per_cycle in
+              let chunks = max 1 ((g.Layout.n_bundles + bpc - 1) / bpc) in
+              for k = 0 to chunks - 1 do
+                (* k = 0 (almost always the only chunk) reuses the group's
+                   address box instead of re-adding an offset of zero *)
+                let addr =
+                  if k = 0 then g.Layout.addr
+                  else Int64.add g.Layout.addr (Int64.of_int (k * bpc * 16))
+                in
+                let pen = icache_penalty st addr in
+                if pen > 0 then begin
+                  charge st Accounting.Front_end pen;
+                  st.cycle <- st.cycle + pen
+                end
+              done;
+              st.c.nop_ops <- st.c.nop_ops + g.Layout.n_nops;
+              (* issue: one cycle per fetch chunk *)
+              charge st Accounting.Unstalled chunks;
+              st.cycle <- st.cycle + chunks;
+              exec_instrs st fr g.Layout.instrs;
+              (* sampling attribution point: this group's cycles (issue,
+                 stalls, penalties) belong to the current block *)
+              sample_tick st
+            done;
             (* fall through *)
-            match Func.fallthrough f b with
-            | Some nb -> run_block nb
-            | None -> raise (Machine_fault (f.Func.name ^ ": fell off " ^ b.Block.label))))
-  in
-  run_block block
+            (match db.db_fall with
+            | Some ndb -> ndb
+            | None ->
+                raise (Machine_fault (f.Func.name ^ ": fell off " ^ b.Block.label)))
+          with Taken l -> (
+            sample_tick st;
+            let tgt =
+              if l == df.df_hot_label then df.df_hot_target
+              else begin
+                let t = Hashtbl.find_opt df.df_by_label l in
+                df.df_hot_label <- l;
+                df.df_hot_target <- t;
+                t
+              end
+            in
+            match tgt with
+            | Some ndb -> ndb
+            | None -> raise (Machine_fault ("branch to unknown label " ^ l)))
+        in
+        cur := next
+  done
 
 (* Run a whole program; returns (exit code, output, state). *)
 let run ?fuel ?trace ?profile ?desc (p : Program.t) (layout : Layout.t)

@@ -33,9 +33,17 @@ type reason = Rload | Rfload | Rlong
     simplification). *)
 type frame
 
+type dfunc
+(** A function with its control flow predecoded against the layout:
+    blocks in an array with their [Layout.block_layout] resolved and
+    fall-through links wired, plus a label->block table (DESIGN.md §10).
+    Built once per function in {!run}; purely a host-speed structure. *)
+
 type t = {
   program : Epic_ir.Program.t;
   layout : Epic_sched.Layout.t;
+  decoded : (string, dfunc) Hashtbl.t;
+      (** per-function predecoded control flow, keyed by function name *)
   mem : Epic_ir.Memimage.t;
   mutable heap : int64;
   output : Buffer.t;
@@ -60,6 +68,17 @@ type t = {
       (** event-trace sink; [None] (the default) records nothing and
           changes no counter or cycle *)
   prof : Epic_obs.Profile.t option;  (** PC-sampling profiler, opt-in *)
+  mutable onat : bool;
+      (** host-speed scratch (DESIGN.md §10): NaT bit of the last operand
+          read, reported here instead of in a returned tuple *)
+  mutable ld_extra : int;  (** scratch: cache penalty of the last load *)
+  mutable cur_bins : float array;
+      (** scratch: cached accounting bins of [cur_bins_for] *)
+  mutable cur_bins_for : string;
+      (** the name (physically) that [cur_bins] was fetched for *)
+  syms : (string, int64) Hashtbl.t;  (** memoized symbol addresses *)
+  mutable free_frames : frame list;
+      (** pool of released call frames, cleared on reuse (DESIGN.md §10) *)
 }
 
 (** Run a laid-out program on the given input; returns (exit code, printed

@@ -1,8 +1,13 @@
-(* Fully-associative LRU data TLB (page size shared with Memimage). *)
+(* Fully-associative LRU data TLB (page size shared with Memimage).
+
+   Host-performance note (DESIGN.md §10): page numbers are native ints —
+   the address shifted right logically by [Memimage.page_bits] >= 2 always
+   fits an OCaml int exactly — so the lookup loop compares unboxed
+   integers instead of boxed [Int64]s. *)
 
 type t = {
   entries : int;
-  pages : int64 array; (* -1 = invalid *)
+  pages : int array; (* -1 = invalid (page numbers are >= 0) *)
   age : int array;
   mutable clock : int;
   mutable accesses : int;
@@ -12,7 +17,7 @@ type t = {
 let create ?(entries = 32) () =
   {
     entries;
-    pages = Array.make entries (-1L);
+    pages = Array.make entries (-1);
     age = Array.make entries 0;
     clock = 0;
     accesses = 0;
@@ -20,25 +25,27 @@ let create ?(entries = 32) () =
   }
 
 let page_of (addr : int64) =
-  Int64.shift_right_logical addr Epic_ir.Memimage.page_bits
+  Int64.to_int (Int64.shift_right_logical addr Epic_ir.Memimage.page_bits)
 
 (* Lookup without filling. *)
 let lookup t (addr : int64) =
   t.accesses <- t.accesses + 1;
   t.clock <- t.clock + 1;
   let page = page_of addr in
-  let rec find k =
-    if k >= t.entries then None
-    else if Int64.equal t.pages.(k) page then Some k
-    else find (k + 1)
-  in
-  match find 0 with
-  | Some k ->
-      t.age.(k) <- t.clock;
-      true
-  | None ->
-      t.misses <- t.misses + 1;
-      false
+  let hit = ref (-1) in
+  let k = ref 0 in
+  while !hit < 0 && !k < t.entries do
+    if t.pages.(!k) = page then hit := !k;
+    incr k
+  done;
+  if !hit >= 0 then begin
+    t.age.(!hit) <- t.clock;
+    true
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    false
+  end
 
 (* Install a translation (after a successful walk). *)
 let fill t (addr : int64) =
@@ -51,7 +58,7 @@ let fill t (addr : int64) =
   t.age.(!victim) <- t.clock
 
 let reset t =
-  Array.fill t.pages 0 t.entries (-1L);
+  Array.fill t.pages 0 t.entries (-1);
   Array.fill t.age 0 t.entries 0;
   t.clock <- 0;
   t.accesses <- 0;

@@ -3,7 +3,10 @@
 
 type t = {
   entries : int;
-  pages : int64 array;
+  pages : int array;
+      (** page numbers as native ints ([-1] = invalid): a page number is a
+          logical shift of the address by [Memimage.page_bits] >= 2 bits,
+          so it always fits an OCaml int exactly *)
   age : int array;
   mutable clock : int;
   mutable accesses : int;
@@ -11,7 +14,7 @@ type t = {
 }
 
 val create : ?entries:int -> unit -> t
-val page_of : int64 -> int64
+val page_of : int64 -> int
 
 (** Lookup without filling; counts the access. *)
 val lookup : t -> int64 -> bool

@@ -11,6 +11,7 @@ let () =
       ("ilp", Test_ilp.suite);
       ("sched", Test_sched.suite);
       ("sim", Test_sim.suite);
+      ("hotpath", Test_hotpath.suite);
       ("integration", Test_integration.suite);
       ("obs", Test_obs.suite);
       ("paper-shapes", Test_workload_shapes.suite);

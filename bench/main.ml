@@ -28,6 +28,12 @@
    against a stored baseline, failing on any difference (the CI
    regression gate).
 
+   `causal` runs the COZ-style virtual-speedup matrix (lib/causal) on
+   gzip,twolf (or the --workloads subset), prints the ranked causal
+   report, and fails unless the causal ranking of the front-end /
+   br-mispredict categories agrees with the perfect-* sweep deltas (the
+   cross-check invariant of DESIGN.md §11).  Explicit-only, like sweep.
+
    Exit status: non-zero if any run's simulated output diverged from the
    reference interpreter (CI fails on divergence, not just a warning). *)
 
@@ -36,7 +42,7 @@ let suite_artifacts =
 
 (* Artifacts that run only when named explicitly (too broad or too slow to
    fold into the default "everything" run). *)
-let explicit_artifacts = [ "sweep" ]
+let explicit_artifacts = [ "sweep"; "causal" ]
 
 let all_artifacts =
   suite_artifacts
@@ -293,4 +299,40 @@ let () =
           Printf.eprintf "FAIL: sweep result differs from baseline %s\n" f;
           exit 1
         end
+  end;
+  if wanted "causal" then begin
+    let open Epic_causal.Causal in
+    (* causal defaults to the same bounded pair as sweep; the planner picks
+       each workload's targets, and the cross-check gate always runs *)
+    let causal_workloads =
+      match !subset with Some names -> names | None -> [ "gzip"; "twolf" ]
+    in
+    let jobs = auto_jobs (4 * List.length causal_workloads) in
+    Printf.eprintf "running the causal-profiling matrix (-j %d)...\n%!" jobs;
+    let r =
+      run ~factors:(default_factors) ~progress:true ~jobs
+        ~workloads:causal_workloads ()
+    in
+    print_report Fmt.stdout r;
+    (match mismatches r with
+    | [] -> ()
+    | l ->
+        List.iter
+          (fun (w, t, f) ->
+            Printf.eprintf
+              "FAIL: causal %s/%s/%g simulated output diverged from the reference\n"
+              w (target_name t) f)
+          l;
+        exit 1);
+    let rows = check_against_sweep ~jobs r in
+    let bad = List.filter (fun row -> not row.ck_order_ok) rows in
+    List.iter
+      (fun row ->
+        Printf.eprintf
+          "FAIL: causal ranking on %s disagrees with the perfect-* sweep\n"
+          row.ck_workload)
+      bad;
+    if bad <> [] then exit 1;
+    Printf.eprintf "causal cross-check: rankings agree on %d workloads\n%!"
+      (List.length rows)
   end

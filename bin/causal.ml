@@ -1,0 +1,160 @@
+(* Causal-profiling driver: run the COZ-style virtual-speedup matrix and
+   print (and optionally export) the ranked "optimize this next" report.
+   See lib/causal/causal.mli. *)
+
+let usage =
+  "causal [--workloads a,b,..] [--targets t,..] [--factors 10,25,..] [-j N]\n\
+  \       [--json FILE] [--normalize-time] [--check] [--list]\n\n\
+   Runs each workload (default: gzip,twolf) under a matrix of virtual\n\
+   speedups — per target, the cycles charged to it are scaled by\n\
+   (1 - factor) while the machine evolves untouched — and ranks targets\n\
+   by causal slope: predicted end-to-end gain per unit of local speedup.\n\
+   Targets are stall-category names (see --list) or workload function\n\
+   names; omitted, each workload plans its own (top profiled functions\n\
+   plus its nonzero stall categories).  Factors are percentages\n\
+   (default 10,25,50,100).  --check also runs the perfect-icache /\n\
+   perfect-predictor sweep and exits 1 unless the causal ranking of the\n\
+   front-end and br-mispredict categories matches the sweep's delta\n\
+   ordering on every workload.  -j defaults to the machine's recommended\n\
+   domain count."
+
+let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
+
+let die msg =
+  prerr_endline msg;
+  exit 2
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let workloads = ref [ "gzip"; "twolf" ] in
+  let sel_targets = ref None in
+  let factors = ref Epic_causal.Causal.default_factors in
+  let jobs = ref 0 (* 0 = auto *) in
+  let json_file = ref None in
+  let normalize = ref false in
+  let check = ref false in
+  let list_only = ref false in
+  let rec parse = function
+    | [] -> ()
+    | ("-h" | "--help") :: _ ->
+        print_endline usage;
+        exit 0
+    | "--list" :: rest ->
+        list_only := true;
+        parse rest
+    | "--workloads" :: v :: rest ->
+        workloads := split_commas v;
+        parse rest
+    | "--targets" :: v :: rest ->
+        sel_targets :=
+          Some (List.map Epic_causal.Causal.parse_target (split_commas v));
+        parse rest
+    | "--factors" :: v :: rest ->
+        factors :=
+          List.map
+            (fun s ->
+              match float_of_string_opt s with
+              | Some p when p > 0. && p <= 100. -> p /. 100.
+              | _ -> die (Printf.sprintf "causal: bad factor %S (percent in (0,100])" s))
+            (split_commas v);
+        parse rest
+    | ("-j" | "--jobs") :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 1 -> jobs := n
+        | _ -> die usage);
+        parse rest
+    | "--json" :: f :: rest ->
+        json_file := Some f;
+        parse rest
+    | "--normalize-time" :: rest ->
+        normalize := true;
+        parse rest
+    | "--check" :: rest ->
+        check := true;
+        parse rest
+    | a :: _ -> die (Printf.sprintf "causal: unknown argument %S\n%s" a usage)
+  in
+  parse args;
+  let open Epic_causal.Causal in
+  if !list_only then begin
+    (* the same vocabulary sweep.exe --list prints, from the same tables *)
+    Fmt.pr "category targets (program-wide stall charges):@.";
+    List.iter
+      (fun c ->
+        Fmt.pr "  %-18s@." (Epic_sim.Accounting.name c))
+      (List.filter
+         (fun c -> c <> Epic_sim.Accounting.Unstalled)
+         Epic_sim.Accounting.all_categories);
+    Fmt.pr "function targets: any function name of the workload@.";
+    Fmt.pr "@.sweep vocabulary (variants x ablations, for --check):@.";
+    Fmt.pr "variants:@.";
+    List.iter
+      (fun v -> Fmt.pr "  %-18s %s@." v.Epic_sweep.Sweep.v_name v.Epic_sweep.Sweep.v_isolates)
+      (Epic_sweep.Sweep.baseline_variant :: Epic_sweep.Sweep.variants);
+    Fmt.pr "ablations:@.";
+    List.iter
+      (fun a -> Fmt.pr "  %-18s %s@." a.Epic_sweep.Sweep.a_name a.Epic_sweep.Sweep.a_isolates)
+      Epic_sweep.Sweep.ablations;
+    exit 0
+  end;
+  (* --check needs the two cross-check categories measured at factor 1.0;
+     union them in rather than failing later. *)
+  let targets =
+    if not !check then !sel_targets
+    else
+      let needed =
+        [
+          Target_category Epic_sim.Accounting.Front_end;
+          Target_category Epic_sim.Accounting.Br_mispredict;
+        ]
+      in
+      match !sel_targets with
+      | None -> None (* the planner includes every nonzero category *)
+      | Some ts ->
+          Some (ts @ List.filter (fun t -> not (List.mem t ts)) needed)
+  in
+  if !check && not (List.mem 1.0 !factors) then factors := !factors @ [ 1.0 ];
+  let jobs =
+    if !jobs >= 1 then !jobs
+    else min (Domain.recommended_domain_count ()) (max 1 (4 * List.length !workloads))
+  in
+  let report =
+    try run ?targets ~factors:!factors ~progress:true ~jobs ~workloads:!workloads ()
+    with Invalid_argument msg -> die ("causal: " ^ msg)
+  in
+  print_report Fmt.stdout report;
+  (match mismatches report with
+  | [] -> ()
+  | l ->
+      List.iter
+        (fun (w, t, f) ->
+          Fmt.epr "MISMATCH: %s / %s / %g diverged from the reference@." w
+            (target_name t) f)
+        l;
+      exit 1);
+  (match !json_file with
+  | Some f ->
+      let d = to_json report in
+      let d = if !normalize then Epic_core.Export.normalize_time d else d in
+      Epic_obs.Json.to_file f d;
+      Fmt.pr "@.wrote %s@." f
+  | None -> ());
+  if !check then begin
+    let rows =
+      try check_against_sweep ~jobs report
+      with Invalid_argument msg -> die ("causal: " ^ msg)
+    in
+    let bad = List.filter (fun r -> not r.ck_order_ok) rows in
+    List.iter
+      (fun r ->
+        Fmt.pr
+          "check %s: causal front-end %.0f br-mispredict %.0f | sweep \
+           perfect-icache %.0f perfect-predictor %.0f -> %s@."
+          r.ck_workload r.ck_causal_fe r.ck_causal_bp r.ck_sweep_fe
+          r.ck_sweep_bp
+          (if r.ck_order_ok then "rankings agree" else "RANKINGS DISAGREE"))
+      rows;
+    if bad <> [] then exit 1;
+    Fmt.pr "check: causal ranking matches the perfect-* sweep on %d workloads@."
+      (List.length rows)
+  end

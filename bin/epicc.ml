@@ -82,8 +82,19 @@ let sample_period =
            a prime such as 97 avoids aliasing with periodic code).  The \
            profile lands in the --json document")
 
+let profile_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "profile-out" ] ~docv:"FILE"
+        ~doc:
+          "write the PC-sampling profile (period, per-function and per-block \
+           sample counts) as JSON to its own $(docv) instead of interleaving \
+           it in the --json document (whose profile field is then null).  \
+           Implies sampling, at --sample-period or the suite default")
+
 let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet json_file
-    trace_file sample_period =
+    trace_file sample_period profile_out =
   let src = In_channel.with_open_text file In_channel.input_all in
   let input = Array.of_list (List.map Int64.of_int inputs) in
   let train =
@@ -131,9 +142,11 @@ let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet json
       in
       let profile =
         (* --json without an explicit period still samples: the JSON schema
-           promises a profile, and the default period matches the suite's. *)
+           promises a profile, and the default period matches the suite's.
+           --profile-out likewise implies sampling. *)
         if sample_period > 0 then Some (Epic_obs.Profile.create ~period:sample_period ())
-        else if json_file <> None then Some (Epic_obs.Profile.create ())
+        else if json_file <> None || profile_out <> None then
+          Some (Epic_obs.Profile.create ())
         else None
       in
       let code, out, st = Epic_core.Driver.run ?trace ?profile compiled input in
@@ -154,6 +167,16 @@ let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet json
               (Epic_obs.Trace.distinct_kinds tr)
               (Epic_obs.Trace.dropped tr) f
       | None -> ());
+      (match profile_out with
+      | Some f ->
+          let p = Option.get profile in
+          write_json f (Epic_obs.Profile.to_json p);
+          if not quiet then
+            Fmt.epr ";; wrote %d profile samples (period %d) to %s@."
+              (Epic_obs.Profile.samples p)
+              (Epic_obs.Profile.period p)
+              f
+      | None -> ());
       (match json_file with
       | Some f ->
           let ref_code, ref_out =
@@ -161,9 +184,12 @@ let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet json
             let c, o, _ = Epic_ir.Interp.run p input in
             (c, o)
           in
+          (* with --profile-out the profile lives in its own file; keep the
+             main document's profile field null rather than duplicating *)
+          let json_profile = if profile_out = None then profile else None in
           let run =
             Epic_core.Metrics.of_machine ~workload:(Filename.basename file)
-              ?profile compiled st
+              ?profile:json_profile compiled st
               ~output_matches:(code = ref_code && out = ref_out)
           in
           write_json f (Epic_core.Export.run_to_json run);
@@ -195,6 +221,7 @@ let cmd =
     (Cmd.info "epicc" ~doc)
     Term.(
       const run_cmd $ file $ level $ sentinel $ no_pa $ inputs $ train $ dump_ir
-      $ show_loops $ quiet $ json_file $ trace_file $ sample_period)
+      $ show_loops $ quiet $ json_file $ trace_file $ sample_period
+      $ profile_out)
 
 let () = exit (Cmd.eval cmd)

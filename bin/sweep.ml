@@ -64,13 +64,16 @@ let () =
   parse args;
   let open Epic_sweep.Sweep in
   if !list_only then begin
+    (* One discoverable vocabulary, shared with causal.exe --list: every
+       machine variant and every compiler ablation, baseline rows included,
+       each with the one-line "what it isolates" description. *)
     Fmt.pr "variants:@.";
     List.iter
       (fun v -> Fmt.pr "  %-18s %s@." v.v_name v.v_isolates)
-      Epic_sweep.Sweep.variants;
+      (Epic_sweep.Sweep.baseline_variant :: Epic_sweep.Sweep.variants);
     Fmt.pr "ablations:@.";
     List.iter
-      (fun a -> Fmt.pr "  %s@." a.a_name)
+      (fun a -> Fmt.pr "  %-18s %s@." a.a_name a.a_isolates)
       Epic_sweep.Sweep.ablations;
     exit 0
   end;

@@ -1,0 +1,500 @@
+(* Causal profiling via virtual speedups (COZ transplanted to the
+   simulator).  See causal.mli for the contract and DESIGN.md §11 for why
+   the experiment lives in the accounting layer and how the factor-1.0
+   category experiments tie to the perfect-* sweep variants. *)
+
+open Epic_core
+open Epic_workloads
+module Acc = Epic_sim.Accounting
+module Json = Epic_obs.Json
+
+type target = Acc.target =
+  | Target_func of string
+  | Target_category of Acc.category
+
+let target_name = function
+  | Target_func f -> f
+  | Target_category c -> Acc.name c
+
+let parse_target s =
+  match Acc.category_of_name s with
+  | Some c -> Target_category c
+  | None -> Target_func s
+
+let default_factors = [ 0.10; 0.25; 0.50; 1.00 ]
+
+type point = {
+  p_factor : float;
+  p_cycles : float;
+  p_speedup : float;
+  p_output_ok : bool;
+}
+
+type curve = {
+  k_target : target;
+  k_points : point list;
+  k_local_cycles : float;
+  k_local_share : float;
+  k_slope : float;
+  k_linearity : float;
+  k_delta_full : float;
+}
+
+type wreport = {
+  c_workload : string;
+  c_base_cycles : float;
+  c_base_categories : float array;
+  c_obs : Json.t;
+  c_curves : curve list;
+  c_output_ok : bool;
+}
+
+type agg = {
+  g_target : target;
+  g_workloads : int;
+  g_mean_slope : float;
+  g_rank_best : int;
+  g_rank_worst : int;
+}
+
+type report = {
+  r_workloads : string list;
+  r_factors : float list;
+  r_reports : wreport list;
+  r_aggregate : agg list;
+  r_wall_s : float;
+}
+
+(* Top profile-hot functions first (descending samples, the profiler's
+   order), then every nonzero stall category.  Unstalled is excluded: its
+   cycles are the work itself, and "make the work free" ranks first on
+   every program without diagnosing anything. *)
+let plan ~top_funcs ~prof_by_func ~categories =
+  let funcs =
+    List.filteri (fun i _ -> i < top_funcs) prof_by_func
+    |> List.map (fun (f, _) -> Target_func f)
+  in
+  let cats =
+    List.filter_map
+      (fun c ->
+        if c <> Acc.Unstalled && categories.(Acc.index c) > 0. then
+          Some (Target_category c)
+        else None)
+      Acc.all_categories
+  in
+  funcs @ cats
+
+(* Phase-1 product: everything a workload's phase-2 cells and report need,
+   reduced to plain shareable data (the machine state itself stays in the
+   domain that ran it). *)
+type base = {
+  b_reference : int * string;
+  b_cycles : float;
+  b_categories : float array;
+  b_func_totals : (string * float) list;
+  b_prof_by_func : (string * int) list;
+  b_obs : Json.t;
+  b_output_ok : bool;
+}
+
+let run_baseline (w : Workload.t) =
+  let config = Experiments.config_for w Config.ILP_CS in
+  let compiled = Driver.compile ~config ~train:w.Workload.train w.Workload.source in
+  let trace = Epic_obs.Trace.create () in
+  let profile = Epic_obs.Profile.create ~period:Experiments.sample_period () in
+  let code, out, st = Driver.run ~trace ~profile compiled w.Workload.reference in
+  let ref_code, ref_out = Experiments.reference_output w in
+  let acc = st.Epic_sim.Machine.acc in
+  {
+    b_reference = (ref_code, ref_out);
+    b_cycles = Acc.total acc;
+    b_categories = Array.copy acc.Acc.totals;
+    b_func_totals =
+      List.map (fun f -> (f, Acc.func_total acc f)) (Acc.functions acc);
+    b_prof_by_func = Epic_obs.Profile.by_func profile;
+    b_obs = Export.obs_to_json ~trace ~profile ();
+    b_output_ok = code = ref_code && out = ref_out;
+  }
+
+(* One matrix cell: recompile from source (resets the domain-local
+   instruction-id counter, so ids are identical whichever domain runs the
+   cell) and simulate under the virtual speedup.  The binary is the same
+   as the baseline's — the experiment only exists at accounting time. *)
+let run_cell ~(base : base) (w : Workload.t) (t : target) (factor : float) =
+  let config = Experiments.config_for w Config.ILP_CS in
+  let compiled = Driver.compile ~config ~train:w.Workload.train w.Workload.source in
+  let experiment = { Acc.target = t; speedup = factor } in
+  let code, out, st = Driver.run ~experiment compiled w.Workload.reference in
+  let ref_code, ref_out = base.b_reference in
+  let cycles = Acc.total st.Epic_sim.Machine.acc in
+  {
+    p_factor = factor;
+    p_cycles = cycles;
+    p_speedup = (base.b_cycles -. cycles) /. base.b_cycles;
+    p_output_ok = code = ref_code && out = ref_out;
+  }
+
+let curve_of_points ~(base : base) (t : target) (points : point list) =
+  let local =
+    match t with
+    | Target_category c -> base.b_categories.(Acc.index c)
+    | Target_func f -> (
+        match List.assoc_opt f base.b_func_totals with
+        | Some v -> v
+        | None -> 0.)
+  in
+  (* least-squares through the origin: slope = Σ s·p / Σ s² *)
+  let num =
+    List.fold_left (fun s p -> s +. (p.p_factor *. p.p_speedup)) 0. points
+  and den =
+    List.fold_left (fun s p -> s +. (p.p_factor *. p.p_factor)) 0. points
+  in
+  let slope = if den = 0. then 0. else num /. den in
+  let linearity =
+    List.fold_left
+      (fun m p -> Float.max m (abs_float (p.p_speedup -. (slope *. p.p_factor))))
+      0. points
+  in
+  let delta_full =
+    match List.find_opt (fun p -> p.p_factor = 1.0) points with
+    | Some p -> base.b_cycles -. p.p_cycles
+    | None -> slope *. base.b_cycles
+  in
+  {
+    k_target = t;
+    k_points = points;
+    k_local_cycles = local;
+    k_local_share = local /. base.b_cycles;
+    k_slope = slope;
+    k_linearity = linearity;
+    k_delta_full = delta_full;
+  }
+
+let rank_curves curves =
+  List.sort
+    (fun a b ->
+      match compare b.k_slope a.k_slope with
+      | 0 -> compare (target_name a.k_target) (target_name b.k_target)
+      | n -> n)
+    curves
+
+let aggregate (reports : wreport list) =
+  (* per-target (slope, 1-based rank) pairs over the workloads that
+     planned it *)
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun wr ->
+      List.iteri
+        (fun i k ->
+          let prev =
+            Option.value ~default:[] (Hashtbl.find_opt tbl k.k_target)
+          in
+          Hashtbl.replace tbl k.k_target ((k.k_slope, i + 1) :: prev))
+        wr.c_curves)
+    reports;
+  Hashtbl.fold
+    (fun t entries acc ->
+      let n = List.length entries in
+      let mean =
+        List.fold_left (fun s (sl, _) -> s +. sl) 0. entries /. float_of_int n
+      in
+      {
+        g_target = t;
+        g_workloads = n;
+        g_mean_slope = mean;
+        g_rank_best = List.fold_left (fun m (_, r) -> min m r) max_int entries;
+        g_rank_worst = List.fold_left (fun m (_, r) -> max m r) 0 entries;
+      }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         match compare b.g_mean_slope a.g_mean_slope with
+         | 0 -> compare (target_name a.g_target) (target_name b.g_target)
+         | n -> n)
+
+let run ?targets ?(factors = default_factors) ?(top_funcs = 3)
+    ?(progress = false) ~jobs ~workloads () =
+  let t0 = Sys.time () in
+  if factors = [] then invalid_arg "Causal.run: empty factor list";
+  List.iter
+    (fun f ->
+      if not (f > 0. && f <= 1.) then
+        invalid_arg (Fmt.str "Causal.run: factor %g outside (0, 1]" f))
+    factors;
+  let factors = List.sort_uniq compare factors in
+  let ws = Array.of_list (List.map Suite.find_exn workloads) in
+  (* Phase 1: per-workload reference + instrumented baseline, shared
+     read-only by that workload's cells. *)
+  let bases =
+    Pool.map ~jobs
+      (fun (w : Workload.t) ->
+        if progress then Fmt.epr "  causal baseline %s...@." w.Workload.short;
+        run_baseline w)
+      ws
+  in
+  let plans =
+    Array.map
+      (fun (b : base) ->
+        match targets with
+        | Some ts -> ts
+        | None ->
+            plan ~top_funcs ~prof_by_func:b.b_prof_by_func
+              ~categories:b.b_categories)
+      bases
+  in
+  (* Phase 2: the full (workload x target x factor) matrix, deterministic
+     workload-major order (Pool.map returns index order). *)
+  let specs =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun wi plan_w ->
+              List.concat_map
+                (fun t -> List.map (fun f -> (wi, t, f)) factors)
+                plan_w)
+            (Array.to_list plans)))
+  in
+  let cells =
+    Pool.map ~jobs
+      (fun (wi, t, f) ->
+        let w = ws.(wi) in
+        if progress then
+          Fmt.epr "  causal %s / %s / %g...@." w.Workload.short (target_name t)
+            f;
+        run_cell ~base:bases.(wi) w t f)
+      specs
+  in
+  let reports =
+    List.mapi
+      (fun wi (w : Workload.t) ->
+        let b = bases.(wi) in
+        let curves =
+          List.map
+            (fun t ->
+              let points =
+                List.concat
+                  (List.mapi
+                     (fun i (wj, tj, _) ->
+                       if wj = wi && tj = t then [ cells.(i) ] else [])
+                     (Array.to_list specs))
+              in
+              curve_of_points ~base:b t points)
+            plans.(wi)
+        in
+        {
+          c_workload = w.Workload.short;
+          c_base_cycles = b.b_cycles;
+          c_base_categories = b.b_categories;
+          c_obs = b.b_obs;
+          c_curves = rank_curves curves;
+          c_output_ok = b.b_output_ok;
+        })
+      (Array.to_list ws)
+  in
+  {
+    r_workloads = workloads;
+    r_factors = factors;
+    r_reports = reports;
+    r_aggregate = aggregate reports;
+    r_wall_s = Sys.time () -. t0;
+  }
+
+let report_of (r : report) w =
+  List.find (fun wr -> wr.c_workload = w) r.r_reports
+
+let curve_of (wr : wreport) t =
+  List.find_opt (fun k -> k.k_target = t) wr.c_curves
+
+let mismatches (r : report) =
+  List.concat_map
+    (fun wr ->
+      List.concat_map
+        (fun k ->
+          List.filter_map
+            (fun p ->
+              if p.p_output_ok then None
+              else Some (wr.c_workload, k.k_target, p.p_factor))
+            k.k_points)
+        wr.c_curves)
+    r.r_reports
+
+(* --- Cross-check against the perfect-* sweep variants -------------------- *)
+
+type check_row = {
+  ck_workload : string;
+  ck_causal_fe : float;
+  ck_causal_bp : float;
+  ck_sweep_fe : float;
+  ck_sweep_bp : float;
+  ck_order_ok : bool;
+}
+
+let check_against_sweep ?(progress = false) ~jobs (r : report) =
+  let module Sw = Epic_sweep.Sweep in
+  let variant n =
+    match Sw.find_variant n with
+    | Some v -> v
+    | None -> invalid_arg ("Causal.check_against_sweep: no sweep variant " ^ n)
+  in
+  let sweep =
+    Sw.run
+      ~variants:[ variant "perfect-icache"; variant "perfect-predictor" ]
+      ~progress ~jobs ~workloads:r.r_workloads ()
+  in
+  List.map
+    (fun wr ->
+      let causal_delta cat =
+        match curve_of wr (Target_category cat) with
+        | Some k -> k.k_delta_full
+        | None ->
+            invalid_arg
+              (Fmt.str
+                 "Causal.check_against_sweep: %s has no %s target (run with \
+                  --targets including it)"
+                 wr.c_workload
+                 (Acc.name cat))
+      in
+      let sweep_saving vname =
+        let cell =
+          List.find
+            (fun (c : Sw.cell) ->
+              c.Sw.c_workload = wr.c_workload && c.Sw.c_variant = vname)
+            sweep.Sw.r_cells
+        in
+        (Sw.baseline_of sweep wr.c_workload).Sw.c_cycles -. cell.Sw.c_cycles
+      in
+      let cf = causal_delta Acc.Front_end
+      and cb = causal_delta Acc.Br_mispredict
+      and sf = sweep_saving "perfect-icache"
+      and sb = sweep_saving "perfect-predictor" in
+      {
+        ck_workload = wr.c_workload;
+        ck_causal_fe = cf;
+        ck_causal_bp = cb;
+        ck_sweep_fe = sf;
+        ck_sweep_bp = sb;
+        ck_order_ok = compare cf cb = compare sf sb;
+      })
+    r.r_reports
+
+(* --- JSON export --------------------------------------------------------- *)
+
+let target_to_json t =
+  Json.Obj
+    [
+      ("name", Json.Str (target_name t));
+      ( "kind",
+        Json.Str
+          (match t with
+          | Target_func _ -> "func"
+          | Target_category _ -> "category") );
+    ]
+
+let categories_to_json (a : float array) =
+  Json.Obj
+    (List.map
+       (fun c -> (Acc.name c, Json.Float a.(Acc.index c)))
+       Acc.all_categories)
+
+let curve_to_json (k : curve) =
+  Json.Obj
+    [
+      ("target", target_to_json k.k_target);
+      ("local_cycles", Json.Float k.k_local_cycles);
+      ("local_share", Json.Float k.k_local_share);
+      ("slope", Json.Float k.k_slope);
+      ("linearity", Json.Float k.k_linearity);
+      ("delta_full", Json.Float k.k_delta_full);
+      ( "points",
+        Json.List
+          (List.map
+             (fun p ->
+               Json.Obj
+                 [
+                   ("factor", Json.Float p.p_factor);
+                   ("cycles", Json.Float p.p_cycles);
+                   ("program_speedup", Json.Float p.p_speedup);
+                   ("output_matches", Json.Bool p.p_output_ok);
+                 ])
+             k.k_points) );
+    ]
+
+let to_json (r : report) =
+  Json.Obj
+    [
+      ("causal", Json.Str "virtual-speedup");
+      ("sample_period", Json.Int Experiments.sample_period);
+      ("workloads", Json.List (List.map (fun w -> Json.Str w) r.r_workloads));
+      ("factors", Json.List (List.map (fun f -> Json.Float f) r.r_factors));
+      ( "workload_reports",
+        Json.List
+          (List.map
+             (fun wr ->
+               Json.Obj
+                 [
+                   ("workload", Json.Str wr.c_workload);
+                   ("base_cycles", Json.Float wr.c_base_cycles);
+                   ("output_matches", Json.Bool wr.c_output_ok);
+                   ("categories", categories_to_json wr.c_base_categories);
+                   ("obs", wr.c_obs);
+                   ("curves", Json.List (List.map curve_to_json wr.c_curves));
+                 ])
+             r.r_reports) );
+      ( "aggregate",
+        Json.List
+          (List.map
+             (fun g ->
+               Json.Obj
+                 [
+                   ("target", target_to_json g.g_target);
+                   ("workloads", Json.Int g.g_workloads);
+                   ("mean_slope", Json.Float g.g_mean_slope);
+                   ("rank_best", Json.Int g.g_rank_best);
+                   ("rank_worst", Json.Int g.g_rank_worst);
+                 ])
+             r.r_aggregate) );
+      ("total_wall_s", Json.Float r.r_wall_s);
+    ]
+
+(* --- Text report --------------------------------------------------------- *)
+
+(* Tornado bars scaled to the workload's best slope; local share printed
+   beside the slope so the COZ argument is visible wherever the two
+   columns disagree (big share, flat slope — or the reverse). *)
+let print_report ppf (r : report) =
+  Fmt.pf ppf "Causal profile (virtual speedups) vs itanium2 x ILP-CS@.";
+  Fmt.pf ppf "factors:%a@."
+    (fun ppf -> List.iter (fun f -> Fmt.pf ppf " %g" f))
+    r.r_factors;
+  List.iter
+    (fun wr ->
+      Fmt.pf ppf "@.%s  (baseline %.0f cycles%s)@." wr.c_workload
+        wr.c_base_cycles
+        (if wr.c_output_ok then "" else ", OUTPUT MISMATCH");
+      Fmt.pf ppf "  %4s  %-20s %7s %7s %9s %12s@." "rank" "target" "local%"
+        "slope" "linearity" "dcycles@1.0";
+      let max_slope =
+        List.fold_left (fun m k -> Float.max m k.k_slope) 1e-12 wr.c_curves
+      in
+      List.iteri
+        (fun i k ->
+          let bar =
+            let n =
+              int_of_float (Float.round (20. *. Float.max 0. k.k_slope /. max_slope))
+            in
+            String.make n '#'
+          in
+          Fmt.pf ppf "  %4d  %-20s %6.1f%% %7.4f %9.4f %12.0f  %s@." (i + 1)
+            (target_name k.k_target)
+            (100. *. k.k_local_share)
+            k.k_slope k.k_linearity k.k_delta_full bar)
+        wr.c_curves)
+    r.r_reports;
+  Fmt.pf ppf "@.Across %d workloads (mean causal slope, rank range):@."
+    (List.length r.r_workloads);
+  List.iter
+    (fun g ->
+      Fmt.pf ppf "  %-20s %7.4f  rank %d-%d  (%d workloads)@."
+        (target_name g.g_target) g.g_mean_slope g.g_rank_best g.g_rank_worst
+        g.g_workloads)
+    r.r_aggregate

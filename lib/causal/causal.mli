@@ -1,0 +1,180 @@
+(** Causal profiling, COZ-style: "what would speeding THIS up actually buy
+    end-to-end?" answered by experiment, not by share-of-profile.
+
+    A conventional profile ranks code by where cycles are spent; that
+    ranking is misleading exactly when the paper's questions are
+    interesting (a stall category can be large but off the critical
+    ranking, a small function can gate everything behind it).  Causal
+    profiling instead runs the unmodified program under a matrix of
+    {e virtual speedups}: for each target (a function, or one of the nine
+    stall categories) and each factor s, the cycles charged to the target
+    are scaled by [1 - s] at accounting time
+    ({!Epic_sim.Accounting.experiment}) while the clock, the caches, the
+    predictor and the program semantics evolve exactly as in the baseline.
+    The observed end-to-end total then directly measures the causal effect
+    of a local speedup of s.
+
+    For each target the matrix yields a curve of program speedup
+    [p(s) = (base - cycles(s)) / base]; its least-squares slope through
+    the origin is the target's {e causal slope} — predicted end-to-end
+    fraction gained per unit of local speedup — and targets are ranked by
+    it: the report is an ordered "optimize this next" list with the
+    evidence attached.
+
+    Cross-check invariant (asserted in test/test_causal.ml and by
+    {!check_against_sweep}): a category experiment at factor 1.0 charges
+    exactly what the corresponding [perfect-*] sweep variant suppresses,
+    so per workload the causal deltas of [front-end]/[br-mispredict] must
+    equal — and rank identically to — the [perfect-icache]/
+    [perfect-predictor] deltas of {!Epic_sweep.Sweep}. *)
+
+type target = Epic_sim.Accounting.target =
+  | Target_func of string
+  | Target_category of Epic_sim.Accounting.category
+
+(** Display/CLI name: the category's accounting name ([front-end], [rse],
+    ...) or the function's own name. *)
+val target_name : target -> string
+
+(** Inverse of {!target_name}: a known category name parses as that
+    category, anything else as a function target.  (A function shadowed by
+    a category name can't be targeted by name — acceptable, since the
+    workloads' function names are C identifiers and the category names are
+    hyphenated.) *)
+val parse_target : string -> target
+
+(** [0.10; 0.25; 0.50; 1.00] — the virtual-speedup factors of the default
+    matrix. *)
+val default_factors : float list
+
+(** One matrix cell reduced to its point on the target's curve. *)
+type point = {
+  p_factor : float;  (** local virtual speedup s, in (0, 1] *)
+  p_cycles : float;  (** end-to-end accounted cycles under it *)
+  p_speedup : float;  (** program speedup p = (base - cycles) / base *)
+  p_output_ok : bool;  (** output still matches the reference interpreter *)
+}
+
+(** A target's causal curve over the factor axis. *)
+type curve = {
+  k_target : target;
+  k_points : point list;  (** ascending factor *)
+  k_local_cycles : float;  (** baseline cycles charged to the target *)
+  k_local_share : float;  (** local_cycles / base_cycles *)
+  k_slope : float;
+      (** causal slope: least-squares fit of p = slope * s through the
+          origin — predicted end-to-end fraction per unit local speedup *)
+  k_linearity : float;
+      (** max |p - slope * s| over the points; small = the virtual
+          speedup scales linearly, the slope is trustworthy *)
+  k_delta_full : float;
+      (** cycles saved at factor 1.0 (the perfect-* limit); taken from
+          the measured point when factor 1.0 was run, else extrapolated
+          as slope * base *)
+}
+
+(** One workload's causal profile: targets ranked by causal slope. *)
+type wreport = {
+  c_workload : string;
+  c_base_cycles : float;
+  c_base_categories : float array;  (** the nine baseline category totals *)
+  c_obs : Epic_obs.Json.t;
+      (** the shared observability block of the baseline run
+          ({!Epic_core.Export.obs_to_json}) *)
+  c_curves : curve list;  (** ranked: best causal slope first *)
+  c_output_ok : bool;  (** baseline output matched the reference *)
+}
+
+(** Cross-workload aggregate for one target (only over the workloads whose
+    plan included it). *)
+type agg = {
+  g_target : target;
+  g_workloads : int;  (** workloads aggregated *)
+  g_mean_slope : float;
+  g_rank_best : int;  (** best (lowest) rank across workloads, 1-based *)
+  g_rank_worst : int;
+}
+
+type report = {
+  r_workloads : string list;
+  r_factors : float list;  (** ascending *)
+  r_reports : wreport list;  (** workload order *)
+  r_aggregate : agg list;  (** by descending mean slope *)
+  r_wall_s : float;
+}
+
+(** The experiment planner: the top [top_funcs] functions of the baseline
+    PC-sampling profile (descending samples), then every stall category
+    with nonzero baseline cycles except [unstalled] (speeding up unstalled
+    execution is the compiler's job, not a bottleneck diagnosis). *)
+val plan :
+  top_funcs:int ->
+  prof_by_func:(string * int) list ->
+  categories:float array ->
+  target list
+
+(** Execute the causal matrix on the {!Epic_core.Pool} domain pool in two
+    phases, like {!Epic_sweep.Sweep.run}: phase 1 computes each workload's
+    reference output and its baseline run (with the trace and PC-sampling
+    instruments attached); phase 2 runs every (workload, target, factor)
+    cell, each cell recompiling from source (deterministic instruction
+    ids) and simulating under the virtual-speedup experiment.  Results are
+    in deterministic workload-major order regardless of [jobs].
+
+    [targets] fixes one target list for every workload; omitted, each
+    workload gets its own plan ({!plan}, with [top_funcs] profile-hot
+    functions, default 3).  [factors] defaults to {!default_factors}.
+
+    @raise Invalid_argument on an unknown workload, [jobs < 1], an empty
+    factor list or a factor outside (0, 1]. *)
+val run :
+  ?targets:target list ->
+  ?factors:float list ->
+  ?top_funcs:int ->
+  ?progress:bool ->
+  jobs:int ->
+  workloads:string list ->
+  unit ->
+  report
+
+(** The workload's report.  @raise Not_found if absent. *)
+val report_of : report -> string -> wreport
+
+(** The target's curve in a workload report, if it was in the plan. *)
+val curve_of : wreport -> target -> curve option
+
+(** Cells whose simulated output diverged from the reference interpreter,
+    as (workload, target, factor). *)
+val mismatches : report -> (string * target * float) list
+
+(** One workload's row of the causal-vs-sweep cross-check. *)
+type check_row = {
+  ck_workload : string;
+  ck_causal_fe : float;  (** causal Δcycles at 1.0, front-end target *)
+  ck_causal_bp : float;  (** causal Δcycles at 1.0, br-mispredict target *)
+  ck_sweep_fe : float;  (** perfect-icache sweep saving (base - variant) *)
+  ck_sweep_bp : float;  (** perfect-predictor sweep saving *)
+  ck_order_ok : bool;
+      (** causal and sweep rank the two categories identically *)
+}
+
+(** Run the [perfect-icache] / [perfect-predictor] sweep on the report's
+    workloads and check the invariant: per workload, the causal ranking of
+    the front-end and br-mispredict categories must agree with the sweep
+    delta ordering (the two paths suppress the same charges by independent
+    mechanisms).  @raise Invalid_argument if the report lacks the
+    front-end or br-mispredict target for some workload. *)
+val check_against_sweep : ?progress:bool -> jobs:int -> report -> check_row list
+
+(** The causal document.  Schema (stable; additions only): [causal],
+    [sample_period], [workloads], [factors], [workload_reports] (workload,
+    base_cycles, output_matches, categories, obs, curves — each with
+    target, kind, local_cycles, local_share, slope, linearity, delta_full
+    and points), [aggregate] and [total_wall_s].  Pass through
+    {!Epic_core.Export.normalize_time} before diffing. *)
+val to_json : report -> Epic_obs.Json.t
+
+(** Human-readable causal report: per-workload ranked tornado of causal
+    slopes (with local share for contrast — the COZ argument is visible
+    where they disagree), then the cross-workload aggregate. *)
+val print_report : Format.formatter -> report -> unit

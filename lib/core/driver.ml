@@ -321,9 +321,10 @@ let compile ?(config = Config.o_ns) ?desc ~(train : int64 array) (src : string) 
       retry ~fallback:"o-ns" { config with Config.level = Config.O_NS })
 
 (* Run a compiled binary on the machine simulator. *)
-let run ?fuel ?trace ?profile (c : compiled) (input : int64 array) =
-  Epic_sim.Machine.run ?fuel ?trace ?profile ~desc:c.desc c.program c.layout
-    input
+let run ?fuel ?trace ?profile ?experiment (c : compiled) (input : int64 array)
+    =
+  Epic_sim.Machine.run ?fuel ?trace ?profile ?experiment ~desc:c.desc
+    c.program c.layout input
 
 (* Reference semantics: the pre-backend program still runs on the
    high-level interpreter (scheduling does not change IR meaning), so a

@@ -77,12 +77,14 @@ val compile :
 
 (** Run a compiled binary on the Itanium-2-class simulator; returns
     (exit code, program output, final machine state with all counters).
-    [trace] and [profile] enable the opt-in observability instruments
+    [trace] and [profile] enable the opt-in observability instruments, and
+    [experiment] installs a causal-profiling virtual speedup
     (see {!Epic_sim.Machine.run}). *)
 val run :
   ?fuel:int ->
   ?trace:Epic_obs.Trace.t ->
   ?profile:Epic_obs.Profile.t ->
+  ?experiment:Epic_sim.Accounting.experiment ->
   compiled ->
   int64 array ->
   int * string * Epic_sim.Machine.t

@@ -120,6 +120,41 @@ let run_to_json (r : Metrics.run) =
         | None -> Json.Null );
     ]
 
+(* The observability block experiment cells carry (sweep and causal alike):
+   exact per-kind event counts from the trace ring — counts stay exact even
+   when the retained window wraps — and the PC-sampling profile reduced to
+   its per-function shares.  The full profile summary (with per-block
+   attribution) stays a run-document affair; per-cell documents would
+   multiply it by the matrix size. *)
+let obs_to_json ?trace ?profile () =
+  Json.Obj
+    [
+      ( "trace_counts",
+        match trace with
+        | Some tr ->
+            Json.Obj
+              (List.map
+                 (fun k -> (Trace.kind_name k, Json.Int (Trace.count tr k)))
+                 Trace.all_kinds)
+        | None -> Json.Null );
+      ( "profile",
+        match profile with
+        | Some p ->
+            Json.Obj
+              [
+                ("period", Json.Int (Profile.period p));
+                ("samples", Json.Int (Profile.samples p));
+                ( "by_func",
+                  Json.List
+                    (List.map
+                       (fun (f, n) ->
+                         Json.Obj
+                           [ ("func", Json.Str f); ("samples", Json.Int n) ])
+                       (Profile.by_func p)) );
+              ]
+        | None -> Json.Null );
+    ]
+
 (* Wall-clock is the one nondeterministic ingredient of a run document;
    zeroing it makes exports diffable byte-for-byte across runner shapes.
    The [host] section (wall time and GC traffic of the simulation) is

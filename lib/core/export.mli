@@ -16,6 +16,17 @@ val config_to_json : Config.t -> Epic_obs.Json.t
 val run_to_json : Metrics.run -> Epic_obs.Json.t
 val suite_to_json : Experiments.suite_result -> Epic_obs.Json.t
 
+(** The shared per-cell observability block of the sweep and causal
+    matrices: [trace_counts] (exact per-kind event totals from
+    {!Epic_obs.Trace} — exact even when the retained window wrapped) and
+    [profile] (period, sample total and per-function PC-sample counts from
+    {!Epic_obs.Profile}).  Either instrument may be absent ([Null]). *)
+val obs_to_json :
+  ?trace:Epic_obs.Trace.t ->
+  ?profile:Epic_obs.Profile.t ->
+  unit ->
+  Epic_obs.Json.t
+
 (** Zero every wall-clock field ([wall_s], [total_wall_s]) in a document,
     recursively, and drop [host] sections whole (they are host noise, and
     a zeroed-but-present key would still break diffs against documents

@@ -41,12 +41,48 @@ let name = function
   | Rse -> "rse"
   | Kernel -> "kernel"
 
+let category_of_name s =
+  List.find_opt (fun c -> name c = s) all_categories
+
+(* A causal-profiling virtual speedup (COZ-style): scale the cycles charged
+   to one target — a function or a stall category — by [1 - speedup],
+   leaving the clock and every model's state untouched.  The experiment
+   lives here, at the accounting layer, so the simulator's hot path needs
+   no knowledge of it beyond the one [exp_keep] comparison in
+   [charge_bins]. *)
+type target = Target_func of string | Target_category of category
+
+type experiment = {
+  target : target;
+  speedup : float;
+      (* fraction of the target's charged cycles virtually removed,
+         in [0, 1]; 1.0 = the target becomes free (a perfect-* run) *)
+}
+
 type t = {
   totals : float array; (* length 9 *)
   by_func : (string, float array) Hashtbl.t;
+  (* Experiment state, decomposed for the hot path: [exp_keep] is the
+     charge multiplier (1.0 = no experiment: [charge_bins] pays one float
+     comparison and nothing else), [exp_cat] the targeted category index
+     (-1 = every category), and a function target is matched by physical
+     equality against its bins array ([exp_all_funcs] = no function
+     filter), so the active-experiment path is allocation-free too. *)
+  mutable exp_keep : float;
+  mutable exp_cat : int;
+  mutable exp_all_funcs : bool;
+  mutable exp_bins : float array;
 }
 
-let create () = { totals = Array.make 9 0.; by_func = Hashtbl.create 32 }
+let create () =
+  {
+    totals = Array.make 9 0.;
+    by_func = Hashtbl.create 32;
+    exp_keep = 1.0;
+    exp_cat = -1;
+    exp_all_funcs = true;
+    exp_bins = [||];
+  }
 
 let bins t (func : string) =
   match Hashtbl.find_opt t.by_func func with
@@ -56,13 +92,50 @@ let bins t (func : string) =
       Hashtbl.replace t.by_func func b;
       b
 
+let set_experiment t = function
+  | None ->
+      t.exp_keep <- 1.0;
+      t.exp_cat <- -1;
+      t.exp_all_funcs <- true;
+      t.exp_bins <- [||]
+  | Some { target; speedup } ->
+      if not (speedup >= 0. && speedup <= 1.) then
+        invalid_arg "Accounting.set_experiment: speedup must be in [0, 1]";
+      (* a 0% speedup leaves exp_keep at 1.0: the no-op experiment takes
+         the inactive fast path and is bit-identical to no experiment *)
+      t.exp_keep <- 1.0 -. speedup;
+      (match target with
+      | Target_category cat ->
+          t.exp_cat <- index cat;
+          t.exp_all_funcs <- true;
+          t.exp_bins <- [||]
+      | Target_func f ->
+          t.exp_cat <- -1;
+          t.exp_all_funcs <- false;
+          (* pin the target's bins now: matching is then one physical
+             equality against the array the caller already holds *)
+          t.exp_bins <- bins t f)
+
+let experiment_active t = t.exp_keep <> 1.0
+
 (* Hot-path variant: the caller has already fetched (and may cache) the
    function's bins, so a charge is two array updates with no string
-   hashing.  [charge] below remains the convenience form. *)
+   hashing.  [charge] below remains the convenience form.  With no (or a
+   no-op) experiment the only overhead over the seed is the [exp_keep]
+   comparison; [c] stays the exact [float_of_int cycles], so inactive runs
+   are bit-identical to pre-hook accounting. *)
 let charge_bins t (b : float array) (cat : category) (cycles : int) =
   if cycles > 0 then begin
-    let c = float_of_int cycles in
     let k = index cat in
+    let c = float_of_int cycles in
+    let c =
+      if t.exp_keep = 1.0 then c
+      else if
+        (t.exp_cat = -1 || t.exp_cat = k)
+        && (t.exp_all_funcs || t.exp_bins == b)
+      then c *. t.exp_keep
+      else c
+    in
     t.totals.(k) <- t.totals.(k) +. c;
     b.(k) <- b.(k) +. c
   end

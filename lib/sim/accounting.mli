@@ -19,12 +19,43 @@ val index : category -> int
 
 val name : category -> string
 
+(** Inverse of {!name}; [None] for an unknown name. *)
+val category_of_name : string -> category option
+
+(** A causal-profiling target: one function's cycles, or one stall
+    category program-wide. *)
+type target = Target_func of string | Target_category of category
+
+(** A COZ-style virtual speedup: while active, every charge attributable
+    to [target] is scaled by [1 - speedup] — the clock, the cache/TLB/
+    predictor state and the program semantics are untouched, so the run's
+    accounting answers "what would end-to-end cycles be if this target
+    were [speedup] faster?". *)
+type experiment = {
+  target : target;
+  speedup : float;  (** fraction removed, in [0, 1]; 1.0 = target free *)
+}
+
 type t = {
   totals : float array;  (** length 9, indexed by [index] *)
   by_func : (string, float array) Hashtbl.t;
+  mutable exp_keep : float;  (** charge multiplier; 1.0 = inactive *)
+  mutable exp_cat : int;  (** targeted category index; -1 = all *)
+  mutable exp_all_funcs : bool;  (** no function filter *)
+  mutable exp_bins : float array;
+      (** the targeted function's bins, matched physically *)
 }
 
 val create : unit -> t
+
+(** Install (or clear, with [None]) the active virtual-speedup experiment.
+    With no experiment — or a no-op one ([speedup = 0.]) — charging is
+    bit-identical to an accounting that never had the hook.
+    @raise Invalid_argument if [speedup] is outside [0, 1]. *)
+val set_experiment : t -> experiment option -> unit
+
+(** Whether a non-no-op experiment is installed. *)
+val experiment_active : t -> bool
 
 (** [charge t func cat cycles] attributes cycles globally and to [func]. *)
 val charge : t -> string -> category -> int -> unit

@@ -206,7 +206,7 @@ type t = {
   mutable free_frames : frame list; (* frame pool: released call frames *)
 }
 
-let create ?(fuel = 400_000_000) ?trace ?profile
+let create ?(fuel = 400_000_000) ?trace ?profile ?experiment
     ?(desc = Itanium.desc ()) (program : Program.t) (layout : Layout.t)
     (input : int64 array) =
   Program.assign_addresses program;
@@ -222,6 +222,11 @@ let create ?(fuel = 400_000_000) ?trace ?profile
     let size, line, assoc = geom g in
     Cache.create ~name ~size ~line ~assoc
   in
+  let acc = Accounting.create () in
+  (* install the causal virtual-speedup experiment, if any, before the
+     first charge; with [None] the accounting stays on its inactive fast
+     path and the run is bit-identical to a pre-hook machine *)
+  Accounting.set_experiment acc experiment;
   {
     program;
     layout;
@@ -242,7 +247,7 @@ let create ?(fuel = 400_000_000) ?trace ?profile
       Rse.create ~physical:desc.Machine_desc.rse_physical
         ~cost_per_reg:desc.Machine_desc.rse_spill_cost_per_reg ();
     desc;
-    acc = Accounting.create ();
+    acc;
     c = fresh_counters ();
     cycle = 0;
     sb_work = 0;
@@ -1176,9 +1181,9 @@ and exec_blocks st (fr : frame) (df : dfunc) (block : dblock) =
   done
 
 (* Run a whole program; returns (exit code, output, state). *)
-let run ?fuel ?trace ?profile ?desc (p : Program.t) (layout : Layout.t)
-    (input : int64 array) =
-  let st = create ?fuel ?trace ?profile ?desc p layout input in
+let run ?fuel ?trace ?profile ?experiment ?desc (p : Program.t)
+    (layout : Layout.t) (input : int64 array) =
+  let st = create ?fuel ?trace ?profile ?experiment ?desc p layout input in
   let main_fr = fresh_frame (Program.find_func_exn p p.Program.entry) in
   main_fr.ints.(Reg.sp.Reg.id) <- Int64.sub Program.stack_top 128L;
   let code =

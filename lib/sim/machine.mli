@@ -90,6 +90,12 @@ type t = {
     by default and, when off, leave every counter and cycle identical to a
     plain run.
 
+    [experiment] installs a causal-profiling virtual speedup (see
+    {!Accounting.experiment}): charges attributable to the target are
+    scaled by [1 - speedup] while the clock and all architectural state
+    evolve exactly as without it.  Omitted (or no-op), the accounting is
+    bit-identical to a machine without the hook.
+
     [desc] selects the machine description to simulate; the default is the
     domain's current description ({!Epic_mach.Itanium.desc}), normally
     {!Machine_desc.itanium2}.  For a run to be meaningful the program must
@@ -100,6 +106,7 @@ val run :
   ?fuel:int ->
   ?trace:Epic_obs.Trace.t ->
   ?profile:Epic_obs.Profile.t ->
+  ?experiment:Accounting.experiment ->
   ?desc:Machine_desc.t ->
   Epic_ir.Program.t ->
   Epic_sched.Layout.t ->

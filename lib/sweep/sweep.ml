@@ -20,7 +20,11 @@ type variant = {
   v_expect : expect;
 }
 
-type ablation = { a_name : string; a_tweak : Config.t -> Config.t }
+type ablation = {
+  a_name : string;
+  a_isolates : string;
+  a_tweak : Config.t -> Config.t;
+}
 
 let i2 = Md.itanium2
 
@@ -91,19 +95,30 @@ let variants =
     };
   ]
 
-let baseline_ablation = { a_name = "ILP-CS"; a_tweak = Fun.id }
+let baseline_ablation =
+  {
+    a_name = "ILP-CS";
+    a_isolates = "the full ILP + control-speculation configuration (baseline)";
+    a_tweak = Fun.id;
+  }
 
 (* Mirrors Experiments.ablations, under sweep-friendly (flag-safe) names. *)
 let ablations =
   baseline_ablation
   :: List.map
-       (fun (a_name, a_tweak) -> { a_name; a_tweak })
+       (fun (a_name, a_isolates, a_tweak) -> { a_name; a_isolates; a_tweak })
        [
        ( "no-hyperblock",
+         "if-conversion's share of the region-formation gains (Fig. 7)",
          fun c -> { c with Config.enable_hyperblock = false } );
-       ("no-peel", fun c -> { c with Config.enable_peel = false });
-       ("no-unroll", fun c -> { c with Config.enable_unroll = false });
+       ( "no-peel",
+         "loop peeling's contribution to straightened control flow",
+         fun c -> { c with Config.enable_peel = false } );
+       ( "no-unroll",
+         "unrolling's ILP exposure vs its code-growth cost (Sec. 3.2)",
+         fun c -> { c with Config.enable_unroll = false } );
        ( "no-tail-dup",
+         "superblock tail duplication's share of code growth (Fig. 5)",
          fun c ->
            {
              c with
@@ -113,8 +128,11 @@ let ablations =
                  Epic_ilp.Superblock.growth_budget = 0.0;
                };
            } );
-       ("no-inline", fun c -> { c with Config.inline_budget = 1.0 });
+       ( "no-inline",
+         "cross-function ILP from inlining vs its I-cache pressure",
+         fun c -> { c with Config.inline_budget = 1.0 } );
        ( "no-height-red",
+         "dependence-height reduction on critical recurrence paths",
          fun c -> { c with Config.enable_height_reduction = false } );
      ]
 
@@ -130,6 +148,7 @@ type cell = {
   c_cycles : float;
   c_categories : float array;
   c_output_ok : bool;
+  c_obs : Json.t;
 }
 
 type row = {
@@ -150,14 +169,22 @@ type report = {
 
 (* Compile-and-simulate one cell.  The variant's description governs both
    the planned schedule (Driver.compile runs inside Itanium.with_desc) and
-   the simulated machine; the ablation tweaks the ILP-CS configuration. *)
+   the simulated machine; the ablation tweaks the ILP-CS configuration.
+   Every cell runs with the trace and PC-sampling instruments attached —
+   both are observation-only (no counter or cycle changes), and their
+   summaries land in [c_obs] so sensitivity and causal reports share one
+   observability block (Export.obs_to_json). *)
 let run_cell ~reference (w : Workload.t) (v : variant) (a : ablation) =
   let config = a.a_tweak (Experiments.config_for w Config.ILP_CS) in
   let compiled =
     Driver.compile ~config ~desc:v.v_desc ~train:w.Workload.train
       w.Workload.source
   in
-  let code, out, st = Driver.run compiled w.Workload.reference in
+  let trace = Epic_obs.Trace.create () in
+  let profile =
+    Epic_obs.Profile.create ~period:Experiments.sample_period ()
+  in
+  let code, out, st = Driver.run ~trace ~profile compiled w.Workload.reference in
   let ref_code, ref_out = reference in
   {
     c_workload = w.Workload.short;
@@ -166,6 +193,7 @@ let run_cell ~reference (w : Workload.t) (v : variant) (a : ablation) =
     c_cycles = Acc.total st.Epic_sim.Machine.acc;
     c_categories = Array.copy st.Epic_sim.Machine.acc.Acc.totals;
     c_output_ok = code = ref_code && out = ref_out;
+    c_obs = Export.obs_to_json ~trace ~profile ();
   }
 
 let geomean = function
@@ -363,6 +391,7 @@ let cell_to_json (r : report) (c : cell) =
       ("categories", categories_to_json c.c_categories);
       ("deltas", categories_to_json (deltas r c));
       ("output_matches", Json.Bool c.c_output_ok);
+      ("obs", c.c_obs);
     ]
 
 let expect_name = function
@@ -398,7 +427,15 @@ let to_json (r : report) =
                  ])
              r.r_variants) );
       ( "ablations",
-        Json.List (List.map (fun a -> Json.Str a.a_name) r.r_ablations) );
+        Json.List
+          (List.map
+             (fun a ->
+               Json.Obj
+                 [
+                   ("name", Json.Str a.a_name);
+                   ("isolates", Json.Str a.a_isolates);
+                 ])
+             r.r_ablations) );
       ( "cells",
         Json.List
           (List.map

@@ -34,6 +34,8 @@ type variant = {
     configuration. *)
 type ablation = {
   a_name : string;
+  a_isolates : string;
+      (** one line: which paper finding this ablation isolates *)
   a_tweak : Epic_core.Config.t -> Epic_core.Config.t;
 }
 
@@ -66,6 +68,11 @@ type cell = {
   c_categories : float array;  (** the nine accounting categories *)
   c_output_ok : bool;
       (** simulated output still matches the reference interpreter *)
+  c_obs : Epic_obs.Json.t;
+      (** the shared observability block ({!Epic_core.Export.obs_to_json}):
+          exact trace event counts and the PC-sampling profile of this
+          cell's run.  Observation-only — attaching the instruments changes
+          no counter or cycle. *)
 }
 
 type row = {
@@ -115,10 +122,11 @@ val desc_to_json : Epic_mach.Machine_desc.t -> Epic_obs.Json.t
 
 (** The sensitivity document.  Schema (stable; additions only):
     [sweep], [baseline] (variant/ablation names), [workloads], [variants]
-    (name, isolates, targets, expect, desc), [ablations], [cells]
+    (name, isolates, targets, expect, desc), [ablations] (name, isolates),
+    [cells]
     (workload, variant, ablation, cycles, cycle_ratio, categories, deltas,
-    output_matches), [tornado] and [total_wall_s].  Pass the result through
-    {!Epic_core.Export.normalize_time} before diffing. *)
+    output_matches, obs), [tornado] and [total_wall_s].  Pass the result
+    through {!Epic_core.Export.normalize_time} before diffing. *)
 val to_json : report -> Epic_obs.Json.t
 
 (** Human-readable sensitivity report: per-workload variant tables with

@@ -16,4 +16,5 @@ let () =
       ("obs", Test_obs.suite);
       ("paper-shapes", Test_workload_shapes.suite);
       ("sweep", Test_sweep.suite);
+      ("causal", Test_causal.suite);
     ]

@@ -1,0 +1,257 @@
+(* The causal-profiling subsystem: the virtual-speedup hook must scale
+   exactly what it claims to (and nothing else), a no-op experiment must be
+   byte-invisible, and the causal ranking of the cache/predictor stall
+   categories must agree with the independent perfect-* sweep variants. *)
+
+open Epic_sim
+module Causal = Epic_causal.Causal
+module Acc = Accounting
+
+(* Random charge traces: (func 0..3, category 0..8, cycles 0..200). *)
+let charge_trace_gen =
+  QCheck.Gen.(
+    list_size (int_range 1 300)
+      (triple (int_range 0 3) (int_range 0 8) (int_range 0 200)))
+
+let cat_of_index i = List.nth Acc.all_categories i
+
+let funcs = [| "f0"; "f1"; "f2"; "f3" |]
+
+let replay ?experiment trace =
+  let t = Acc.create () in
+  Acc.set_experiment t experiment;
+  (* charge through per-function bins, like the simulator's hot path *)
+  let bins = Array.map (Acc.bins t) funcs in
+  List.iter
+    (fun (fi, ci, cyc) -> Acc.charge_bins t bins.(fi) (cat_of_index ci) cyc)
+    trace;
+  t
+
+let close msg a b =
+  let tol = 1e-9 *. Float.max 1.0 (Float.max (abs_float a) (abs_float b)) in
+  if abs_float (a -. b) > tol then
+    QCheck.Test.fail_reportf "%s: %.17g vs %.17g" msg a b
+
+(* Property: a category experiment scales exactly the targeted category's
+   charges by (1 - s) — every total and every per-function bin — and
+   leaves every other category bit-identical to the unscaled replay. *)
+let qcheck_category_scaling =
+  QCheck.Test.make ~count:100 ~name:"category experiment scales its bins by the factor"
+    (QCheck.make
+       QCheck.Gen.(triple charge_trace_gen (int_range 0 8) (int_range 0 100)))
+    (fun (trace, ci, pct) ->
+      let s = float_of_int pct /. 100. in
+      let cat = cat_of_index ci in
+      let plain = replay trace in
+      let scaled =
+        replay ~experiment:{ Acc.target = Acc.Target_category cat; speedup = s }
+          trace
+      in
+      List.iter
+        (fun c ->
+          let i = Acc.index c in
+          if c = cat then
+            close (Acc.name c) ((1. -. s) *. plain.Acc.totals.(i))
+              scaled.Acc.totals.(i)
+          else if plain.Acc.totals.(i) <> scaled.Acc.totals.(i) then
+            QCheck.Test.fail_reportf "untargeted %s changed" (Acc.name c))
+        Acc.all_categories;
+      Array.iter
+        (fun f ->
+          List.iter
+            (fun c ->
+              let i = Acc.index c in
+              let p = (Acc.bins plain f).(i) and q = (Acc.bins scaled f).(i) in
+              if c = cat then close (f ^ "/" ^ Acc.name c) ((1. -. s) *. p) q
+              else if p <> q then
+                QCheck.Test.fail_reportf "untargeted %s/%s changed" f
+                  (Acc.name c))
+            Acc.all_categories)
+        funcs;
+      true)
+
+(* Property: a function experiment scales exactly the targeted function's
+   bins (every category), leaving every other function bit-identical; the
+   global totals drop by exactly what the function's bins dropped. *)
+let qcheck_func_scaling =
+  QCheck.Test.make ~count:100 ~name:"function experiment scales only that function"
+    (QCheck.make
+       QCheck.Gen.(triple charge_trace_gen (int_range 0 3) (int_range 0 100)))
+    (fun (trace, fi, pct) ->
+      let s = float_of_int pct /. 100. in
+      let f = funcs.(fi) in
+      let plain = replay trace in
+      let scaled =
+        replay ~experiment:{ Acc.target = Acc.Target_func f; speedup = s } trace
+      in
+      Array.iter
+        (fun g ->
+          List.iter
+            (fun c ->
+              let i = Acc.index c in
+              let p = (Acc.bins plain g).(i) and q = (Acc.bins scaled g).(i) in
+              if g = f then close (g ^ "/" ^ Acc.name c) ((1. -. s) *. p) q
+              else if p <> q then
+                QCheck.Test.fail_reportf "untargeted %s/%s changed" g
+                  (Acc.name c))
+            Acc.all_categories)
+        funcs;
+      List.iter
+        (fun c ->
+          let i = Acc.index c in
+          let expected =
+            plain.Acc.totals.(i) -. (s *. (Acc.bins plain f).(i))
+          in
+          close ("total " ^ Acc.name c) expected scaled.Acc.totals.(i))
+        Acc.all_categories;
+      true)
+
+(* A no-op experiment (speedup 0) must leave the whole exported run
+   document byte-identical to a run without any experiment — the
+   acceptance guarantee that an idle hook costs nothing observable. *)
+let test_noop_experiment_identity () =
+  let w = Epic_workloads.Suite.find_exn "gzip" in
+  let config = Epic_core.Experiments.config_for w Epic_core.Config.ILP_CS in
+  let compiled =
+    Epic_core.Driver.compile ~config ~train:w.Epic_workloads.Workload.train
+      w.Epic_workloads.Workload.source
+  in
+  let doc ?experiment () =
+    let code, out, st =
+      Epic_core.Driver.run ?experiment compiled
+        w.Epic_workloads.Workload.reference
+    in
+    let run =
+      Epic_core.Metrics.of_machine ~workload:"gzip" compiled st
+        ~output_matches:(code = 0 && String.length out >= 0)
+    in
+    Epic_obs.Json.to_string ~pretty:true
+      (Epic_core.Export.normalize_time (Epic_core.Export.run_to_json run))
+  in
+  let plain = doc () in
+  let noop =
+    doc
+      ~experiment:
+        { Acc.target = Acc.Target_category Acc.Front_end; speedup = 0.0 }
+      ()
+  in
+  Alcotest.(check string) "no-op experiment: byte-identical export" plain noop
+
+let test_experiment_validation () =
+  let t = Acc.create () in
+  Alcotest.check_raises "speedup > 1 rejected"
+    (Invalid_argument "Accounting.set_experiment: speedup must be in [0, 1]")
+    (fun () ->
+      Acc.set_experiment t
+        (Some { Acc.target = Acc.Target_func "f"; speedup = 1.5 }));
+  Acc.set_experiment t
+    (Some { Acc.target = Acc.Target_func "f"; speedup = 0.0 });
+  Alcotest.(check bool) "no-op experiment is inactive" false
+    (Acc.experiment_active t);
+  Acc.set_experiment t
+    (Some { Acc.target = Acc.Target_func "f"; speedup = 0.5 });
+  Alcotest.(check bool) "half-speedup experiment is active" true
+    (Acc.experiment_active t)
+
+let test_parse_and_plan () =
+  (match Causal.parse_target "front-end" with
+  | Causal.Target_category Acc.Front_end -> ()
+  | _ -> Alcotest.fail "front-end should parse as a category");
+  (match Causal.parse_target "deflate" with
+  | Causal.Target_func "deflate" -> ()
+  | _ -> Alcotest.fail "deflate should parse as a function");
+  Alcotest.(check string) "round-trip" "br-mispredict"
+    (Causal.target_name (Causal.parse_target "br-mispredict"));
+  let categories = Array.make 9 0. in
+  categories.(Acc.index Acc.Unstalled) <- 1000.;
+  categories.(Acc.index Acc.Front_end) <- 50.;
+  categories.(Acc.index Acc.Rse) <- 10.;
+  let targets =
+    Causal.plan ~top_funcs:2
+      ~prof_by_func:[ ("hot", 90); ("warm", 9); ("cold", 1) ]
+      ~categories
+  in
+  Alcotest.(check (list string))
+    "top functions then nonzero categories, unstalled excluded"
+    [ "hot"; "warm"; "front-end"; "rse" ]
+    (List.map Causal.target_name targets)
+
+(* The full-matrix invariants, one bounded causal run on gzip + twolf:
+   - per target, program speedup is linear in the factor (the accounting
+     model scales charges exactly), so the slope is trustworthy;
+   - the factor-1.0 category deltas equal the perfect-* sweep savings
+     exactly (two independent suppression mechanisms, same charges);
+   - the causal ranking of front-end vs br-mispredict matches the sweep
+     delta ordering on every workload. *)
+let test_causal_vs_perfect_sweep () =
+  let targets =
+    [
+      Causal.Target_category Acc.Front_end;
+      Causal.Target_category Acc.Br_mispredict;
+    ]
+  in
+  let r =
+    Causal.run ~targets ~factors:[ 0.25; 0.5; 1.0 ] ~jobs:2
+      ~workloads:[ "gzip"; "twolf" ] ()
+  in
+  Alcotest.(check (list pass)) "no output mismatches" []
+    (Causal.mismatches r);
+  List.iter
+    (fun wr ->
+      Alcotest.(check int)
+        (wr.Causal.c_workload ^ ": both targets present")
+        2
+        (List.length wr.Causal.c_curves);
+      List.iter
+        (fun k ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: linear in the factor (%.2e)"
+               wr.Causal.c_workload
+               (Causal.target_name k.Causal.k_target)
+               k.Causal.k_linearity)
+            true
+            (k.Causal.k_linearity < 1e-6);
+          (* slope = local share: scaling a category's charges by (1-s)
+             removes exactly s * share of the total *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s: slope matches local share"
+               wr.Causal.c_workload
+               (Causal.target_name k.Causal.k_target))
+            true
+            (abs_float (k.Causal.k_slope -. k.Causal.k_local_share) < 1e-6))
+        wr.Causal.c_curves)
+    r.Causal.r_reports;
+  let rows = Causal.check_against_sweep ~jobs:2 r in
+  Alcotest.(check int) "one check row per workload" 2 (List.length rows);
+  List.iter
+    (fun row ->
+      let near msg a b =
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s (%.0f vs %.0f)" row.Causal.ck_workload msg a b)
+          true
+          (abs_float (a -. b) <= 1e-9 *. Float.max 1.0 (abs_float b))
+      in
+      (* exact agreement: the factor-1.0 experiment and the perfect-*
+         variant suppress the same charges by independent mechanisms *)
+      near "causal front-end == perfect-icache saving" row.Causal.ck_causal_fe
+        row.Causal.ck_sweep_fe;
+      near "causal br-mispredict == perfect-predictor saving"
+        row.Causal.ck_causal_bp row.Causal.ck_sweep_bp;
+      Alcotest.(check bool)
+        (row.Causal.ck_workload ^ ": rankings agree")
+        true row.Causal.ck_order_ok)
+    rows
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_category_scaling;
+    QCheck_alcotest.to_alcotest qcheck_func_scaling;
+    Alcotest.test_case "no-op experiment is byte-invisible" `Slow
+      test_noop_experiment_identity;
+    Alcotest.test_case "experiment validation and activity" `Quick
+      test_experiment_validation;
+    Alcotest.test_case "target parsing and the planner" `Quick
+      test_parse_and_plan;
+    Alcotest.test_case "causal ranking matches perfect-* sweep" `Slow
+      test_causal_vs_perfect_sweep;
+  ]

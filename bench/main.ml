@@ -198,15 +198,22 @@ let () =
     if !jobs >= 1 then !jobs
     else min (Domain.recommended_domain_count ()) (max 1 n_jobs)
   in
+  (* One session for the whole invocation: the suite, the sweep and the
+     causal matrix all compile through its content-addressed artifact
+     cache (the sweep baseline and the suite's ILP-CS column share
+     entries, as does the causal --check sweep).  The pool width is the
+     suite's; Pool.map never spawns more domains than there are jobs, so
+     narrower artifacts are unaffected. *)
+  let session =
+    Epic_serve.Session.create ~jobs:(auto_jobs (4 * List.length workloads)) ()
+  in
+  let jobs = Epic_serve.Session.jobs session in
   (* --json needs the suite even if only non-suite artifacts were named. *)
   let needs_suite = List.exists wanted suite_artifacts || json_file <> None in
   (if needs_suite then begin
-     let jobs = auto_jobs (4 * List.length workloads) in
      Printf.eprintf "running the %d-workload suite under 4 configurations (-j %d)...\n%!"
        (List.length workloads) jobs;
-     let s =
-       Epic_core.Experiments.run_suite ~workloads ~progress:true ~jobs ()
-     in
+     let s = Epic_serve.Session.suite session ~workloads ~progress:true () in
      (match json_file with
      | Some f ->
          let doc = Epic_core.Export.suite_to_json s in
@@ -262,10 +269,12 @@ let () =
       | Some names -> names
       | None -> [ "gzip"; "twolf" ]
     in
-    let jobs = auto_jobs (List.length sweep_workloads * (1 + List.length vs)) in
     Printf.eprintf "running the sensitivity sweep (%d variants, -j %d)...\n%!"
       (List.length vs) jobs;
-    let r = run ~variants:vs ~progress:true ~jobs ~workloads:sweep_workloads () in
+    let r =
+      Epic_serve.Session.sweep session ~variants:vs ~progress:true
+        ~workloads:sweep_workloads ()
+    in
     print_report Fmt.stdout r;
     (match mismatches r with
     | [] -> ()
@@ -307,11 +316,10 @@ let () =
     let causal_workloads =
       match !subset with Some names -> names | None -> [ "gzip"; "twolf" ]
     in
-    let jobs = auto_jobs (4 * List.length causal_workloads) in
     Printf.eprintf "running the causal-profiling matrix (-j %d)...\n%!" jobs;
     let r =
-      run ~factors:(default_factors) ~progress:true ~jobs
-        ~workloads:causal_workloads ()
+      Epic_serve.Session.causal session ~factors:(default_factors)
+        ~progress:true ~workloads:causal_workloads ()
     in
     print_report Fmt.stdout r;
     (match mismatches r with
@@ -324,7 +332,7 @@ let () =
               w (target_name t) f)
           l;
         exit 1);
-    let rows = check_against_sweep ~jobs r in
+    let rows = Epic_serve.Session.causal_check session r in
     let bad = List.filter (fun row -> not row.ck_order_ok) rows in
     List.iter
       (fun row ->

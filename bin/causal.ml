@@ -4,19 +4,22 @@
 
 let usage =
   "causal [--workloads a,b,..] [--targets t,..] [--factors 10,25,..] [-j N]\n\
-  \       [--json FILE] [--normalize-time] [--check] [--list]\n\n\
+  \       [--split N] [--json FILE] [--normalize-time] [--check] [--list]\n\n\
    Runs each workload (default: gzip,twolf) under a matrix of virtual\n\
    speedups — per target, the cycles charged to it are scaled by\n\
    (1 - factor) while the machine evolves untouched — and ranks targets\n\
    by causal slope: predicted end-to-end gain per unit of local speedup.\n\
-   Targets are stall-category names (see --list) or workload function\n\
-   names; omitted, each workload plans its own (top profiled functions\n\
-   plus its nonzero stall categories).  Factors are percentages\n\
-   (default 10,25,50,100).  --check also runs the perfect-icache /\n\
-   perfect-predictor sweep and exits 1 unless the causal ranking of the\n\
-   front-end and br-mispredict categories matches the sweep's delta\n\
-   ordering on every workload.  -j defaults to the machine's recommended\n\
-   domain count."
+   Targets are stall-category names (see --list), workload function\n\
+   names, or func:category pairs; omitted, each workload plans its own\n\
+   (top profiled functions plus its nonzero stall categories, plus —\n\
+   with --split N — per-(function, category) splits of the N hottest\n\
+   functions).  Factors are percentages (default 10,25,50,100).\n\
+   --check also runs the perfect-icache / perfect-predictor sweep and\n\
+   exits 1 unless the causal ranking of the front-end and br-mispredict\n\
+   categories matches the sweep's delta ordering on every workload, and\n\
+   verifies factor-1.0 local exactness for every measured target (each\n\
+   kind: category, function, func:category).  -j defaults to the\n\
+   machine's recommended domain count."
 
 let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
 
@@ -29,6 +32,7 @@ let () =
   let workloads = ref [ "gzip"; "twolf" ] in
   let sel_targets = ref None in
   let factors = ref Epic_causal.Causal.default_factors in
+  let split = ref 0 in
   let jobs = ref 0 (* 0 = auto *) in
   let json_file = ref None in
   let normalize = ref false in
@@ -57,6 +61,11 @@ let () =
               | Some p when p > 0. && p <= 100. -> p /. 100.
               | _ -> die (Printf.sprintf "causal: bad factor %S (percent in (0,100])" s))
             (split_commas v);
+        parse rest
+    | "--split" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n when n >= 0 -> split := n
+        | _ -> die (Printf.sprintf "causal: bad --split %S" v));
         parse rest
     | ("-j" | "--jobs") :: v :: rest ->
         (match int_of_string_opt v with
@@ -118,8 +127,13 @@ let () =
     if !jobs >= 1 then !jobs
     else min (Domain.recommended_domain_count ()) (max 1 (4 * List.length !workloads))
   in
+  (* the whole matrix — baselines, cells and the --check sweep — shares
+     one session's content-addressed compile cache *)
+  let session = Epic_serve.Session.create ~jobs () in
   let report =
-    try run ?targets ~factors:!factors ~progress:true ~jobs ~workloads:!workloads ()
+    try
+      Epic_serve.Session.causal session ?targets ~factors:!factors
+        ~split_funcs:!split ~progress:true ~workloads:!workloads ()
     with Invalid_argument msg -> die ("causal: " ^ msg)
   in
   print_report Fmt.stdout report;
@@ -141,7 +155,7 @@ let () =
   | None -> ());
   if !check then begin
     let rows =
-      try check_against_sweep ~jobs report
+      try Epic_serve.Session.causal_check session report
       with Invalid_argument msg -> die ("causal: " ^ msg)
     in
     let bad = List.filter (fun r -> not r.ck_order_ok) rows in
@@ -154,7 +168,21 @@ let () =
           r.ck_sweep_bp
           (if r.ck_order_ok then "rankings agree" else "RANKINGS DISAGREE"))
       rows;
-    if bad <> [] then exit 1;
-    Fmt.pr "check: causal ranking matches the perfect-* sweep on %d workloads@."
-      (List.length rows)
+    (* the generalized factor-1.0 identity: for every measured target of
+       every kind — category, function, func:category — scaling its
+       charges to zero must save exactly the cycles the baseline charged
+       to it *)
+    let local = check_local_exactness report in
+    let bad_local = List.filter (fun r -> not r.lk_ok) local in
+    List.iter
+      (fun r ->
+        Fmt.pr "check %s: %s local exactness: causal %.0f vs local %.0f -> %s@."
+          r.lk_workload (target_name r.lk_target) r.lk_causal r.lk_local
+          (if r.lk_ok then "exact" else "INEXACT"))
+      local;
+    if bad <> [] || bad_local <> [] then exit 1;
+    Fmt.pr
+      "check: causal ranking matches the perfect-* sweep on %d workloads; \
+       %d factor-1.0 targets locally exact@."
+      (List.length rows) (List.length local)
   end

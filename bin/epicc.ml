@@ -1,8 +1,15 @@
-(* epicc: compile a mini-C source file with a chosen configuration and run
-   it on the Itanium-2-class simulator, printing program output, the cycle
-   accounting and the headline counters. *)
+(* epicc: compile mini-C source files with chosen configurations and run
+   them on the Itanium-2-class simulator, printing program output, the
+   cycle accounting and the headline counters.
+
+   All compiles and runs route through one Epic_serve.Session, so a batch
+   invocation — several FILEs, repeated --level — reuses the
+   content-addressed artifact cache across its runs, and --json reports
+   the session's hit/miss/eviction counters in a [session] block
+   (stripped by --normalize-time, like [host]). *)
 
 open Cmdliner
+module Session = Epic_serve.Session
 
 let level_conv =
   let parse s =
@@ -16,14 +23,20 @@ let level_conv =
   let print ppf l = Fmt.string ppf (Epic_core.Config.level_name l) in
   Arg.conv (parse, print)
 
-let file =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"mini-C source file")
+let files =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"FILE" ~doc:"mini-C source file(s); several run through one session")
 
-let level =
+let levels =
   Arg.(
     value
-    & opt level_conv Epic_core.Config.ILP_CS
-    & info [ "O"; "level" ] ~docv:"LEVEL" ~doc:"optimization level: gcc, o-ns, ilp-ns, ilp-cs")
+    & opt_all level_conv []
+    & info [ "O"; "level" ] ~docv:"LEVEL"
+        ~doc:
+          "optimization level: gcc, o-ns, ilp-ns, ilp-cs (default ilp-cs).  \
+           Repeatable: each FILE runs once per level, all through the same \
+           session cache")
 
 let sentinel =
   Arg.(value & flag & info [ "sentinel" ] ~doc:"use sentinel (chk.s) speculation instead of general")
@@ -60,7 +73,18 @@ let json_file =
     & info [ "json" ] ~docv:"FILE"
         ~doc:
           "write the full run metrics (cycle accounting, counters, per-pass \
-           compiler instrumentation, PC-sampling profile) as JSON to $(docv)")
+           compiler instrumentation, PC-sampling profile, session cache \
+           counters) as JSON to $(docv); with several runs, a document with \
+           a $(b,runs) array")
+
+let normalize_time =
+  Arg.(
+    value & flag
+    & info [ "normalize-time" ]
+        ~doc:
+          "normalize the --json document for byte-for-byte diffing: zero \
+           wall-clock fields and drop the host and session sections \
+           (Export.normalize_time)")
 
 let trace_file =
   Arg.(
@@ -93,15 +117,43 @@ let profile_out =
            it in the --json document (whose profile field is then null).  \
            Implies sampling, at --sample-period or the suite default")
 
-let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet json_file
-    trace_file sample_period profile_out =
+let write_json f doc =
+  try Epic_obs.Json.to_file f doc
+  with Sys_error m ->
+    Fmt.epr "epicc: cannot write %s: %s@." f m;
+    exit 1
+
+let print_counters config (o : Session.outcome) =
+  let m = o.Session.o_metrics in
+  Fmt.pr "@.;; %s: exit code %d@." (Epic_core.Config.name config) o.Session.o_code;
+  Fmt.pr ";; cycles          %12.0f@." m.Epic_core.Metrics.cycles;
+  Fmt.pr ";; planned cycles  %12.0f@." m.Epic_core.Metrics.planned;
+  Fmt.pr ";; useful ops      %12d (%.2f IPC)@." m.Epic_core.Metrics.useful_ops
+    (float_of_int m.Epic_core.Metrics.useful_ops
+    /. max 1.0 m.Epic_core.Metrics.cycles);
+  Fmt.pr ";; squashed ops    %12d@." m.Epic_core.Metrics.squashed_ops;
+  Fmt.pr ";; nop ops         %12d@." m.Epic_core.Metrics.nop_ops;
+  Fmt.pr ";; branches        %12d (%d mispredicted)@." m.Epic_core.Metrics.branches
+    m.Epic_core.Metrics.mispredictions;
+  Fmt.pr ";; wild loads      %12d@." m.Epic_core.Metrics.wild_loads;
+  Fmt.pr ";; chk recoveries  %12d@." m.Epic_core.Metrics.chk_recoveries;
+  Fmt.pr ";; code size       %12d bytes@."
+    m.Epic_core.Metrics.stats.Epic_core.Driver.code_bytes;
+  Fmt.pr ";; cycle accounting:@.";
+  List.iter
+    (fun c ->
+      Fmt.pr "%-16s %12.0f@." (Epic_sim.Accounting.name c)
+        m.Epic_core.Metrics.categories.(Epic_sim.Accounting.index c))
+    Epic_sim.Accounting.all_categories;
+  Fmt.pr "%-16s %12.0f@." "TOTAL" m.Epic_core.Metrics.cycles
+
+(* One (file, level) cell: compile and run through the session.  The
+   instrumented path (--trace / --profile-out) needs the raw instrument
+   objects back, so it runs outside the run cache — the compile and
+   reference caches still apply. *)
+let run_cell session ~file ~level ~sentinel ~no_pa ~input ~train ~dump_ir
+    ~show_loops ~quiet ~json_wanted ~trace_file ~sample_period ~profile_out =
   let src = In_channel.with_open_text file In_channel.input_all in
-  let input = Array.of_list (List.map Int64.of_int inputs) in
-  let train =
-    match train with
-    | Some t -> Array.of_list (List.map Int64.of_int t)
-    | None -> input
-  in
   let config =
     {
       (Epic_core.Config.make level) with
@@ -110,7 +162,7 @@ let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet json
       Epic_core.Config.pointer_analysis = not no_pa;
     }
   in
-  match Epic_core.Driver.compile ~config ~train src with
+  match Session.compile session ~config ~desc:None ~train src with
   | exception Epic_frontend.Lexer.Lex_error (m, l) ->
       Fmt.epr "%s:%d: lexical error: %s@." file l m;
       exit 1
@@ -120,7 +172,7 @@ let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet json
   | exception Epic_frontend.Lower.Lower_error (m, l) ->
       Fmt.epr "%s:%d: error: %s@." file l m;
       exit 1
-  | compiled ->
+  | compiled, key, _compile_hit ->
       if dump_ir then Fmt.pr "%a@." Epic_ir.Program.pp compiled.Epic_core.Driver.program;
       if show_loops then begin
         Fmt.pr ";; inner-loop modulo-scheduling analysis:@.";
@@ -135,93 +187,145 @@ let run_cmd file level sentinel no_pa inputs train dump_ir show_loops quiet json
               | None -> "-"))
           (Epic_sched.Modulo.analyze compiled.Epic_core.Driver.program)
       end;
-      let trace =
-        match trace_file with
-        | Some _ -> Some (Epic_obs.Trace.create ())
-        | None -> None
-      in
-      let profile =
-        (* --json without an explicit period still samples: the JSON schema
-           promises a profile, and the default period matches the suite's.
-           --profile-out likewise implies sampling. *)
-        if sample_period > 0 then Some (Epic_obs.Profile.create ~period:sample_period ())
-        else if json_file <> None || profile_out <> None then
-          Some (Epic_obs.Profile.create ())
-        else None
-      in
-      let code, out, st = Epic_core.Driver.run ?trace ?profile compiled input in
-      print_string out;
-      let write_json f doc =
-        try Epic_obs.Json.to_file f doc
-        with Sys_error m ->
-          Fmt.epr "epicc: cannot write %s: %s@." f m;
-          exit 1
-      in
-      (match trace_file with
-      | Some f ->
-          let tr = Option.get trace in
-          write_json f (Epic_obs.Trace.to_json tr);
-          if not quiet then
-            Fmt.epr ";; wrote %d trace events (%d kinds, %d dropped) to %s@."
-              (Epic_obs.Trace.total tr)
-              (Epic_obs.Trace.distinct_kinds tr)
-              (Epic_obs.Trace.dropped tr) f
-      | None -> ());
-      (match profile_out with
-      | Some f ->
-          let p = Option.get profile in
-          write_json f (Epic_obs.Profile.to_json p);
-          if not quiet then
-            Fmt.epr ";; wrote %d profile samples (period %d) to %s@."
-              (Epic_obs.Profile.samples p)
-              (Epic_obs.Profile.period p)
-              f
-      | None -> ());
-      (match json_file with
-      | Some f ->
-          let ref_code, ref_out =
-            let p = Epic_frontend.Lower.compile_source src in
-            let c, o, _ = Epic_ir.Interp.run p input in
-            (c, o)
+      let workload = Filename.basename file in
+      let reference, _ = Session.reference session ~source:src ~input in
+      let instrumented = trace_file <> None || profile_out <> None in
+      let outcome =
+        if instrumented then begin
+          let trace =
+            match trace_file with
+            | Some _ -> Some (Epic_obs.Trace.create ())
+            | None -> None
           in
+          let profile =
+            if sample_period > 0 then
+              Some (Epic_obs.Profile.create ~period:sample_period ())
+            else if json_wanted || profile_out <> None then
+              Some (Epic_obs.Profile.create ())
+            else None
+          in
+          let code, out, st = Epic_core.Driver.run ?trace ?profile compiled input in
+          (match trace_file with
+          | Some f ->
+              let tr = Option.get trace in
+              write_json f (Epic_obs.Trace.to_json tr);
+              if not quiet then
+                Fmt.epr ";; wrote %d trace events (%d kinds, %d dropped) to %s@."
+                  (Epic_obs.Trace.total tr)
+                  (Epic_obs.Trace.distinct_kinds tr)
+                  (Epic_obs.Trace.dropped tr) f
+          | None -> ());
+          (match profile_out with
+          | Some f ->
+              let p = Option.get profile in
+              write_json f (Epic_obs.Profile.to_json p);
+              if not quiet then
+                Fmt.epr ";; wrote %d profile samples (period %d) to %s@."
+                  (Epic_obs.Profile.samples p)
+                  (Epic_obs.Profile.period p)
+                  f
+          | None -> ());
           (* with --profile-out the profile lives in its own file; keep the
              main document's profile field null rather than duplicating *)
           let json_profile = if profile_out = None then profile else None in
-          let run =
-            Epic_core.Metrics.of_machine ~workload:(Filename.basename file)
-              ?profile:json_profile compiled st
+          let ref_code, ref_out = reference in
+          let metrics =
+            Epic_core.Metrics.of_machine ~workload ?profile:json_profile
+              compiled st
               ~output_matches:(code = ref_code && out = ref_out)
           in
-          write_json f (Epic_core.Export.run_to_json run);
-          if not quiet then Fmt.epr ";; wrote run metrics to %s@." f
-      | None -> ());
-      if not quiet then begin
-        let open Epic_sim in
-        Fmt.pr "@.;; %s: exit code %d@." (Epic_core.Config.name config) code;
-        Fmt.pr ";; cycles          %12.0f@." (Accounting.total st.Machine.acc);
-        Fmt.pr ";; planned cycles  %12.0f@." (Accounting.planned st.Machine.acc);
-        Fmt.pr ";; useful ops      %12d (%.2f IPC)@." st.Machine.c.Machine.useful_ops
-          (float_of_int st.Machine.c.Machine.useful_ops
-          /. max 1.0 (Accounting.total st.Machine.acc));
-        Fmt.pr ";; squashed ops    %12d@." st.Machine.c.Machine.squashed_ops;
-        Fmt.pr ";; nop ops         %12d@." st.Machine.c.Machine.nop_ops;
-        Fmt.pr ";; branches        %12d (%d mispredicted)@." st.Machine.c.Machine.branches
-          st.Machine.bp.Branch_pred.mispredictions;
-        Fmt.pr ";; wild loads      %12d@." st.Machine.c.Machine.wild_loads;
-        Fmt.pr ";; chk recoveries  %12d@." st.Machine.c.Machine.chk_recoveries;
-        Fmt.pr ";; code size       %12d bytes@."
-          compiled.Epic_core.Driver.transform_stats.Epic_core.Driver.code_bytes;
-        Fmt.pr ";; cycle accounting:@.%a" Accounting.pp st.Machine.acc
-      end;
-      exit code
+          {
+            Session.o_code = code;
+            Session.o_output = out;
+            Session.o_metrics = metrics;
+          }
+        end
+        else begin
+          let sp =
+            if sample_period > 0 then sample_period
+            else if json_wanted then Epic_core.Experiments.sample_period
+            else 0
+          in
+          let o, _run_hit =
+            Session.run session ~sample_period:sp ~workload ~reference ~key
+              compiled input
+          in
+          o
+        end
+      in
+      print_string outcome.Session.o_output;
+      (config, outcome)
+
+let run_cmd files levels sentinel no_pa inputs train dump_ir show_loops quiet
+    json_file normalize trace_file sample_period profile_out =
+  let levels = match levels with [] -> [ Epic_core.Config.ILP_CS ] | l -> l in
+  let input = Array.of_list (List.map Int64.of_int inputs) in
+  let train =
+    match train with
+    | Some t -> Array.of_list (List.map Int64.of_int t)
+    | None -> input
+  in
+  let cells = List.concat_map (fun f -> List.map (fun l -> (f, l)) levels) files in
+  let single = match cells with [ _ ] -> true | _ -> false in
+  if (not single) && (dump_ir || show_loops || trace_file <> None || profile_out <> None)
+  then begin
+    Fmt.epr "epicc: --dump-ir, --loops, --trace and --profile-out need a single FILE and level@.";
+    exit 2
+  end;
+  let session = Session.create () in
+  let results =
+    List.map
+      (fun (file, level) ->
+        run_cell session ~file ~level ~sentinel ~no_pa ~input ~train ~dump_ir
+          ~show_loops ~quiet ~json_wanted:(json_file <> None) ~trace_file
+          ~sample_period ~profile_out)
+      cells
+  in
+  (match json_file with
+  | Some f ->
+      let run_doc (_, (o : Session.outcome)) =
+        Epic_core.Export.run_to_json o.Session.o_metrics
+      in
+      let doc =
+        match results with
+        | [ r ] -> (
+            (* single run: the historical flat run document, plus the
+               session counters *)
+            match run_doc r with
+            | Epic_obs.Json.Obj fields ->
+                Epic_obs.Json.Obj
+                  (fields @ [ ("session", Session.stats_to_json session) ])
+            | j -> j)
+        | rs ->
+            Epic_obs.Json.Obj
+              [
+                ("runs", Epic_obs.Json.List (List.map run_doc rs));
+                ("session", Session.stats_to_json session);
+              ]
+      in
+      let doc = if normalize then Epic_core.Export.normalize_time doc else doc in
+      write_json f doc;
+      if not quiet then Fmt.epr ";; wrote run metrics to %s@." f
+  | None -> ());
+  if not quiet then begin
+    List.iter (fun (config, o) -> print_counters config o) results;
+    let s = Session.stats session in
+    if List.length results > 1 || s.Session.st_compile_hits > 0 then
+      Fmt.epr ";; session: compile %d hits / %d misses, run %d hits / %d misses@."
+        s.Session.st_compile_hits s.Session.st_compile_misses
+        s.Session.st_run_hits s.Session.st_run_misses
+  end;
+  match results with
+  | [ (_, o) ] -> exit o.Session.o_code
+  | _ -> exit 0
 
 let cmd =
   let doc = "compile mini-C for an Itanium-2-class EPIC machine and simulate it" in
   Cmd.v
     (Cmd.info "epicc" ~doc)
     Term.(
-      const run_cmd $ file $ level $ sentinel $ no_pa $ inputs $ train $ dump_ir
-      $ show_loops $ quiet $ json_file $ trace_file $ sample_period
-      $ profile_out)
+      const run_cmd $ files $ levels $ sentinel $ no_pa $ inputs $ train
+      $ dump_ir $ show_loops $ quiet $ json_file $ normalize_time $ trace_file
+      $ sample_period $ profile_out)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,150 @@
+(* epicd: a persistent compile/simulate service over a Unix-domain socket.
+
+   One process owns one Epic_serve.Session — a domain pool plus the
+   bounded content-addressed compile/run caches — and speaks the
+   newline-delimited JSON protocol of Epic_serve.Protocol: clients write
+   one request object per line and read one response line per request,
+   in order.
+
+   Batching: each select() wake-up drains every complete line already
+   buffered across all clients into one batch.  Light requests (ping,
+   stats, compile, run) are fanned over the session's domain pool —
+   concurrent identical keys compile exactly once, the rest wait on the
+   in-flight table and read the cache.  Heavy matrix requests (suite,
+   sweep, causal) parallelize internally, so they run serially after the
+   light ones.  Responses are written back per client in request order. *)
+
+module Protocol = Epic_serve.Protocol
+module Session = Epic_serve.Session
+
+let usage =
+  "usage: epicd [--socket PATH] [-j N] [--compile-cache N] [--run-cache N] [-q]"
+
+let () =
+  let socket_path = ref "epicd.sock" in
+  let jobs = ref 1 in
+  let compile_cap = ref 64 in
+  let run_cap = ref 256 in
+  let quiet = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "--socket" :: p :: rest -> socket_path := p; parse_args rest
+    | "-j" :: n :: rest | "--jobs" :: n :: rest ->
+        jobs := int_of_string n; parse_args rest
+    | "--compile-cache" :: n :: rest -> compile_cap := int_of_string n; parse_args rest
+    | "--run-cache" :: n :: rest -> run_cap := int_of_string n; parse_args rest
+    | ("-q" | "--quiet") :: rest -> quiet := true; parse_args rest
+    | ("-h" | "--help") :: _ -> print_endline usage; exit 0
+    | a :: _ -> Printf.eprintf "epicd: unknown argument %s\n%s\n" a usage; exit 2
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let session =
+    Session.create ~jobs:!jobs ~compile_capacity:!compile_cap
+      ~run_capacity:!run_cap ()
+  in
+  (* a client that disconnects mid-write must not kill the daemon *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if Sys.file_exists !socket_path then Sys.remove !socket_path;
+  let srv = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind srv (Unix.ADDR_UNIX !socket_path);
+  Unix.listen srv 16;
+  if not !quiet then
+    Printf.eprintf "epicd: listening on %s (jobs=%d, compile-cache=%d, run-cache=%d)\n%!"
+      !socket_path !jobs !compile_cap !run_cap;
+  (* per-client input buffer: bytes received but not yet a complete line *)
+  let clients : (Unix.file_descr, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let close_client fd =
+    Hashtbl.remove clients fd;
+    try Unix.close fd with Unix.Unix_error _ -> ()
+  in
+  let write_all fd s =
+    let b = Bytes.of_string s in
+    let n = Bytes.length b in
+    let rec go off =
+      if off < n then
+        match Unix.write fd b off (n - off) with
+        | written -> go (off + written)
+        | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+            close_client fd
+    in
+    go 0
+  in
+  let chunk = Bytes.create 65536 in
+  let shutting_down = ref false in
+  while not !shutting_down do
+    let fds = srv :: Hashtbl.fold (fun fd _ acc -> fd :: acc) clients [] in
+    let readable, _, _ = Unix.select fds [] [] (-1.0) in
+    (* accept new connections first so their first burst lands this loop *)
+    if List.mem srv readable then begin
+      let fd, _ = Unix.accept srv in
+      Hashtbl.replace clients fd (Buffer.create 4096)
+    end;
+    (* drain readable clients into their line buffers *)
+    let batch = ref [] in
+    List.iter
+      (fun fd ->
+        if fd <> srv then
+          match Hashtbl.find_opt clients fd with
+          | None -> ()
+          | Some buf -> (
+              match Unix.read fd chunk 0 (Bytes.length chunk) with
+              | 0 -> close_client fd
+              | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  (* split off every complete line now in the buffer *)
+                  let data = Buffer.contents buf in
+                  Buffer.clear buf;
+                  let rec lines start =
+                    match String.index_from_opt data start '\n' with
+                    | Some nl ->
+                        let line = String.sub data start (nl - start) in
+                        if String.trim line <> "" then
+                          batch := (fd, line) :: !batch;
+                        lines (nl + 1)
+                    | None ->
+                        Buffer.add_substring buf data start
+                          (String.length data - start)
+                  in
+                  lines 0
+              | exception Unix.Unix_error (Unix.ECONNRESET, _, _) ->
+                  close_client fd))
+      readable;
+    (* one batch: everything that was already complete on the wire *)
+    let entries =
+      Array.of_list
+        (List.map (fun (fd, line) -> (fd, Protocol.parse line)) (List.rev !batch))
+    in
+    let responses = Array.make (Array.length entries) "" in
+    let light, heavy =
+      let l = ref [] and h = ref [] in
+      Array.iteri
+        (fun i (_, r) ->
+          if Protocol.is_heavy r then h := i :: !h else l := i :: !l)
+        entries;
+      (Array.of_list (List.rev !l), List.rev !h)
+    in
+    (* light requests fan out over the pool; the session's in-flight
+       table makes identical concurrent keys build exactly once *)
+    let light_resps =
+      Session.map session
+        (fun i ->
+          let _, r = entries.(i) in
+          Protocol.execute session r)
+        light
+    in
+    Array.iteri (fun k i -> responses.(i) <- light_resps.(k)) light;
+    List.iter
+      (fun i ->
+        let _, r = entries.(i) in
+        responses.(i) <- Protocol.execute session r)
+      heavy;
+    Array.iteri
+      (fun i (fd, r) ->
+        if Hashtbl.mem clients fd then write_all fd (responses.(i) ^ "\n");
+        if Protocol.is_shutdown r then shutting_down := true)
+      entries
+  done;
+  if not !quiet then Printf.eprintf "epicd: shutting down\n%!";
+  Hashtbl.iter (fun fd _ -> try Unix.close fd with Unix.Unix_error _ -> ()) clients;
+  (try Unix.close srv with Unix.Unix_error _ -> ());
+  if Sys.file_exists !socket_path then Sys.remove !socket_path

@@ -1,0 +1,211 @@
+(* epicq: the epicd client.  Builds protocol requests from CLI flags,
+   speaks the newline-delimited JSON protocol over the daemon's
+   Unix-domain socket, and writes results with the same emitter as the
+   batch CLIs (Json.to_file: pretty, trailing newline) so a served run
+   document is byte-comparable against `epicc --json`.
+
+   Subcommands:
+     epicq [opts] ping | stats | shutdown
+     epicq [opts] compile --source FILE [-O LEVEL] [--train CSV]
+     epicq [opts] run --source FILE [--workload NAME] [-O LEVEL]
+                      [-i CSV] [--train CSV] [--sample-period N]
+                      [--normalize-time] [--require-cached] [--out FILE]
+     epicq [opts] req 'JSON'            one raw request line
+     epicq [opts] burst FILE            pipeline every line of FILE
+   Common opts: --socket PATH (default epicd.sock), -q, --out FILE. *)
+
+module Json = Epic_obs.Json
+
+let usage =
+  "usage: epicq [--socket PATH] [-q] [--out FILE] \
+   (ping|stats|shutdown|compile|run|req JSON|burst FILE) [op flags]"
+
+let die fmt = Printf.ksprintf (fun m -> prerr_endline ("epicq: " ^ m); exit 2) fmt
+
+let connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     die "cannot connect to %s: %s (is epicd running?)" path
+       (Unix.error_message e));
+  fd
+
+(* Send [lines] (pipelined), then read exactly one response line each. *)
+let exchange fd lines =
+  let out = Unix.out_channel_of_descr fd in
+  List.iter
+    (fun l ->
+      output_string out l;
+      output_char out '\n')
+    lines;
+  flush out;
+  let inc = Unix.in_channel_of_descr fd in
+  List.map
+    (fun _ ->
+      match In_channel.input_line inc with
+      | Some l -> l
+      | None -> die "connection closed before all responses arrived")
+    lines
+
+let csv_int64s s =
+  Array.of_list
+    (List.map
+       (fun x -> Int64.of_string (String.trim x))
+       (List.filter (fun x -> String.trim x <> "") (String.split_on_char ',' s)))
+
+let int64s_json a =
+  Json.List (Array.to_list (Array.map (fun v -> Json.Int (Int64.to_int v)) a))
+
+let read_file f =
+  try In_channel.with_open_text f In_channel.input_all
+  with Sys_error m -> die "%s" m
+
+let () =
+  let socket_path = ref "epicd.sock" in
+  let quiet = ref false in
+  let out_file = ref None in
+  let command = ref None in
+  let command_arg = ref None in
+  let source = ref None in
+  let workload = ref None in
+  let level = ref None in
+  let inputs = ref None in
+  let train = ref None in
+  let sample_period = ref None in
+  let normalize = ref false in
+  let require_cached = ref false in
+  let rec parse_args = function
+    | [] -> ()
+    | "--socket" :: p :: rest -> socket_path := p; parse_args rest
+    | ("-q" | "--quiet") :: rest -> quiet := true; parse_args rest
+    | "--out" :: f :: rest -> out_file := Some f; parse_args rest
+    | "--source" :: f :: rest -> source := Some f; parse_args rest
+    | "--workload" :: w :: rest -> workload := Some w; parse_args rest
+    | ("-O" | "--level") :: l :: rest -> level := Some l; parse_args rest
+    | ("-i" | "--input") :: v :: rest -> inputs := Some v; parse_args rest
+    | "--train" :: v :: rest -> train := Some v; parse_args rest
+    | "--sample-period" :: n :: rest ->
+        sample_period := Some (int_of_string n); parse_args rest
+    | "--normalize-time" :: rest -> normalize := true; parse_args rest
+    | "--require-cached" :: rest -> require_cached := true; parse_args rest
+    | ("-h" | "--help") :: _ -> print_endline usage; exit 0
+    | a :: rest when !command = None -> command := Some a; parse_args rest
+    | a :: rest when !command_arg = None -> command_arg := Some a; parse_args rest
+    | a :: _ -> die "unexpected argument %s\n%s" a usage
+  in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let cmd = match !command with Some c -> c | None -> die "%s" usage in
+  let common_fields () =
+    let src = match !source with Some f -> f | None -> die "--source is required" in
+    [ ("source", Json.Str (read_file src)) ]
+    @ (match !level with Some l -> [ ("level", Json.Str l) ] | None -> [])
+    @ match !train with
+      | Some t -> [ ("train", int64s_json (csv_int64s t)) ]
+      | None -> []
+  in
+  let request =
+    match cmd with
+    | "ping" | "stats" | "shutdown" ->
+        Json.Obj [ ("id", Json.Int 1); ("op", Json.Str cmd) ]
+    | "compile" ->
+        Json.Obj
+          ([ ("id", Json.Int 1); ("op", Json.Str "compile") ] @ common_fields ())
+    | "run" ->
+        Json.Obj
+          ([ ("id", Json.Int 1); ("op", Json.Str "run") ]
+          @ common_fields ()
+          @ (match !workload with
+            | Some w -> [ ("workload", Json.Str w) ]
+            | None -> [])
+          @ (match !inputs with
+            | Some i -> [ ("input", int64s_json (csv_int64s i)) ]
+            | None -> [])
+          @ (match !sample_period with
+            | Some n -> [ ("sample_period", Json.Int n) ]
+            | None -> [])
+          @ if !normalize then [ ("normalize_time", Json.Bool true) ] else [])
+    | "req" -> (
+        match !command_arg with
+        | Some raw -> (
+            match Json.of_string raw with
+            | Ok j -> j
+            | Error m -> die "bad request JSON: %s" m)
+        | None -> die "req needs a JSON argument")
+    | "burst" -> Json.Null (* handled below *)
+    | other -> die "unknown command %s\n%s" other usage
+  in
+  let fd = connect !socket_path in
+  let emit_result doc =
+    match !out_file with
+    | Some f -> Json.to_file f doc
+    | None -> print_endline (Json.to_string ~pretty:true doc)
+  in
+  match cmd with
+  | "burst" ->
+      let file = match !command_arg with Some f -> f | None -> die "burst needs a FILE" in
+      let lines =
+        List.filter
+          (fun l -> String.trim l <> "")
+          (String.split_on_char '\n' (read_file file))
+      in
+      let responses = exchange fd lines in
+      let body = String.concat "\n" responses ^ "\n" in
+      (match !out_file with
+      | Some f -> Out_channel.with_open_text f (fun oc -> output_string oc body)
+      | None -> print_string body);
+      (* any failed response fails the burst *)
+      let failures =
+        List.filter
+          (fun l ->
+            match Json.of_string l with
+            | Ok j -> Json.member "ok" j <> Some (Json.Bool true)
+            | Error _ -> true)
+          responses
+      in
+      if failures <> [] then begin
+        Printf.eprintf "epicq: %d of %d burst requests failed\n"
+          (List.length failures) (List.length responses);
+        exit 1
+      end
+  | _ -> (
+      let line = Json.to_string request in
+      let resp =
+        match exchange fd [ line ] with [ r ] -> r | _ -> assert false
+      in
+      match Json.of_string resp with
+      | Error m -> die "bad response: %s" m
+      | Ok j ->
+          let ok = Json.member "ok" j = Some (Json.Bool true) in
+          if not ok then begin
+            let msg =
+              match Json.member "error" j with
+              | Some (Json.Str m) -> m
+              | _ -> resp
+            in
+            die "server error: %s" msg
+          end;
+          let cached =
+            match Json.member "cached" j with
+            | Some (Json.Bool b) -> Some b
+            | _ -> None
+          in
+          (match cached with
+          | Some b when not !quiet ->
+              Printf.eprintf "epicq: cached=%b\n" b
+          | _ -> ());
+          if !require_cached && cached <> Some true then
+            die "--require-cached: response was not served from the cache";
+          (match Json.member "result" j with
+          | Some r -> emit_result r
+          | None -> ());
+          (match cmd with
+          | "run" -> (
+              (* surface the simulated program's output and exit code like
+                 a local run would *)
+              (match Json.member "output" j with
+              | Some (Json.Str out) when not !quiet -> print_string out
+              | _ -> ());
+              match Json.member "exit_code" j with
+              | Some (Json.Int c) when c <> 0 -> exit c
+              | _ -> ())
+          | _ -> ()))

@@ -38,7 +38,10 @@ let () =
               (Domain.recommended_domain_count ())
               (4 * List.length Epic_workloads.Suite.all)
         in
-        Some (Epic_core.Experiments.run_suite ~progress:true ~jobs ())
+        (* one session for the whole invocation: every suite compile goes
+           through its content-addressed artifact cache *)
+        let session = Epic_serve.Session.create ~jobs () in
+        Some (Epic_serve.Session.suite session ~progress:true ())
       end
       else None
     in

@@ -95,8 +95,13 @@ let () =
       let cells = List.length !workloads * (1 + List.length vs * List.length abs_) in
       min (Domain.recommended_domain_count ()) (max 1 cells)
   in
+  (* the matrix runs through a session: its compile cache dedupes the
+     shared (workload, baseline-config) compiles across cells *)
+  let session = Epic_serve.Session.create ~jobs () in
   let report =
-    try run ~variants:vs ~ablations:abs_ ~progress:true ~jobs ~workloads:!workloads ()
+    try
+      Epic_serve.Session.sweep session ~variants:vs ~ablations:abs_
+        ~progress:true ~workloads:!workloads ()
     with Invalid_argument msg -> die ("sweep: " ^ msg)
   in
   print_report Fmt.stdout report;

@@ -11,15 +11,27 @@ module Json = Epic_obs.Json
 type target = Acc.target =
   | Target_func of string
   | Target_category of Acc.category
+  | Target_func_category of string * Acc.category
 
 let target_name = function
   | Target_func f -> f
   | Target_category c -> Acc.name c
+  | Target_func_category (f, c) -> f ^ ":" ^ Acc.name c
 
 let parse_target s =
   match Acc.category_of_name s with
   | Some c -> Target_category c
-  | None -> Target_func s
+  | None -> (
+      (* "func:category" names a per-(function, category) pair; the mini-C
+         function names are C identifiers, so ':' is unambiguous *)
+      match String.index_opt s ':' with
+      | Some i -> (
+          let f = String.sub s 0 i in
+          let cname = String.sub s (i + 1) (String.length s - i - 1) in
+          match Acc.category_of_name cname with
+          | Some c when f <> "" -> Target_func_category (f, c)
+          | _ -> Target_func s)
+      | None -> Target_func s)
 
 let default_factors = [ 0.10; 0.25; 0.50; 1.00 ]
 
@@ -69,7 +81,8 @@ type report = {
    order), then every nonzero stall category.  Unstalled is excluded: its
    cycles are the work itself, and "make the work free" ranks first on
    every program without diagnosing anything. *)
-let plan ~top_funcs ~prof_by_func ~categories =
+let plan ?(split_funcs = 0) ?(func_bins = []) ~top_funcs ~prof_by_func
+    ~categories () =
   let funcs =
     List.filteri (fun i _ -> i < top_funcs) prof_by_func
     |> List.map (fun (f, _) -> Target_func f)
@@ -82,7 +95,24 @@ let plan ~top_funcs ~prof_by_func ~categories =
         else None)
       Acc.all_categories
   in
-  funcs @ cats
+  (* Per-(function, category) splits of the top profile-hot functions: one
+     target per nonzero stall category of the function (unstalled excluded
+     for the same reason as program-wide), so a function's categories can
+     be scaled — and ranked — independently. *)
+  let splits =
+    List.filteri (fun i _ -> i < split_funcs) prof_by_func
+    |> List.concat_map (fun (f, _) ->
+           match List.assoc_opt f func_bins with
+           | None -> []
+           | Some bins ->
+               List.filter_map
+                 (fun c ->
+                   if c <> Acc.Unstalled && bins.(Acc.index c) > 0. then
+                     Some (Target_func_category (f, c))
+                   else None)
+                 Acc.all_categories)
+  in
+  funcs @ cats @ splits
 
 (* Phase-1 product: everything a workload's phase-2 cells and report need,
    reduced to plain shareable data (the machine state itself stays in the
@@ -91,15 +121,19 @@ type base = {
   b_reference : int * string;
   b_cycles : float;
   b_categories : float array;
-  b_func_totals : (string * float) list;
+  b_func_bins : (string * float array) list;
+      (* per-function copies of the nine baseline bins: local cycles of
+         both function and (function, category) targets *)
   b_prof_by_func : (string * int) list;
   b_obs : Json.t;
   b_output_ok : bool;
 }
 
-let run_baseline (w : Workload.t) =
+let run_baseline ~(compile : Driver.compile_fn) (w : Workload.t) =
   let config = Experiments.config_for w Config.ILP_CS in
-  let compiled = Driver.compile ~config ~train:w.Workload.train w.Workload.source in
+  let compiled =
+    compile ~config ~desc:None ~train:w.Workload.train w.Workload.source
+  in
   let trace = Epic_obs.Trace.create () in
   let profile = Epic_obs.Profile.create ~period:Experiments.sample_period () in
   let code, out, st = Driver.run ~trace ~profile compiled w.Workload.reference in
@@ -109,8 +143,8 @@ let run_baseline (w : Workload.t) =
     b_reference = (ref_code, ref_out);
     b_cycles = Acc.total acc;
     b_categories = Array.copy acc.Acc.totals;
-    b_func_totals =
-      List.map (fun f -> (f, Acc.func_total acc f)) (Acc.functions acc);
+    b_func_bins =
+      List.map (fun f -> (f, Array.copy (Acc.bins acc f))) (Acc.functions acc);
     b_prof_by_func = Epic_obs.Profile.by_func profile;
     b_obs = Export.obs_to_json ~trace ~profile ();
     b_output_ok = code = ref_code && out = ref_out;
@@ -120,9 +154,12 @@ let run_baseline (w : Workload.t) =
    instruction-id counter, so ids are identical whichever domain runs the
    cell) and simulate under the virtual speedup.  The binary is the same
    as the baseline's — the experiment only exists at accounting time. *)
-let run_cell ~(base : base) (w : Workload.t) (t : target) (factor : float) =
+let run_cell ~(compile : Driver.compile_fn) ~(base : base) (w : Workload.t)
+    (t : target) (factor : float) =
   let config = Experiments.config_for w Config.ILP_CS in
-  let compiled = Driver.compile ~config ~train:w.Workload.train w.Workload.source in
+  let compiled =
+    compile ~config ~desc:None ~train:w.Workload.train w.Workload.source
+  in
   let experiment = { Acc.target = t; speedup = factor } in
   let code, out, st = Driver.run ~experiment compiled w.Workload.reference in
   let ref_code, ref_out = base.b_reference in
@@ -135,13 +172,16 @@ let run_cell ~(base : base) (w : Workload.t) (t : target) (factor : float) =
   }
 
 let curve_of_points ~(base : base) (t : target) (points : point list) =
+  let func_bins f = List.assoc_opt f base.b_func_bins in
   let local =
     match t with
     | Target_category c -> base.b_categories.(Acc.index c)
     | Target_func f -> (
-        match List.assoc_opt f base.b_func_totals with
-        | Some v -> v
+        match func_bins f with
+        | Some b -> Array.fold_left ( +. ) 0. b
         | None -> 0.)
+    | Target_func_category (f, c) -> (
+        match func_bins f with Some b -> b.(Acc.index c) | None -> 0.)
   in
   (* least-squares through the origin: slope = Σ s·p / Σ s² *)
   let num =
@@ -213,7 +253,8 @@ let aggregate (reports : wreport list) =
          | n -> n)
 
 let run ?targets ?(factors = default_factors) ?(top_funcs = 3)
-    ?(progress = false) ~jobs ~workloads () =
+    ?(split_funcs = 0) ?(compile = Driver.default_compile) ?(progress = false)
+    ~jobs ~workloads () =
   let t0 = Sys.time () in
   if factors = [] then invalid_arg "Causal.run: empty factor list";
   List.iter
@@ -229,7 +270,7 @@ let run ?targets ?(factors = default_factors) ?(top_funcs = 3)
     Pool.map ~jobs
       (fun (w : Workload.t) ->
         if progress then Fmt.epr "  causal baseline %s...@." w.Workload.short;
-        run_baseline w)
+        run_baseline ~compile w)
       ws
   in
   let plans =
@@ -238,8 +279,8 @@ let run ?targets ?(factors = default_factors) ?(top_funcs = 3)
         match targets with
         | Some ts -> ts
         | None ->
-            plan ~top_funcs ~prof_by_func:b.b_prof_by_func
-              ~categories:b.b_categories)
+            plan ~split_funcs ~func_bins:b.b_func_bins ~top_funcs
+              ~prof_by_func:b.b_prof_by_func ~categories:b.b_categories ())
       bases
   in
   (* Phase 2: the full (workload x target x factor) matrix, deterministic
@@ -261,7 +302,7 @@ let run ?targets ?(factors = default_factors) ?(top_funcs = 3)
         if progress then
           Fmt.epr "  causal %s / %s / %g...@." w.Workload.short (target_name t)
             f;
-        run_cell ~base:bases.(wi) w t f)
+        run_cell ~compile ~base:bases.(wi) w t f)
       specs
   in
   let reports =
@@ -329,7 +370,7 @@ type check_row = {
   ck_order_ok : bool;
 }
 
-let check_against_sweep ?(progress = false) ~jobs (r : report) =
+let check_against_sweep ?(progress = false) ?compile ~jobs (r : report) =
   let module Sw = Epic_sweep.Sweep in
   let variant n =
     match Sw.find_variant n with
@@ -339,7 +380,7 @@ let check_against_sweep ?(progress = false) ~jobs (r : report) =
   let sweep =
     Sw.run
       ~variants:[ variant "perfect-icache"; variant "perfect-predictor" ]
-      ~progress ~jobs ~workloads:r.r_workloads ()
+      ?compile ~progress ~jobs ~workloads:r.r_workloads ()
   in
   List.map
     (fun wr ->
@@ -377,6 +418,45 @@ let check_against_sweep ?(progress = false) ~jobs (r : report) =
       })
     r.r_reports
 
+(* --- Factor-1.0 local exactness ------------------------------------------ *)
+
+type local_row = {
+  lk_workload : string;
+  lk_target : target;
+  lk_causal : float;
+  lk_local : float;
+  lk_ok : bool;
+}
+
+let local_tolerance a b =
+  abs_float (a -. b) <= 1e-9 *. Float.max 1.0 (Float.max (abs_float a) (abs_float b))
+
+(* The factor-1.0 invariant, target-kind-agnostic: scaling a target's
+   charges to zero removes exactly the cycles the baseline charged to it
+   (accounting is observation-only, so nothing else can move).  This is
+   the same identity the perfect-* sweep cross-check rests on, extended to
+   function and (function, category) targets, which have no sweep variant
+   to diff against — the baseline's own bins are the independent side. *)
+let check_local_exactness (r : report) =
+  List.concat_map
+    (fun wr ->
+      List.filter_map
+        (fun k ->
+          match List.find_opt (fun p -> p.p_factor = 1.0) k.k_points with
+          | None -> None
+          | Some p ->
+              let causal = wr.c_base_cycles -. p.p_cycles in
+              Some
+                {
+                  lk_workload = wr.c_workload;
+                  lk_target = k.k_target;
+                  lk_causal = causal;
+                  lk_local = k.k_local_cycles;
+                  lk_ok = local_tolerance causal k.k_local_cycles;
+                })
+        wr.c_curves)
+    r.r_reports
+
 (* --- JSON export --------------------------------------------------------- *)
 
 let target_to_json t =
@@ -387,7 +467,8 @@ let target_to_json t =
         Json.Str
           (match t with
           | Target_func _ -> "func"
-          | Target_category _ -> "category") );
+          | Target_category _ -> "category"
+          | Target_func_category _ -> "func-category") );
     ]
 
 let categories_to_json (a : float array) =

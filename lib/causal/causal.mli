@@ -31,16 +31,19 @@
 type target = Epic_sim.Accounting.target =
   | Target_func of string
   | Target_category of Epic_sim.Accounting.category
+  | Target_func_category of string * Epic_sim.Accounting.category
 
 (** Display/CLI name: the category's accounting name ([front-end], [rse],
-    ...) or the function's own name. *)
+    ...), the function's own name, or [func:category] for a
+    per-(function, category) pair. *)
 val target_name : target -> string
 
 (** Inverse of {!target_name}: a known category name parses as that
-    category, anything else as a function target.  (A function shadowed by
-    a category name can't be targeted by name — acceptable, since the
-    workloads' function names are C identifiers and the category names are
-    hyphenated.) *)
+    category, [f:cat] (with [cat] a known category name) as a
+    per-(function, category) pair, anything else as a function target.
+    (A function shadowed by a category name can't be targeted by name —
+    acceptable, since the workloads' function names are C identifiers and
+    the category names are hyphenated.) *)
 val parse_target : string -> target
 
 (** [0.10; 0.25; 0.50; 1.00] — the virtual-speedup factors of the default
@@ -106,11 +109,19 @@ type report = {
 (** The experiment planner: the top [top_funcs] functions of the baseline
     PC-sampling profile (descending samples), then every stall category
     with nonzero baseline cycles except [unstalled] (speeding up unstalled
-    execution is the compiler's job, not a bottleneck diagnosis). *)
+    execution is the compiler's job, not a bottleneck diagnosis), then —
+    with [split_funcs > 0] — per-(function, category) splits: for each of
+    the top [split_funcs] profile-hot functions, one
+    {!Target_func_category} per nonzero non-unstalled category of its
+    baseline bins ([func_bins], from the baseline accounting), so a
+    function's categories can be scaled independently. *)
 val plan :
+  ?split_funcs:int ->
+  ?func_bins:(string * float array) list ->
   top_funcs:int ->
   prof_by_func:(string * int) list ->
   categories:float array ->
+  unit ->
   target list
 
 (** Execute the causal matrix on the {!Epic_core.Pool} domain pool in two
@@ -123,7 +134,12 @@ val plan :
 
     [targets] fixes one target list for every workload; omitted, each
     workload gets its own plan ({!plan}, with [top_funcs] profile-hot
-    functions, default 3).  [factors] defaults to {!default_factors}.
+    functions, default 3, and [split_funcs] per-(function, category)
+    splits, default 0).  [factors] defaults to {!default_factors}.
+    [compile] substitutes the compile entry point of every baseline and
+    cell (default {!Epic_core.Driver.default_compile}) — the hook
+    {!Epic_serve} supplies so causal matrices share the session's
+    content-addressed artifact cache.
 
     @raise Invalid_argument on an unknown workload, [jobs < 1], an empty
     factor list or a factor outside (0, 1]. *)
@@ -131,6 +147,8 @@ val run :
   ?targets:target list ->
   ?factors:float list ->
   ?top_funcs:int ->
+  ?split_funcs:int ->
+  ?compile:Epic_core.Driver.compile_fn ->
   ?progress:bool ->
   jobs:int ->
   workloads:string list ->
@@ -162,9 +180,35 @@ type check_row = {
     workloads and check the invariant: per workload, the causal ranking of
     the front-end and br-mispredict categories must agree with the sweep
     delta ordering (the two paths suppress the same charges by independent
-    mechanisms).  @raise Invalid_argument if the report lacks the
-    front-end or br-mispredict target for some workload. *)
-val check_against_sweep : ?progress:bool -> jobs:int -> report -> check_row list
+    mechanisms).  [compile] is forwarded to the sweep.
+    @raise Invalid_argument if the report lacks the front-end or
+    br-mispredict target for some workload. *)
+val check_against_sweep :
+  ?progress:bool ->
+  ?compile:Epic_core.Driver.compile_fn ->
+  jobs:int ->
+  report ->
+  check_row list
+
+(** One row of the factor-1.0 local-exactness check: a target measured at
+    factor 1.0, the end-to-end cycles it saved, and the baseline cycles
+    charged to it. *)
+type local_row = {
+  lk_workload : string;
+  lk_target : target;
+  lk_causal : float;  (** measured Δcycles at factor 1.0 *)
+  lk_local : float;  (** baseline cycles charged to the target *)
+  lk_ok : bool;  (** equal within 1e-9 relative *)
+}
+
+(** The factor-1.0 cross-check generalized to every target kind: scaling a
+    target's charges to zero must save exactly the cycles the baseline
+    charged to it (within float-summation reassociation, 1e-9 relative).
+    Function and (function, category) targets have no perfect-* sweep
+    variant to diff against; the baseline's own accounting bins are the
+    independent side of the identity.  One row per (workload, target) with
+    a measured factor-1.0 point. *)
+val check_local_exactness : report -> local_row list
 
 (** The causal document.  Schema (stable; additions only): [causal],
     [sample_period], [workloads], [factors], [workload_reports] (workload,

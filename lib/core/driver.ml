@@ -320,6 +320,21 @@ let compile ?(config = Config.o_ns) ?desc ~(train : int64 array) (src : string) 
     with Epic_sched.Regalloc.Out_of_registers _ ->
       retry ~fallback:"o-ns" { config with Config.level = Config.O_NS })
 
+(* The shape of a compile entry point, for dependency inversion: the
+   experiment layers (Experiments, Sweep, Causal) take a [compile_fn] so a
+   caching session (lib/serve) can substitute itself without this library
+   depending on it.  [desc] is a plain option — not an optional argument —
+   so the arrow type stays first-class. *)
+type compile_fn =
+  config:Config.t ->
+  desc:Epic_mach.Machine_desc.t option ->
+  train:int64 array ->
+  string ->
+  compiled
+
+let default_compile : compile_fn =
+ fun ~config ~desc ~train src -> compile ~config ?desc ~train src
+
 (* Run a compiled binary on the machine simulator. *)
 let run ?fuel ?trace ?profile ?experiment (c : compiled) (input : int64 array)
     =

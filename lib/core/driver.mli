@@ -75,6 +75,23 @@ val compile :
   string ->
   compiled
 
+(** The shape of a compile entry point, for dependency inversion: the
+    experiment layers ({!Experiments}, [Epic_sweep.Sweep],
+    [Epic_causal.Causal]) accept a [compile_fn] so a caching session
+    ([Epic_serve.Session]) can substitute its content-addressed cache
+    without a dependency cycle.  [desc] is a plain option (not an optional
+    argument) to keep the arrow type first-class. *)
+type compile_fn =
+  config:Config.t ->
+  desc:Epic_mach.Machine_desc.t option ->
+  train:int64 array ->
+  string ->
+  compiled
+
+(** [compile] as a {!compile_fn}: [default_compile ~config ~desc ~train src]
+    is [compile ~config ?desc ~train src]. *)
+val default_compile : compile_fn
+
 (** Run a compiled binary on the Itanium-2-class simulator; returns
     (exit code, program output, final machine state with all counters).
     [trace] and [profile] enable the opt-in observability instruments, and

@@ -33,11 +33,12 @@ let reference_output (w : Workload.t) =
    exact accounting on every workload. *)
 let sample_period = 97
 
-let run_one ?(train : int64 array option) ?reference ?desc (w : Workload.t)
-    (level : Config.level) =
+let run_one ?(train : int64 array option) ?reference ?desc
+    ?(compile = Driver.default_compile) (w : Workload.t) (level : Config.level)
+    =
   let config = config_for w level in
   let train = match train with Some t -> t | None -> w.Workload.train in
-  let compiled = Driver.compile ~config ?desc ~train w.Workload.source in
+  let compiled = compile ~config ~desc ~train w.Workload.source in
   (* the reference interpretation is per-workload, not per-level: suite
      runs compute it once and pass it in *)
   let ref_code, ref_out =
@@ -75,7 +76,8 @@ let levels = [ Config.Gcc_like; Config.O_NS; Config.ILP_NS; Config.ILP_CS ]
    the job.  Reference outputs are computed once per workload (phase 1) and
    shared read-only with the 4 per-level jobs (phase 2).  Results come back
    in index order, so [runs] is ordered exactly as the sequential walk. *)
-let run_suite ?(workloads = Suite.all) ?(progress = false) ?(jobs = 1) () =
+let run_suite ?(workloads = Suite.all) ?(progress = false) ?(jobs = 1)
+    ?compile () =
   let ws = Array.of_list workloads in
   let references =
     Pool.map ~jobs
@@ -96,7 +98,7 @@ let run_suite ?(workloads = Suite.all) ?(progress = false) ?(jobs = 1) () =
         let w = ws.(wi) in
         if progress then
           Fmt.epr "  running %s / %s...@." w.Workload.short (Config.level_name level);
-        run_one ~reference:references.(wi) w level)
+        run_one ~reference:references.(wi) ?compile w level)
       pairs
   in
   let runs =

@@ -160,14 +160,18 @@ let obs_to_json ?trace ?profile () =
    The [host] section (wall time and GC traffic of the simulation) is
    host-noise through and through, so normalization drops it whole: zeroed
    fields would still leave a key that pre-host documents lack, and the
-   engine-equivalence gate diffs normalized exports across revisions. *)
+   engine-equivalence gate diffs normalized exports across revisions.
+   [session] sections (cache hit/miss/eviction counters from
+   Epic_serve.Session) are dropped for the same reason: whether a request
+   hit the cache is a property of the traffic history, not of the result,
+   and the served-vs-batch byte-identity gate diffs through this. *)
 let rec normalize_time = function
   | Json.Obj fields ->
       Json.Obj
         (List.filter_map
            (fun (name, v) ->
              match name with
-             | "host" -> None
+             | "host" | "session" -> None
              | "wall_s" | "total_wall_s" -> Some (name, Json.Float 0.)
              | _ -> Some (name, normalize_time v))
            fields)

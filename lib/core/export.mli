@@ -13,6 +13,12 @@
       and a [runs] array of run documents. *)
 
 val config_to_json : Config.t -> Epic_obs.Json.t
+
+(** The static compile-side statistics block of a run document, standalone —
+    what a compile-only request (epicd [compile]) can report without
+    simulating. *)
+val transform_stats_to_json : Driver.transform_stats -> Epic_obs.Json.t
+
 val run_to_json : Metrics.run -> Epic_obs.Json.t
 val suite_to_json : Experiments.suite_result -> Epic_obs.Json.t
 
@@ -28,11 +34,14 @@ val obs_to_json :
   Epic_obs.Json.t
 
 (** Zero every wall-clock field ([wall_s], [total_wall_s]) in a document,
-    recursively, and drop [host] sections whole (they are host noise, and
-    a zeroed-but-present key would still break diffs against documents
-    exported before the section existed).  Everything else in a run/suite
-    document is deterministic, so two exports of the same suite —
-    sequential or parallel, same or different process, optimized or seed
-    engines — are byte-identical after normalization.  The determinism
-    test and the CI gate diff through this. *)
+    recursively, and drop [host] and [session] sections whole ([host] is
+    host noise; [session] carries the cache hit/miss/eviction counters of
+    [Epic_serve.Session], which describe the traffic history rather than
+    the result — and a zeroed-but-present key would still break diffs
+    against documents exported before the section existed).  Everything
+    else in a run/suite document is deterministic, so two exports of the
+    same suite — sequential or parallel, same or different process, cold
+    or cache-hit — are byte-identical after normalization.  The
+    determinism test and the CI gates (including the epicd-vs-batch
+    byte-identity gate) diff through this. *)
 val normalize_time : Epic_obs.Json.t -> Epic_obs.Json.t

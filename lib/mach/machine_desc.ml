@@ -61,6 +61,120 @@ type t = {
   rse_spill_cost_per_reg : int; (* cycles per mandatory spill/fill *)
 }
 
+(* --- Stable content digest ----------------------------------------------
+   Cache keys must survive across processes, so the digest is computed over
+   an explicit canonical serialization — never Marshal, whose bytes depend
+   on the runtime.  FNV-1a (64-bit) over decimal field renderings in a
+   fixed order.  [name] is deliberately excluded: keys are content-
+   addressed, and two differently-named but physically identical machines
+   must hash alike.  The full-record destructuring pattern makes adding or
+   removing a field a compile error here (warning 9 is fatal), so the
+   serialization can never silently go stale. *)
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 (s : string) =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  !h
+
+let digest (d : t) =
+  let {
+    name = _name;
+    bundles_per_cycle;
+    issue_width;
+    m_slots;
+    i_slots;
+    f_slots;
+    b_slots;
+    ld_pipes;
+    st_pipes;
+    lat_alu;
+    lat_mul;
+    lat_div;
+    lat_fp;
+    lat_fdiv;
+    lat_load;
+    float_load_latency;
+    l1i;
+    l1d;
+    l2;
+    l3;
+    l2_latency;
+    l3_latency;
+    mem_latency;
+    perfect_icache;
+    dtlb_entries;
+    vhpt_walk_cycles;
+    wild_walk_cycles;
+    nat_page_cycles;
+    page_fault_cycles;
+    bp_bits;
+    bp_history_bits;
+    branch_mispredict_penalty;
+    perfect_predictor;
+    call_overhead;
+    return_overhead;
+    chk_recovery_penalty;
+    rse_physical;
+    rse_spill_cost_per_reg;
+  } =
+    d
+  in
+  let buf = Buffer.create 256 in
+  let int i =
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf ';'
+  in
+  let bool b = int (if b then 1 else 0) in
+  let geom { size; line; assoc } =
+    int size;
+    int line;
+    int assoc
+  in
+  int bundles_per_cycle;
+  int issue_width;
+  int m_slots;
+  int i_slots;
+  int f_slots;
+  int b_slots;
+  int ld_pipes;
+  int st_pipes;
+  int lat_alu;
+  int lat_mul;
+  int lat_div;
+  int lat_fp;
+  int lat_fdiv;
+  int lat_load;
+  int float_load_latency;
+  geom l1i;
+  geom l1d;
+  geom l2;
+  geom l3;
+  int l2_latency;
+  int l3_latency;
+  int mem_latency;
+  bool perfect_icache;
+  int dtlb_entries;
+  int vhpt_walk_cycles;
+  int wild_walk_cycles;
+  int nat_page_cycles;
+  int page_fault_cycles;
+  int bp_bits;
+  int bp_history_bits;
+  int branch_mispredict_penalty;
+  bool perfect_predictor;
+  int call_overhead;
+  int return_overhead;
+  int chk_recovery_penalty;
+  int rse_physical;
+  int rse_spill_cost_per_reg;
+  Printf.sprintf "%016Lx" (fnv1a64 (Buffer.contents buf))
+
 let itanium2 =
   {
     name = "itanium2";

@@ -58,3 +58,13 @@ type t = {
     machine constants the pre-refactor code spread across
     [Epic_mach.Itanium] and the simulator units. *)
 val itanium2 : t
+
+(** A stable, canonical content digest of a description: FNV-1a (64-bit)
+    over an explicit decimal serialization of every field except [name],
+    rendered as 16 lowercase hex digits.  Two physically identical
+    machines digest identically regardless of their names, and the digest
+    is stable across processes and OCaml versions (no [Marshal]).  The
+    serialization destructures the full record, so adding or removing a
+    field without updating it is a compile error — the cache-key
+    discipline of lib/serve rests on this. *)
+val digest : t -> string

@@ -1,0 +1,51 @@
+(** The epicd wire protocol: newline-delimited {!Epic_obs.Json} documents
+    over a Unix-domain socket, one request and one response per line.
+
+    A request is an object with an optional [id] (echoed verbatim in the
+    response), an [op] string, and per-op fields:
+
+    - [ping] — liveness probe;
+    - [stats] — the session's cache counters ({!Session.stats_to_json});
+    - [shutdown] — reply, then the daemon exits;
+    - [compile] — [source] (mini-C text, required), [level] (gcc | o-ns |
+      ilp-ns | ilp-cs, default ilp-cs), [sentinel] and [pointer_analysis]
+      (bools), [train] (int list, default []);
+    - [run] — the [compile] fields plus [input] (int list, default []),
+      [train] defaulting to [input], [workload] (label, default
+      "program"), [sample_period] (default the suite's
+      {!Epic_core.Experiments.sample_period}) and [normalize_time] (bool:
+      pass the result through {!Epic_core.Export.normalize_time});
+    - [suite] — [workloads] (name list, default the whole suite),
+      [normalize_time];
+    - [sweep] — [workloads] (required), optional [variants] / [ablations]
+      (name lists), [normalize_time];
+    - [causal] — [workloads] (required), optional [targets] (names for
+      {!Epic_causal.Causal.parse_target}), [factors], [top_funcs],
+      [split_funcs], [normalize_time].
+
+    A response echoes [{"id", "ok", "op"}] and carries [result] on
+    success ([error] on failure); [compile] and [run] responses add
+    [cached] (did the decisive cache hit — the compile cache for
+    [compile], the run cache for [run]), plus the content-addressed [key]
+    and, for [run], [compile_cached].  A [run] result is exactly the
+    {!Epic_core.Export.run_to_json} document the batch [epicc --json]
+    writes, so a served response diffs byte-for-byte against the CLI
+    after [normalize_time]. *)
+
+type request
+
+(** Parse one request line.  Never raises: a malformed line parses as a
+    request whose execution reports the error (with [id] echoed when one
+    could be recovered). *)
+val parse : string -> request
+
+(** Matrix ops ([suite], [sweep], [causal]) — they parallelize internally
+    over the session pool, so the daemon runs them serially rather than
+    fanning them into a batch. *)
+val is_heavy : request -> bool
+
+val is_shutdown : request -> bool
+
+(** Execute against the session; returns the compact one-line response
+    (no trailing newline).  Catches exceptions into error responses. *)
+val execute : Session.t -> request -> string

@@ -1,0 +1,396 @@
+(* The session layer: bounded content-addressed caches over the stateless
+   Driver core, one lock + in-flight table for exactly-once builds under
+   domain parallelism.  See the .mli for the contract. *)
+
+module Config = Epic_core.Config
+module Driver = Epic_core.Driver
+module Metrics = Epic_core.Metrics
+module Experiments = Epic_core.Experiments
+module Pool = Epic_core.Pool
+
+(* ---- content hashing --------------------------------------------------- *)
+
+(* FNV-1a 64-bit, the same digest Machine_desc uses: tiny, dependency-free,
+   and stable across processes (unlike Hashtbl.hash, which is documented to
+   vary between OCaml versions). *)
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 (s : string) =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+    s;
+  Printf.sprintf "%016Lx" !h
+
+let int64s_key (a : int64 array) =
+  let buf = Buffer.create (8 * Array.length a) in
+  Array.iter
+    (fun v ->
+      Buffer.add_string buf (Int64.to_string v);
+      Buffer.add_char buf ';')
+    a;
+  fnv1a64 (Buffer.contents buf)
+
+(* Canonical serialization of a full configuration.  Every field of
+   Config.t and of the four ILP params records is destructured by name, so
+   adding a field without extending the key is a compile error (warning 9
+   is fatal in the dev profile) — the same discipline as
+   Machine_desc.digest.  Floats are rendered with %h (hex, exact). *)
+let config_key (c : Config.t) =
+  let {
+    Config.level;
+    spec_model;
+    pointer_analysis;
+    inline_budget;
+    superblock;
+    hyperblock;
+    peel;
+    unroll;
+    enable_peel;
+    enable_unroll;
+    enable_hyperblock;
+    enable_superblock;
+    enable_height_reduction;
+    enable_data_speculation;
+  } =
+    c
+  in
+  let buf = Buffer.create 160 in
+  let str s =
+    Buffer.add_string buf s;
+    Buffer.add_char buf ';'
+  in
+  let int i = str (string_of_int i) in
+  let fl f = str (Printf.sprintf "%h" f) in
+  let bool b = int (if b then 1 else 0) in
+  str (Config.level_name level);
+  (match spec_model with
+  | Epic_ilp.Speculate.General -> str "general"
+  | Epic_ilp.Speculate.Sentinel -> str "sentinel");
+  bool pointer_analysis;
+  fl inline_budget;
+  (let { Epic_ilp.Superblock.min_edge_prob; min_block_weight; growth_budget; max_trace_len } =
+     superblock
+   in
+   fl min_edge_prob;
+   fl min_block_weight;
+   fl growth_budget;
+   int max_trace_len);
+  (let { Epic_ilp.Hyperblock.max_path_instrs; min_path_ratio; max_height_diff; max_block_predicates } =
+     hyperblock
+   in
+   int max_path_instrs;
+   fl min_path_ratio;
+   int max_height_diff;
+   int max_block_predicates);
+  (let { Epic_ilp.Peel.max_avg_trips; min_avg_trips; max_body_instrs; growth_budget; mark_remainder_cold } =
+     peel
+   in
+   fl max_avg_trips;
+   fl min_avg_trips;
+   int max_body_instrs;
+   fl growth_budget;
+   bool mark_remainder_cold);
+  (let { Epic_ilp.Unroll.factor; min_avg_trips; max_body_instrs } = unroll in
+   int factor;
+   fl min_avg_trips;
+   int max_body_instrs);
+  bool enable_peel;
+  bool enable_unroll;
+  bool enable_hyperblock;
+  bool enable_superblock;
+  bool enable_height_reduction;
+  bool enable_data_speculation;
+  Buffer.contents buf
+
+let resolve_desc = function
+  | Some d -> d
+  | None -> Epic_mach.Itanium.desc ()
+
+let compile_key ~config ~desc ~train source =
+  let d = resolve_desc desc in
+  fnv1a64
+    (Printf.sprintf "src=%s;cfg=%s;train=%s;desc=%s" (fnv1a64 source)
+       (config_key config) (int64s_key train)
+       (Epic_mach.Machine_desc.digest d))
+
+(* ---- the session ------------------------------------------------------- *)
+
+type outcome = {
+  o_code : int;
+  o_output : string;
+  o_metrics : Metrics.run;
+}
+
+type t = {
+  pool_jobs : int;
+  mu : Mutex.t;
+  cond : Condition.t;
+  compile_cache : (string, Driver.compiled) Lru.t;
+  run_cache : (string, outcome) Lru.t;
+  ref_cache : (string, int * string) Lru.t;
+  inflight : (string, unit) Hashtbl.t;
+      (* keys under construction, prefixed by kind ("c:", "r:", "f:") so
+         the three caches share one table and one condition variable *)
+  mutable s_compile_hits : int;
+  mutable s_compile_misses : int;
+  mutable s_run_hits : int;
+  mutable s_run_misses : int;
+  mutable s_run_uncached : int;
+  mutable s_ref_hits : int;
+  mutable s_ref_misses : int;
+  mutable s_inflight_waits : int;
+}
+
+let create ?(jobs = 1) ?(compile_capacity = 64) ?(run_capacity = 256) () =
+  if jobs < 1 then invalid_arg "Session.create: jobs must be >= 1";
+  {
+    pool_jobs = jobs;
+    mu = Mutex.create ();
+    cond = Condition.create ();
+    compile_cache = Lru.create ~capacity:compile_capacity;
+    run_cache = Lru.create ~capacity:run_capacity;
+    ref_cache = Lru.create ~capacity:run_capacity;
+    inflight = Hashtbl.create 16;
+    s_compile_hits = 0;
+    s_compile_misses = 0;
+    s_run_hits = 0;
+    s_run_misses = 0;
+    s_run_uncached = 0;
+    s_ref_hits = 0;
+    s_ref_misses = 0;
+    s_inflight_waits = 0;
+  }
+
+let jobs t = t.pool_jobs
+let map t f arr = Pool.map ~jobs:t.pool_jobs f arr
+
+(* Exactly-once construction: the first domain to miss marks the key
+   in-flight and builds outside the lock; later domains for the same key
+   wait on the condition variable and read the finished entry.  A waiter
+   re-checks the cache on every wake-up — if the entry was evicted between
+   insert and wake-up (tiny cache under pressure) it simply becomes the
+   next builder, which is correct, just cold. *)
+let cached_or_build t cache ~kind ~on_hit ~on_miss key build =
+  let ikey = kind ^ key in
+  Mutex.lock t.mu;
+  let waited = ref false in
+  let rec obtain () =
+    match Lru.find cache key with
+    | Some v ->
+        on_hit ();
+        Mutex.unlock t.mu;
+        (v, true)
+    | None ->
+        if Hashtbl.mem t.inflight ikey then begin
+          if not !waited then begin
+            waited := true;
+            t.s_inflight_waits <- t.s_inflight_waits + 1
+          end;
+          Condition.wait t.cond t.mu;
+          obtain ()
+        end
+        else begin
+          Hashtbl.add t.inflight ikey ();
+          on_miss ();
+          Mutex.unlock t.mu;
+          let v =
+            try build ()
+            with e ->
+              Mutex.lock t.mu;
+              Hashtbl.remove t.inflight ikey;
+              Condition.broadcast t.cond;
+              Mutex.unlock t.mu;
+              raise e
+          in
+          Mutex.lock t.mu;
+          Hashtbl.remove t.inflight ikey;
+          ignore (Lru.add cache key v);
+          Condition.broadcast t.cond;
+          Mutex.unlock t.mu;
+          (v, false)
+        end
+  in
+  obtain ()
+
+let compile t ~config ~desc ~train source =
+  let d = resolve_desc desc in
+  let key = compile_key ~config ~desc:(Some d) ~train source in
+  let compiled, hit =
+    cached_or_build t t.compile_cache ~kind:"c:"
+      ~on_hit:(fun () -> t.s_compile_hits <- t.s_compile_hits + 1)
+      ~on_miss:(fun () -> t.s_compile_misses <- t.s_compile_misses + 1)
+      key
+      (fun () -> Driver.compile ~config ~desc:d ~train source)
+  in
+  (compiled, key, hit)
+
+let compile_fn t : Driver.compile_fn =
+ fun ~config ~desc ~train source ->
+  let compiled, _, _ = compile t ~config ~desc ~train source in
+  compiled
+
+let reference t ~source ~input =
+  let key = fnv1a64 ("src=" ^ fnv1a64 source ^ ";in=" ^ int64s_key input) in
+  cached_or_build t t.ref_cache ~kind:"f:"
+    ~on_hit:(fun () -> t.s_ref_hits <- t.s_ref_hits + 1)
+    ~on_miss:(fun () -> t.s_ref_misses <- t.s_ref_misses + 1)
+    key
+    (fun () ->
+      let p = Epic_frontend.Lower.compile_source source in
+      let code, out, _ = Epic_ir.Interp.run p input in
+      (code, out))
+
+let simulate ?trace ?experiment ~sample_period ~workload ~reference:(ref_code, ref_out)
+    compiled ~input () =
+  let profile =
+    if sample_period > 0 then
+      Some (Epic_obs.Profile.create ~period:sample_period ())
+    else None
+  in
+  let code, out, st = Driver.run ?trace ?profile ?experiment compiled input in
+  let ok = code = ref_code && out = ref_out in
+  let metrics =
+    Metrics.of_machine ~workload ?profile compiled st ~output_matches:ok
+  in
+  { o_code = code; o_output = out; o_metrics = metrics }
+
+let run t ?trace ?experiment ?(sample_period = Experiments.sample_period)
+    ~workload ~reference ~key compiled input =
+  match (trace, experiment) with
+  | Some _, _ | _, Some _ ->
+      (* a cached outcome could not have filled this trace ring, and
+         experiment outcomes describe a counterfactual machine — both run
+         uncached (the compile cache still applies upstream) *)
+      Mutex.lock t.mu;
+      t.s_run_uncached <- t.s_run_uncached + 1;
+      Mutex.unlock t.mu;
+      ( simulate ?trace ?experiment ~sample_period ~workload ~reference
+          compiled ~input (),
+        false )
+  | None, None ->
+      let rkey =
+        fnv1a64
+          (Printf.sprintf "c=%s;in=%s;sp=%d" key (int64s_key input)
+             sample_period)
+      in
+      let o, hit =
+        cached_or_build t t.run_cache ~kind:"r:"
+          ~on_hit:(fun () -> t.s_run_hits <- t.s_run_hits + 1)
+          ~on_miss:(fun () -> t.s_run_misses <- t.s_run_misses + 1)
+          rkey
+          (simulate ~sample_period ~workload ~reference compiled ~input)
+      in
+      (* the key is content-addressed; only the caller's label differs *)
+      if hit && o.o_metrics.Metrics.workload <> workload then
+        ({ o with o_metrics = { o.o_metrics with Metrics.workload } }, hit)
+      else (o, hit)
+
+type served = {
+  s_outcome : outcome;
+  s_key : string;
+  s_compile_hit : bool;
+  s_run_hit : bool;
+}
+
+let compile_and_run t ?trace ?experiment ?sample_period ~workload ~config
+    ~desc ~train ~input source =
+  let compiled, key, compile_hit = compile t ~config ~desc ~train source in
+  let reference, _ = reference t ~source ~input in
+  let outcome, run_hit =
+    run t ?trace ?experiment ?sample_period ~workload ~reference ~key compiled
+      input
+  in
+  { s_outcome = outcome; s_key = key; s_compile_hit = compile_hit; s_run_hit = run_hit }
+
+(* ---- experiment matrices ---------------------------------------------- *)
+
+let suite t ?workloads ?progress () =
+  Experiments.run_suite ?workloads ?progress ~jobs:t.pool_jobs
+    ~compile:(compile_fn t) ()
+
+let sweep t ?variants ?ablations ?progress ~workloads () =
+  Epic_sweep.Sweep.run ?variants ?ablations ~compile:(compile_fn t) ?progress
+    ~jobs:t.pool_jobs ~workloads ()
+
+let causal t ?targets ?factors ?top_funcs ?split_funcs ?progress ~workloads ()
+    =
+  Epic_causal.Causal.run ?targets ?factors ?top_funcs ?split_funcs
+    ~compile:(compile_fn t) ?progress ~jobs:t.pool_jobs ~workloads ()
+
+let causal_check t ?progress report =
+  Epic_causal.Causal.check_against_sweep ?progress ~compile:(compile_fn t)
+    ~jobs:t.pool_jobs report
+
+(* ---- accounting -------------------------------------------------------- *)
+
+type stats = {
+  st_compile_hits : int;
+  st_compile_misses : int;
+  st_compile_evictions : int;
+  st_compile_entries : int;
+  st_run_hits : int;
+  st_run_misses : int;
+  st_run_evictions : int;
+  st_run_entries : int;
+  st_run_uncached : int;
+  st_ref_hits : int;
+  st_ref_misses : int;
+  st_inflight_waits : int;
+}
+
+let stats t =
+  Mutex.lock t.mu;
+  let s =
+    {
+      st_compile_hits = t.s_compile_hits;
+      st_compile_misses = t.s_compile_misses;
+      st_compile_evictions = Lru.evictions t.compile_cache;
+      st_compile_entries = Lru.length t.compile_cache;
+      st_run_hits = t.s_run_hits;
+      st_run_misses = t.s_run_misses;
+      st_run_evictions = Lru.evictions t.run_cache;
+      st_run_entries = Lru.length t.run_cache;
+      st_run_uncached = t.s_run_uncached;
+      st_ref_hits = t.s_ref_hits;
+      st_ref_misses = t.s_ref_misses;
+      st_inflight_waits = t.s_inflight_waits;
+    }
+  in
+  Mutex.unlock t.mu;
+  s
+
+let stats_to_json t =
+  let s = stats t in
+  Epic_obs.Json.Obj
+    [
+      ("jobs", Epic_obs.Json.Int t.pool_jobs);
+      ( "compile",
+        Epic_obs.Json.Obj
+          [
+            ("hits", Epic_obs.Json.Int s.st_compile_hits);
+            ("misses", Epic_obs.Json.Int s.st_compile_misses);
+            ("evictions", Epic_obs.Json.Int s.st_compile_evictions);
+            ("entries", Epic_obs.Json.Int s.st_compile_entries);
+            ("capacity", Epic_obs.Json.Int (Lru.capacity t.compile_cache));
+          ] );
+      ( "run",
+        Epic_obs.Json.Obj
+          [
+            ("hits", Epic_obs.Json.Int s.st_run_hits);
+            ("misses", Epic_obs.Json.Int s.st_run_misses);
+            ("evictions", Epic_obs.Json.Int s.st_run_evictions);
+            ("entries", Epic_obs.Json.Int s.st_run_entries);
+            ("uncached", Epic_obs.Json.Int s.st_run_uncached);
+            ("capacity", Epic_obs.Json.Int (Lru.capacity t.run_cache));
+          ] );
+      ( "reference",
+        Epic_obs.Json.Obj
+          [
+            ("hits", Epic_obs.Json.Int s.st_ref_hits);
+            ("misses", Epic_obs.Json.Int s.st_ref_misses);
+          ] );
+      ("inflight_waits", Epic_obs.Json.Int s.st_inflight_waits);
+    ]

@@ -1,0 +1,200 @@
+(** A compile/simulate session: the stateful, reusable layer over the
+    stateless {!Epic_core.Driver} core.
+
+    A session owns the parallelism width of its {!Epic_core.Pool} and two
+    bounded content-addressed artifact caches ({!Lru}):
+
+    - the {e compile cache}, keyed by (source hash, full
+      {!Epic_core.Config} serialization, train-input hash,
+      {!Epic_mach.Machine_desc.digest}) — a [Driver.compiled] is
+      deterministic in exactly those four ingredients, and compiling from
+      source resets the domain-local instruction-id counter, so a cached
+      program is safe to re-simulate on any domain;
+    - the {e run cache}, keyed by (compile key, run-input hash, sample
+      period, experiment), holding finished simulation outcomes.
+
+    Both caches are protected by one lock and an in-flight table with a
+    condition variable, so concurrent requests for the same key — e.g. a
+    burst of identical epicd requests fanned over the pool — compile
+    exactly once: the first requester builds, the rest block and read the
+    cached value.  All entry points are domain-safe.
+
+    Everything the binaries do routes through here: [epicc] and [epicd]
+    via {!compile_and_run}, the suite / sensitivity-sweep / causal
+    matrices via {!suite} / {!sweep} / {!causal}, which thread
+    {!compile_fn} — the session's cache as an
+    {!Epic_core.Driver.compile_fn} — into the experiment layers. *)
+
+type t
+
+(** [create ()] makes a fresh session.  [jobs] (default 1) is the domain
+    pool width used by {!map}, {!suite}, {!sweep} and {!causal};
+    [compile_capacity] (default 64) and [run_capacity] (default 256)
+    bound the caches.
+    @raise Invalid_argument if a capacity or [jobs] is < 1. *)
+val create :
+  ?jobs:int -> ?compile_capacity:int -> ?run_capacity:int -> unit -> t
+
+val jobs : t -> int
+
+(** Shard [f] over the session's domain pool ({!Epic_core.Pool.map} at the
+    session's width). *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+(** {2 Keys} *)
+
+(** The content-addressed compile key (16 hex digits, FNV-1a over the
+    canonical serialization of all four ingredients).  [desc = None] is
+    resolved to the calling domain's current machine description first, so
+    an explicit [Some itanium2] and the default share cache entries. *)
+val compile_key :
+  config:Epic_core.Config.t ->
+  desc:Epic_mach.Machine_desc.t option ->
+  train:int64 array ->
+  string ->
+  string
+
+(** {2 Entry points} *)
+
+(** Compile through the cache.  Returns the program, its key, and whether
+    this was a cache hit. *)
+val compile :
+  t ->
+  config:Epic_core.Config.t ->
+  desc:Epic_mach.Machine_desc.t option ->
+  train:int64 array ->
+  string ->
+  Epic_core.Driver.compiled * string * bool
+
+(** The session's cache as a {!Epic_core.Driver.compile_fn} — what
+    {!suite}, {!sweep} and {!causal} thread into the experiment layers,
+    and what callers with their own harness can pass explicitly. *)
+val compile_fn : t -> Epic_core.Driver.compile_fn
+
+(** A finished simulation: exit code, program output, metrics.  Cached
+    outcomes carry no [host] section (host timings describe the run that
+    populated the cache, not the request), so a cache hit is
+    byte-identical to the cold outcome even before
+    {!Epic_core.Export.normalize_time}. *)
+type outcome = {
+  o_code : int;
+  o_output : string;
+  o_metrics : Epic_core.Metrics.run;
+}
+
+(** Reference interpretation of [source] on [input] (lower once,
+    interpret), cached by (source, input).  Returns (exit code, output)
+    and whether it hit. *)
+val reference : t -> source:string -> input:int64 array -> (int * string) * bool
+
+(** Simulate a cached-or-fresh compile through the run cache.
+    [sample_period] (default {!Epic_core.Experiments.sample_period})
+    controls the PC profiler; [0] disables sampling.  [reference] is the
+    interpreter's (code, output) for the mismatch check.  On a hit only
+    the workload label is patched ([workload] names the request, the key
+    is content-addressed).  A request carrying [trace] or [experiment]
+    bypasses the run cache entirely (a hit could not replay the trace,
+    and experiment outcomes are transient); it still reuses the compile
+    cache.  Returns the outcome and whether it hit. *)
+val run :
+  t ->
+  ?trace:Epic_obs.Trace.t ->
+  ?experiment:Epic_sim.Accounting.experiment ->
+  ?sample_period:int ->
+  workload:string ->
+  reference:int * string ->
+  key:string ->
+  Epic_core.Driver.compiled ->
+  int64 array ->
+  outcome * bool
+
+(** What one [epicc]/[epicd] request resolves to. *)
+type served = {
+  s_outcome : outcome;
+  s_key : string;  (** the compile key *)
+  s_compile_hit : bool;
+  s_run_hit : bool;
+}
+
+(** The whole request path: compile (cached), reference (cached), run
+    (cached).  Labels, defaults and profile period match what [epicc]
+    historically produced, so served documents diff cleanly against batch
+    ones. *)
+val compile_and_run :
+  t ->
+  ?trace:Epic_obs.Trace.t ->
+  ?experiment:Epic_sim.Accounting.experiment ->
+  ?sample_period:int ->
+  workload:string ->
+  config:Epic_core.Config.t ->
+  desc:Epic_mach.Machine_desc.t option ->
+  train:int64 array ->
+  input:int64 array ->
+  string ->
+  served
+
+(** {2 Experiment matrices through the session cache}
+
+    Thin wrappers over the experiment layers with [~compile:(compile_fn t)]
+    and [~jobs:(jobs t)] applied — so one session reuses compiles across a
+    suite, a sweep and a causal matrix (the sweep baseline and the suite's
+    ILP-CS column, for instance, share cache entries). *)
+
+val suite :
+  t ->
+  ?workloads:Epic_workloads.Workload.t list ->
+  ?progress:bool ->
+  unit ->
+  Epic_core.Experiments.suite_result
+
+val sweep :
+  t ->
+  ?variants:Epic_sweep.Sweep.variant list ->
+  ?ablations:Epic_sweep.Sweep.ablation list ->
+  ?progress:bool ->
+  workloads:string list ->
+  unit ->
+  Epic_sweep.Sweep.report
+
+val causal :
+  t ->
+  ?targets:Epic_causal.Causal.target list ->
+  ?factors:float list ->
+  ?top_funcs:int ->
+  ?split_funcs:int ->
+  ?progress:bool ->
+  workloads:string list ->
+  unit ->
+  Epic_causal.Causal.report
+
+val causal_check :
+  t ->
+  ?progress:bool ->
+  Epic_causal.Causal.report ->
+  Epic_causal.Causal.check_row list
+
+(** {2 Accounting} *)
+
+type stats = {
+  st_compile_hits : int;
+  st_compile_misses : int;
+  st_compile_evictions : int;
+  st_compile_entries : int;
+  st_run_hits : int;
+  st_run_misses : int;
+  st_run_evictions : int;
+  st_run_entries : int;
+  st_run_uncached : int;  (** trace/experiment runs that bypassed the cache *)
+  st_ref_hits : int;
+  st_ref_misses : int;
+  st_inflight_waits : int;
+      (** requests that blocked on another domain building the same key *)
+}
+
+val stats : t -> stats
+
+(** The [session] JSON block ([epicc --json], epicd [stats]):
+    the {!stats} counters plus the cache capacities and jobs width.
+    {!Epic_core.Export.normalize_time} drops [session] sections whole —
+    traffic history, not results. *)
+val stats_to_json : t -> Epic_obs.Json.t

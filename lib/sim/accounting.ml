@@ -50,7 +50,10 @@ let category_of_name s =
    lives here, at the accounting layer, so the simulator's hot path needs
    no knowledge of it beyond the one [exp_keep] comparison in
    [charge_bins]. *)
-type target = Target_func of string | Target_category of category
+type target =
+  | Target_func of string
+  | Target_category of category
+  | Target_func_category of string * category
 
 type experiment = {
   target : target;
@@ -114,6 +117,11 @@ let set_experiment t = function
           t.exp_all_funcs <- false;
           (* pin the target's bins now: matching is then one physical
              equality against the array the caller already holds *)
+          t.exp_bins <- bins t f
+      | Target_func_category (f, cat) ->
+          (* both filters at once; [charge_bins] already conjoins them *)
+          t.exp_cat <- index cat;
+          t.exp_all_funcs <- false;
           t.exp_bins <- bins t f)
 
 let experiment_active t = t.exp_keep <> 1.0

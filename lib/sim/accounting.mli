@@ -22,9 +22,14 @@ val name : category -> string
 (** Inverse of {!name}; [None] for an unknown name. *)
 val category_of_name : string -> category option
 
-(** A causal-profiling target: one function's cycles, or one stall
-    category program-wide. *)
-type target = Target_func of string | Target_category of category
+(** A causal-profiling target: one function's cycles, one stall category
+    program-wide, or one (function, category) pair — the cycles of a
+    single stall category within a single function, everything else
+    untouched. *)
+type target =
+  | Target_func of string
+  | Target_category of category
+  | Target_func_category of string * category
 
 (** A COZ-style virtual speedup: while active, every charge attributable
     to [target] is scaled by [1 - speedup] — the clock, the cache/TLB/

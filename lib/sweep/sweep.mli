@@ -98,10 +98,16 @@ type report = {
     are in
     deterministic workload-major order regardless of [jobs].
 
+    [compile] substitutes the compile entry point of every cell (default
+    {!Epic_core.Driver.default_compile}) — the hook [Epic_serve.Session]
+    supplies so sweeps share the session's content-addressed artifact
+    cache.
+
     @raise Invalid_argument on an unknown workload name or [jobs < 1]. *)
 val run :
   ?variants:variant list ->
   ?ablations:ablation list ->
+  ?compile:Epic_core.Driver.compile_fn ->
   ?progress:bool ->
   jobs:int ->
   workloads:string list ->

@@ -17,4 +17,5 @@ let () =
       ("paper-shapes", Test_workload_shapes.suite);
       ("sweep", Test_sweep.suite);
       ("causal", Test_causal.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -106,6 +106,53 @@ let qcheck_func_scaling =
         Acc.all_categories;
       true)
 
+(* Property: a (function, category) experiment scales exactly the one bin
+   at their intersection — that function's, that category's — leaving
+   every other (function, category) bin bit-identical; the global total of
+   the targeted category drops by exactly what the bin dropped, all other
+   totals are untouched. *)
+let qcheck_func_category_scaling =
+  QCheck.Test.make ~count:100
+    ~name:"func-category experiment scales exactly the one bin"
+    (QCheck.make
+       QCheck.Gen.(
+         pair charge_trace_gen
+           (triple (int_range 0 3) (int_range 0 8) (int_range 0 100))))
+    (fun (trace, (fi, ci, pct)) ->
+      let s = float_of_int pct /. 100. in
+      let f = funcs.(fi) and cat = cat_of_index ci in
+      let plain = replay trace in
+      let scaled =
+        replay
+          ~experiment:{ Acc.target = Acc.Target_func_category (f, cat); speedup = s }
+          trace
+      in
+      Array.iter
+        (fun g ->
+          List.iter
+            (fun c ->
+              let i = Acc.index c in
+              let p = (Acc.bins plain g).(i) and q = (Acc.bins scaled g).(i) in
+              if g = f && c = cat then
+                close (g ^ "/" ^ Acc.name c) ((1. -. s) *. p) q
+              else if p <> q then
+                QCheck.Test.fail_reportf "untargeted %s/%s changed" g (Acc.name c))
+            Acc.all_categories)
+        funcs;
+      List.iter
+        (fun c ->
+          let i = Acc.index c in
+          let expected =
+            if c = cat then
+              plain.Acc.totals.(i) -. (s *. (Acc.bins plain f).(i))
+            else plain.Acc.totals.(i)
+          in
+          if c = cat then close ("total " ^ Acc.name c) expected scaled.Acc.totals.(i)
+          else if plain.Acc.totals.(i) <> scaled.Acc.totals.(i) then
+            QCheck.Test.fail_reportf "untargeted total %s changed" (Acc.name c))
+        Acc.all_categories;
+      true)
+
 (* A no-op experiment (speedup 0) must leave the whole exported run
    document byte-identical to a run without any experiment — the
    acceptance guarantee that an idle hook costs nothing observable. *)
@@ -162,6 +209,14 @@ let test_parse_and_plan () =
   | _ -> Alcotest.fail "deflate should parse as a function");
   Alcotest.(check string) "round-trip" "br-mispredict"
     (Causal.target_name (Causal.parse_target "br-mispredict"));
+  (match Causal.parse_target "deflate:front-end" with
+  | Causal.Target_func_category ("deflate", Acc.Front_end) -> ()
+  | _ -> Alcotest.fail "deflate:front-end should parse as a (func, category) pair");
+  Alcotest.(check string) "func:category round-trip" "deflate:front-end"
+    (Causal.target_name (Causal.parse_target "deflate:front-end"));
+  (match Causal.parse_target "deflate:nonsense" with
+  | Causal.Target_func "deflate:nonsense" -> ()
+  | _ -> Alcotest.fail "an unknown category suffix falls back to a function name");
   let categories = Array.make 9 0. in
   categories.(Acc.index Acc.Unstalled) <- 1000.;
   categories.(Acc.index Acc.Front_end) <- 50.;
@@ -169,12 +224,30 @@ let test_parse_and_plan () =
   let targets =
     Causal.plan ~top_funcs:2
       ~prof_by_func:[ ("hot", 90); ("warm", 9); ("cold", 1) ]
-      ~categories
+      ~categories ()
   in
   Alcotest.(check (list string))
     "top functions then nonzero categories, unstalled excluded"
     [ "hot"; "warm"; "front-end"; "rse" ]
-    (List.map Causal.target_name targets)
+    (List.map Causal.target_name targets);
+  (* split planner: per-(function, category) targets for the top
+     [split_funcs] functions, one per nonzero non-unstalled bin *)
+  let hot_bins = Array.make 9 0. in
+  hot_bins.(Acc.index Acc.Unstalled) <- 800.;
+  hot_bins.(Acc.index Acc.Front_end) <- 40.;
+  let warm_bins = Array.make 9 0. in
+  warm_bins.(Acc.index Acc.Rse) <- 10.;
+  let split =
+    Causal.plan ~split_funcs:2
+      ~func_bins:[ ("hot", hot_bins); ("warm", warm_bins) ]
+      ~top_funcs:2
+      ~prof_by_func:[ ("hot", 90); ("warm", 9); ("cold", 1) ]
+      ~categories ()
+  in
+  Alcotest.(check (list string))
+    "split plan appends per-(func, category) targets, unstalled excluded"
+    [ "hot"; "warm"; "front-end"; "rse"; "hot:front-end"; "warm:rse" ]
+    (List.map Causal.target_name split)
 
 (* The full-matrix invariants, one bounded causal run on gzip + twolf:
    - per target, program speedup is linear in the factor (the accounting
@@ -242,10 +315,44 @@ let test_causal_vs_perfect_sweep () =
         true row.Causal.ck_order_ok)
     rows
 
+(* Per-(function, category) targets through the full pipeline: a bounded
+   causal run with split targets, then the factor-1.0 local-exactness
+   cross-check — the measured Δcycles at factor 1.0 must equal the
+   baseline cycles charged to each target, exactly, for function,
+   category AND (function, category) target kinds alike. *)
+let test_func_category_local_exactness () =
+  let r =
+    Causal.run ~split_funcs:2 ~top_funcs:1 ~factors:[ 0.5; 1.0 ] ~jobs:2
+      ~workloads:[ "gzip" ] ()
+  in
+  Alcotest.(check (list pass)) "no output mismatches" [] (Causal.mismatches r);
+  let rows = Causal.check_local_exactness r in
+  let fc_rows =
+    List.filter
+      (fun row ->
+        match row.Causal.lk_target with
+        | Causal.Target_func_category _ -> true
+        | _ -> false)
+      rows
+  in
+  Alcotest.(check bool)
+    "at least one (function, category) target was planned and checked" true
+    (fc_rows <> []);
+  List.iter
+    (fun row ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s/%s: factor-1.0 delta == local charges (%.0f vs %.0f)"
+           row.Causal.lk_workload
+           (Causal.target_name row.Causal.lk_target)
+           row.Causal.lk_causal row.Causal.lk_local)
+        true row.Causal.lk_ok)
+    rows
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_category_scaling;
     QCheck_alcotest.to_alcotest qcheck_func_scaling;
+    QCheck_alcotest.to_alcotest qcheck_func_category_scaling;
     Alcotest.test_case "no-op experiment is byte-invisible" `Slow
       test_noop_experiment_identity;
     Alcotest.test_case "experiment validation and activity" `Quick
@@ -254,4 +361,6 @@ let suite =
       test_parse_and_plan;
     Alcotest.test_case "causal ranking matches perfect-* sweep" `Slow
       test_causal_vs_perfect_sweep;
+    Alcotest.test_case "(function, category) targets are locally exact" `Slow
+      test_func_category_local_exactness;
   ]

@@ -1,0 +1,261 @@
+(* The session/service layer: the machine-description digest is pinned
+   (cache keys must not drift silently), the LRU evicts in recency order,
+   the session caches hit/miss/evict exactly as specified, a cache hit is
+   byte-identical to the cold compile+run, and concurrent requests for
+   one key compile exactly once. *)
+
+module Session = Epic_serve.Session
+module Lru = Epic_serve.Lru
+module Protocol = Epic_serve.Protocol
+module Desc = Epic_mach.Machine_desc
+module Json = Epic_obs.Json
+
+(* --- Machine_desc.digest ------------------------------------------------ *)
+
+(* Pinned values: a digest change means every persisted cache key and
+   cross-run comparison silently invalidates — so changing the
+   serialization (or the description's contents) must show up here as a
+   deliberate test update, never as an accident.  (Adding a field to
+   Machine_desc.t without extending [digest] is already a compile error:
+   the digest destructures the full record.) *)
+let test_digest_pinned () =
+  Alcotest.(check string) "itanium2" "cafe4d92cf2104c2" (Desc.digest Desc.itanium2);
+  Alcotest.(check string) "perfect-icache" "56e81970838fe795"
+    (Desc.digest { Desc.itanium2 with Desc.perfect_icache = true });
+  Alcotest.(check string) "2x-mem-latency" "a44384110093430b"
+    (Desc.digest { Desc.itanium2 with Desc.mem_latency = 280 });
+  Alcotest.(check string) "tiny-dtlb" "10db796fcc7bc94b"
+    (Desc.digest { Desc.itanium2 with Desc.dtlb_entries = 4 })
+
+(* The digest is content-addressed: the display name is not content. *)
+let test_digest_name_invariant () =
+  Alcotest.(check string) "renaming does not change the digest"
+    (Desc.digest Desc.itanium2)
+    (Desc.digest { Desc.itanium2 with Desc.name = "anything-else" });
+  Alcotest.(check bool) "a real knob does" false
+    (Desc.digest Desc.itanium2
+    = Desc.digest { Desc.itanium2 with Desc.issue_width = 4 })
+
+(* --- Lru ---------------------------------------------------------------- *)
+
+let test_lru_eviction_order () =
+  let c = Lru.create ~capacity:3 in
+  Alcotest.(check (option (pair string int))) "a fits" None (Lru.add c "a" 1);
+  Alcotest.(check (option (pair string int))) "b fits" None (Lru.add c "b" 2);
+  Alcotest.(check (option (pair string int))) "c fits" None (Lru.add c "c" 3);
+  Alcotest.(check (list string)) "MRU order" [ "c"; "b"; "a" ]
+    (Lru.keys_mru_first c);
+  (* touching a makes b the LRU *)
+  Alcotest.(check (option int)) "find a" (Some 1) (Lru.find c "a");
+  Alcotest.(check (option (pair string int))) "d evicts b" (Some ("b", 2))
+    (Lru.add c "d" 4);
+  Alcotest.(check (list string)) "b gone" [ "d"; "a"; "c" ]
+    (Lru.keys_mru_first c);
+  Alcotest.(check bool) "mem does not touch" true (Lru.mem c "c");
+  Alcotest.(check (option (pair string int))) "e evicts c (mem was no use)"
+    (Some ("c", 3))
+    (Lru.add c "e" 5);
+  Alcotest.(check int) "evictions counted" 2 (Lru.evictions c);
+  Alcotest.(check int) "length at capacity" 3 (Lru.length c)
+
+let test_lru_replace () =
+  let c = Lru.create ~capacity:2 in
+  ignore (Lru.add c "a" 1);
+  ignore (Lru.add c "b" 2);
+  (* replacing is not an insert: no eviction, value updated, a now MRU *)
+  Alcotest.(check (option (pair string int))) "replace a" None (Lru.add c "a" 9);
+  Alcotest.(check (option int)) "new value" (Some 9) (Lru.find c "a");
+  Alcotest.(check int) "no eviction" 0 (Lru.evictions c);
+  Alcotest.check_raises "capacity 0 rejected"
+    (Invalid_argument "Lru.create: capacity must be >= 1") (fun () ->
+      ignore (Lru.create ~capacity:0))
+
+(* --- Session caches ----------------------------------------------------- *)
+
+let prog_a = "int main() { int i; int s; s = 0; for (i = 0; i < 40; i = i + 1) { s = s + i; } return s % 7; }"
+let prog_b = "int main() { int i; int s; s = 1; for (i = 0; i < 30; i = i + 1) { s = s + 2 * i; } return s % 5; }"
+
+let ilp_cs = Epic_core.Config.ilp_cs
+
+let test_session_counters () =
+  let s = Session.create () in
+  let _, k1, h1 = Session.compile s ~config:ilp_cs ~desc:None ~train:[||] prog_a in
+  let _, k2, h2 = Session.compile s ~config:ilp_cs ~desc:None ~train:[||] prog_a in
+  Alcotest.(check bool) "cold is a miss" false h1;
+  Alcotest.(check bool) "repeat is a hit" true h2;
+  Alcotest.(check string) "same key" k1 k2;
+  (* the default desc and an explicit itanium2 are the same content *)
+  let _, k3, h3 =
+    Session.compile s ~config:ilp_cs ~desc:(Some Desc.itanium2) ~train:[||] prog_a
+  in
+  Alcotest.(check string) "explicit itanium2 shares the key" k1 k3;
+  Alcotest.(check bool) "and hits" true h3;
+  (* any key ingredient changing misses: config, train, desc, source *)
+  let _, k4, h4 =
+    Session.compile s ~config:Epic_core.Config.gcc_like ~desc:None ~train:[||] prog_a
+  in
+  let _, k5, h5 = Session.compile s ~config:ilp_cs ~desc:None ~train:[| 3L |] prog_a in
+  let _, k6, h6 =
+    Session.compile s ~config:ilp_cs
+      ~desc:(Some { Desc.itanium2 with Desc.mem_latency = 280 })
+      ~train:[||] prog_a
+  in
+  let _, k7, h7 = Session.compile s ~config:ilp_cs ~desc:None ~train:[||] prog_b in
+  List.iter
+    (fun (what, k, h) ->
+      Alcotest.(check bool) (what ^ " misses") false h;
+      Alcotest.(check bool) (what ^ " has a fresh key") true (k <> k1))
+    [ ("config", k4, h4); ("train", k5, h5); ("desc", k6, h6); ("source", k7, h7) ];
+  let st = Session.stats s in
+  Alcotest.(check int) "compile hits" 2 st.Session.st_compile_hits;
+  Alcotest.(check int) "compile misses" 5 st.Session.st_compile_misses;
+  Alcotest.(check int) "no evictions at capacity 64" 0 st.Session.st_compile_evictions
+
+let test_session_eviction () =
+  let s = Session.create ~compile_capacity:1 () in
+  let _ = Session.compile s ~config:ilp_cs ~desc:None ~train:[||] prog_a in
+  let _ = Session.compile s ~config:ilp_cs ~desc:None ~train:[||] prog_b in
+  let _ = Session.compile s ~config:ilp_cs ~desc:None ~train:[||] prog_a in
+  let st = Session.stats s in
+  Alcotest.(check int) "b evicted a, a evicted b" 2 st.Session.st_compile_evictions;
+  Alcotest.(check int) "so the re-request missed" 3 st.Session.st_compile_misses;
+  Alcotest.(check int) "entries bounded" 1 st.Session.st_compile_entries
+
+(* A run-cache hit must be byte-identical to the cold compile+run — the
+   whole exported document, not just the totals — even before
+   normalize_time, because served outcomes carry no host section. *)
+let run_doc (served : Session.served) =
+  Json.to_string ~pretty:true
+    (Epic_core.Export.run_to_json served.Session.s_outcome.Session.o_metrics)
+
+let test_run_cache_byte_identity () =
+  let s = Session.create () in
+  let go () =
+    Session.compile_and_run s ~workload:"prog" ~config:ilp_cs ~desc:None
+      ~train:[| 5L |] ~input:[| 5L |] prog_a
+  in
+  let cold = go () in
+  let warm = go () in
+  Alcotest.(check bool) "cold missed" false cold.Session.s_run_hit;
+  Alcotest.(check bool) "warm hit" true warm.Session.s_run_hit;
+  Alcotest.(check bool) "warm compile hit too" true warm.Session.s_compile_hit;
+  Alcotest.(check string) "byte-identical documents" (run_doc cold) (run_doc warm);
+  (* a different workload label for the same content still hits, and the
+     label is patched into the served document *)
+  let relabeled =
+    Session.compile_and_run s ~workload:"other-name" ~config:ilp_cs ~desc:None
+      ~train:[| 5L |] ~input:[| 5L |] prog_a
+  in
+  Alcotest.(check bool) "relabel hits" true relabeled.Session.s_run_hit;
+  Alcotest.(check string) "label patched" "other-name"
+    relabeled.Session.s_outcome.Session.o_metrics.Epic_core.Metrics.workload
+
+(* Property: for random programs, a session cache hit returns the same
+   bytes as the cold path.  (The cold path itself is the plain Driver, so
+   this pins served == batch on arbitrary inputs, not just the suite.) *)
+let qcheck_cold_vs_hit =
+  QCheck.Test.make ~count:8 ~name:"session hit is byte-identical to cold run"
+    (QCheck.make Epic_core.Random_program.Gen.program)
+    (fun src ->
+      (* the session layer has no fuel guard (real workloads terminate), so
+         skip generated programs whose reference run isn't quickly bounded *)
+      match Epic_core.Random_program.reference ~fuel:200_000 src [| 3L |] with
+      | exception _ -> true
+      | _ ->
+          let s = Session.create () in
+          let go () =
+            Session.compile_and_run s ~workload:"fuzz" ~config:ilp_cs ~desc:None
+              ~train:[| 3L |] ~input:[| 3L |] src
+          in
+          let cold = go () in
+          let warm = go () in
+          if not warm.Session.s_run_hit then
+            QCheck.Test.fail_report "second request did not hit the run cache";
+          if run_doc cold <> run_doc warm then
+            QCheck.Test.fail_report "hit diverged from cold bytes";
+          true)
+
+(* Concurrency: N pool jobs demanding one key must compile exactly once —
+   one miss, N-1 hits, every job handed the same physical artifact. *)
+let test_concurrent_hammer () =
+  let s = Session.create ~jobs:4 () in
+  let results =
+    Session.map s
+      (fun _ -> Session.compile s ~config:ilp_cs ~desc:None ~train:[||] prog_a)
+      (Array.init 8 Fun.id)
+  in
+  let first, _, _ = results.(0) in
+  Array.iter
+    (fun (c, k, _) ->
+      Alcotest.(check bool) "same physical compiled value" true (c == first);
+      let _, k0, _ = results.(0) in
+      Alcotest.(check string) "same key" k0 k)
+    results;
+  let st = Session.stats s in
+  Alcotest.(check int) "compiled exactly once" 1 st.Session.st_compile_misses;
+  Alcotest.(check int) "everyone else hit" 7 st.Session.st_compile_hits
+
+(* --- Protocol ----------------------------------------------------------- *)
+
+let test_protocol_envelopes () =
+  let s = Session.create () in
+  let exec line = Protocol.execute s (Protocol.parse line) in
+  (match Json.of_string (exec {|{"id": 7, "op": "ping"}|}) with
+  | Ok j ->
+      Alcotest.(check bool) "id echoed" true (Json.member "id" j = Some (Json.Int 7));
+      Alcotest.(check bool) "ok" true (Json.member "ok" j = Some (Json.Bool true));
+      Alcotest.(check bool) "pong" true
+        (Json.member "result" j = Some (Json.Str "pong"))
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string (exec {|{"id": 8, "op": "no-such-op"}|}) with
+  | Ok j ->
+      Alcotest.(check bool) "not ok" true (Json.member "ok" j = Some (Json.Bool false));
+      Alcotest.(check bool) "id still echoed" true
+        (Json.member "id" j = Some (Json.Int 8))
+  | Error e -> Alcotest.fail e);
+  (match Json.of_string (exec "this is not json") with
+  | Ok j ->
+      Alcotest.(check bool) "bad JSON is an error response, not a crash" true
+        (Json.member "ok" j = Some (Json.Bool false))
+  | Error e -> Alcotest.fail e);
+  (* a stats response carries the counter tree the CI smoke asserts on *)
+  match Json.of_string (exec {|{"op": "stats"}|}) with
+  | Ok j ->
+      let result = Option.get (Json.member "result" j) in
+      List.iter
+        (fun path ->
+          Alcotest.(check bool) (path ^ " present") true
+            (match Json.member path result with
+            | Some (Json.Obj _) -> true
+            | _ -> false))
+        [ "compile"; "run"; "reference" ]
+  | Error e -> Alcotest.fail e
+
+let test_protocol_heaviness () =
+  Alcotest.(check bool) "run is light" false
+    (Protocol.is_heavy (Protocol.parse {|{"op":"run","source":"int main(){return 0;}"}|}));
+  Alcotest.(check bool) "suite is heavy" true
+    (Protocol.is_heavy (Protocol.parse {|{"op":"suite"}|}));
+  Alcotest.(check bool) "shutdown recognized" true
+    (Protocol.is_shutdown (Protocol.parse {|{"op":"shutdown"}|}))
+
+let suite =
+  [
+    Alcotest.test_case "machine-desc digest is pinned" `Quick test_digest_pinned;
+    Alcotest.test_case "digest ignores the name, sees the knobs" `Quick
+      test_digest_name_invariant;
+    Alcotest.test_case "lru evicts in recency order" `Quick test_lru_eviction_order;
+    Alcotest.test_case "lru replace and capacity validation" `Quick test_lru_replace;
+    Alcotest.test_case "compile cache hit/miss per key ingredient" `Slow
+      test_session_counters;
+    Alcotest.test_case "bounded cache evicts and recounts" `Quick
+      test_session_eviction;
+    Alcotest.test_case "run-cache hit is byte-identical to cold" `Slow
+      test_run_cache_byte_identity;
+    QCheck_alcotest.to_alcotest qcheck_cold_vs_hit;
+    Alcotest.test_case "concurrent same-key requests compile once" `Quick
+      test_concurrent_hammer;
+    Alcotest.test_case "protocol envelopes and error paths" `Quick
+      test_protocol_envelopes;
+    Alcotest.test_case "protocol op classification" `Quick test_protocol_heaviness;
+  ]

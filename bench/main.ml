@@ -28,6 +28,15 @@
    against a stored baseline, failing on any difference (the CI
    regression gate).
 
+   `sample_acc` runs the sampled-simulation accuracy harness (lib/sample):
+   every selected workload in full and under interval sampling, asserting
+   the documented error budgets (geomean total <= 2%, per-category <= 5%)
+   and printing per-workload errors and speedups.  `--sample-plan I:D[:W]`
+   overrides the sampling plan and `--sample-json FILE` writes the error
+   report as JSON (the CI `sample-accuracy` job's artifact).  Explicit-only
+   and always sequential (-j is ignored) so the speedups are wall-clock
+   trustworthy.
+
    `causal` runs the COZ-style virtual-speedup matrix (lib/causal) on
    gzip,twolf (or the --workloads subset), prints the ranked causal
    report, and fails unless the causal ranking of the front-end /
@@ -42,7 +51,7 @@ let suite_artifacts =
 
 (* Artifacts that run only when named explicitly (too broad or too slow to
    fold into the default "everything" run). *)
-let explicit_artifacts = [ "sweep"; "causal" ]
+let explicit_artifacts = [ "sweep"; "causal"; "sample_acc" ]
 
 let all_artifacts =
   suite_artifacts
@@ -136,6 +145,8 @@ let () =
   let normalize_time = ref false in
   let sweep_variants = ref None in
   let sweep_baseline = ref None in
+  let sample_json = ref None in
+  let sample_plan = ref Epic_sim.Sampling.default_plan in
   let int_arg flag v =
     match int_of_string_opt v with
     | Some n when n >= 1 -> n
@@ -161,6 +172,16 @@ let () =
         split_opts acc rest
     | "--sweep-baseline" :: f :: rest ->
         sweep_baseline := Some f;
+        split_opts acc rest
+    | "--sample-json" :: f :: rest ->
+        sample_json := Some f;
+        split_opts acc rest
+    | "--sample-plan" :: v :: rest ->
+        (match Epic_sim.Sampling.parse_spec v with
+        | plan -> sample_plan := plan
+        | exception Invalid_argument e ->
+            Printf.eprintf "%s\n" e;
+            exit 2);
         split_opts acc rest
     | a :: rest -> split_opts (a :: acc) rest
     | [] -> List.rev acc
@@ -308,6 +329,20 @@ let () =
           Printf.eprintf "FAIL: sweep result differs from baseline %s\n" f;
           exit 1
         end
+  end;
+  if wanted "sample_acc" then begin
+    Printf.eprintf
+      "running the sampled-simulation accuracy harness (%d workloads, full + \
+       sampled, sequential)...\n%!"
+      (List.length workloads);
+    let rep = Epic_sample.Sample.run ~plan:!sample_plan ~jobs:1 ~workloads () in
+    Epic_sample.Sample.print Fmt.stdout rep;
+    (match !sample_json with
+    | None -> ()
+    | Some f ->
+        Epic_obs.Json.to_file f (Epic_sample.Sample.to_json rep);
+        Printf.eprintf "wrote sample-accuracy report to %s\n%!" f);
+    if not rep.Epic_sample.Sample.pass then exit 1
   end;
   if wanted "causal" then begin
     let open Epic_causal.Causal in

@@ -9,15 +9,23 @@
      dune exec bench/simspeed.exe -- --workloads gzip,twolf
      dune exec bench/simspeed.exe -- --json simspeed.json
      dune exec bench/simspeed.exe -- --check simspeed-baseline.json
+     dune exec bench/simspeed.exe -- --sampled --min-speedup 1.5
 
    `--check FILE` compares per-workload simulated-cycles-per-host-second
    against a stored baseline and fails (exit 1) when any workload is more
    than `--max-slowdown` (default 2.0) times slower — a deliberately
    generous threshold so the CI gate only trips on genuine regressions,
-   not on runner noise.  Compile time is excluded: only `Driver.run` is
-   timed.  `--repeat N` (default 1) takes the best of N runs to damp
-   host-side noise; the simulated cycle count is asserted identical across
-   repeats (the engines are deterministic). *)
+   not on runner noise.  Every measured ratio is printed, pass or fail,
+   plus a final verdict line, so a CI log is diagnosable without
+   re-running.  Compile time is excluded: only `Driver.run` is timed.
+   `--repeat N` (default 1) takes the best of N runs to damp host-side
+   noise; the simulated cycle count is asserted identical across repeats
+   (the engines are deterministic).
+
+   `--sampled[=I:D[:W]]` additionally times each workload under interval
+   sampling (default: the tuned default plan) and prints the per-workload
+   wall-clock speedup over the detailed run; `--min-speedup X` fails
+   (exit 1) when the geomean speedup falls below X. *)
 
 let default_workloads = [ "gzip"; "twolf"; "vortex" ]
 
@@ -34,7 +42,7 @@ type row = {
   major_collections : int;
 }
 
-let measure ~repeat (w : Epic_workloads.Workload.t) =
+let measure ?sampling ~repeat (w : Epic_workloads.Workload.t) =
   let config =
     {
       (Epic_core.Config.make Epic_core.Config.ILP_CS) with
@@ -55,7 +63,7 @@ let measure ~repeat (w : Epic_workloads.Workload.t) =
     Gc.full_major ();
     let g0 = Gc.quick_stat () in
     let t0 = Sys.time () in
-    let _, _, st = Epic_core.Driver.run compiled input in
+    let _, _, st = Epic_core.Driver.run ?sampling compiled input in
     let dt = Sys.time () -. t0 in
     let g1 = Gc.quick_stat () in
     let c = Epic_sim.Accounting.total st.Epic_sim.Machine.acc in
@@ -115,6 +123,8 @@ let () =
   let check_file = ref None in
   let max_slowdown = ref 2.0 in
   let repeat = ref 1 in
+  let sampled = ref None in
+  let min_speedup = ref 0. in
   let rec parse = function
     | "--workloads" :: v :: rest ->
         workloads := String.split_on_char ',' v;
@@ -137,6 +147,25 @@ let () =
         | Some n when n >= 1 -> repeat := n
         | _ ->
             Printf.eprintf "--repeat expects a positive integer, got %S\n" v;
+            exit 2);
+        parse rest
+    | "--sampled" :: rest ->
+        sampled := Some Epic_sim.Sampling.default_plan;
+        parse rest
+    | a :: rest when String.length a > 10 && String.sub a 0 10 = "--sampled=" ->
+        (match
+           Epic_sim.Sampling.parse_spec (String.sub a 10 (String.length a - 10))
+         with
+        | p -> sampled := Some p
+        | exception Invalid_argument m ->
+            Printf.eprintf "%s\n" m;
+            exit 2);
+        parse rest
+    | "--min-speedup" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some x when x >= 0. -> min_speedup := x
+        | _ ->
+            Printf.eprintf "--min-speedup expects a non-negative number, got %S\n" v;
             exit 2);
         parse rest
     | a :: _ ->
@@ -168,17 +197,85 @@ let () =
     rows;
   let geo = geomean (List.map (fun r -> r.sim_mcycles_per_s) rows) in
   Printf.printf "%-10s %52.2f\n" "geomean" geo;
+  (* Sampled-path timing: re-measure each workload under interval sampling
+     and report the wall-clock speedup over the detailed run just taken. *)
+  let sampled_rows =
+    match !sampled with
+    | None -> []
+    | Some plan ->
+        Printf.printf "\nsampled path (%s):\n"
+          (Epic_sim.Sampling.key_fragment plan);
+        Printf.printf "%-10s %10s %10s %9s %14s\n" "workload" "full s"
+          "sampled s" "speedup" "est cycles";
+        let srows =
+          List.map2
+            (fun name full ->
+              let w = Option.get (Epic_workloads.Suite.find name) in
+              Printf.eprintf "simspeed: %s (sampled)...\n%!" name;
+              let s = measure ~sampling:plan ~repeat:!repeat w in
+              let speedup = full.wall_s /. s.wall_s in
+              Printf.printf "%-10s %10.3f %10.3f %8.2fx %14.0f\n" name
+                full.wall_s s.wall_s speedup s.cycles;
+              (name, s, speedup))
+            !workloads rows
+        in
+        let sgeo = geomean (List.map (fun (_, _, sp) -> sp) srows) in
+        Printf.printf "%-10s %31.2fx\n" "geomean" sgeo;
+        if !min_speedup > 0. then
+          if sgeo < !min_speedup then begin
+            Printf.printf
+              "sampled speedup: FAIL (geomean %.2fx < required %.2fx)\n" sgeo
+              !min_speedup;
+            exit 1
+          end
+          else
+            Printf.printf
+              "sampled speedup: PASS (geomean %.2fx >= required %.2fx)\n" sgeo
+              !min_speedup;
+        srows
+  in
   (match !json_file with
   | None -> ()
   | Some f ->
       Epic_obs.Json.to_file f
         (Epic_obs.Json.Obj
-           [
-             ("bench", Epic_obs.Json.Str "simspeed");
-             ("level", Epic_obs.Json.Str "ILP-CS");
-             ("geomean_sim_mcycles_per_s", Epic_obs.Json.Float geo);
-             ("rows", Epic_obs.Json.List (List.map row_to_json rows));
-           ]);
+           ([
+              ("bench", Epic_obs.Json.Str "simspeed");
+              ("level", Epic_obs.Json.Str "ILP-CS");
+              ("geomean_sim_mcycles_per_s", Epic_obs.Json.Float geo);
+              ("rows", Epic_obs.Json.List (List.map row_to_json rows));
+            ]
+           @
+           match (!sampled, sampled_rows) with
+           | Some plan, (_ :: _ as srows) ->
+               [
+                 ( "sampled",
+                   Epic_obs.Json.Obj
+                     [
+                       ( "plan",
+                         Epic_obs.Json.Str
+                           (Epic_sim.Sampling.key_fragment plan) );
+                       ( "geomean_speedup",
+                         Epic_obs.Json.Float
+                           (geomean
+                              (List.map (fun (_, _, sp) -> sp) srows)) );
+                       ( "rows",
+                         Epic_obs.Json.List
+                           (List.map
+                              (fun (_, r, sp) ->
+                                match row_to_json r with
+                                | Epic_obs.Json.Obj fields ->
+                                    Epic_obs.Json.Obj
+                                      (fields
+                                      @ [
+                                          ( "speedup",
+                                            Epic_obs.Json.Float sp );
+                                        ])
+                                | j -> j)
+                              srows) );
+                     ] );
+               ]
+           | _ -> []));
       Printf.eprintf "wrote %s\n%!" f);
   match !check_file with
   | None -> ()
@@ -209,25 +306,30 @@ let () =
               l
         | _ -> None
       in
+      (* Print every measured ratio, pass or fail, then one verdict line:
+         a CI log must be diagnosable without re-running the bench. *)
       let failed = ref false in
+      let worst = ref 0. in
+      Printf.printf "\ncheck against %s (threshold %.1fx):\n" f !max_slowdown;
       List.iter
         (fun r ->
           match baseline_rate r.name with
           | None ->
-              Printf.eprintf "NOTE: no baseline entry for %s in %s (skipped)\n"
-                r.name f
+              Printf.printf "  %-10s %-4s no baseline entry (skipped)\n"
+                r.name "-"
           | Some b ->
               let ratio = b /. max r.sim_mcycles_per_s 1e-12 in
-              if ratio > !max_slowdown then begin
-                Printf.eprintf
-                  "FAIL: %s throughput %.2f Mcycles/s is %.2fx slower than \
-                   baseline %.2f (threshold %.1fx)\n"
-                  r.name r.sim_mcycles_per_s ratio b !max_slowdown;
-                failed := true
-              end
-              else
-                Printf.eprintf
-                  "ok: %s %.2f Mcycles/s vs baseline %.2f (%.2fx)\n" r.name
-                  r.sim_mcycles_per_s b (b /. max r.sim_mcycles_per_s 1e-12))
+              if ratio > !worst then worst := ratio;
+              let over = ratio > !max_slowdown in
+              if over then failed := true;
+              Printf.printf
+                "  %-10s %-4s %8.2f Mcycles/s vs baseline %8.2f (%.2fx \
+                 slowdown)\n"
+                r.name
+                (if over then "FAIL" else "ok")
+                r.sim_mcycles_per_s b ratio)
         rows;
+      Printf.printf "check: %s (worst slowdown %.2fx, threshold %.1fx)\n"
+        (if !failed then "FAIL" else "PASS")
+        !worst !max_slowdown;
       if !failed then exit 1

@@ -117,6 +117,20 @@ let profile_out =
            it in the --json document (whose profile field is then null).  \
            Implies sampling, at --sample-period or the suite default")
 
+let sample_sim =
+  Arg.(
+    value
+    & opt ~vopt:(Some "") (some string) None
+    & info [ "sample-sim" ] ~docv:"I:D[:W]"
+        ~doc:
+          "simulate under interval sampling: fast-forward in a \
+           functional-warming mode and charge cycles only during periodic \
+           detailed phases, extrapolating the accounting (with confidence \
+           bounds in the --json document).  $(docv) is \
+           INTERVAL:DETAIL[:WARMUP] in issue groups; bare $(b,--sample-sim) \
+           uses the tuned default plan.  Program output and exit code are \
+           exact; cycles are estimates")
+
 let write_json f doc =
   try Epic_obs.Json.to_file f doc
   with Sys_error m ->
@@ -145,14 +159,24 @@ let print_counters config (o : Session.outcome) =
       Fmt.pr "%-16s %12.0f@." (Epic_sim.Accounting.name c)
         m.Epic_core.Metrics.categories.(Epic_sim.Accounting.index c))
     Epic_sim.Accounting.all_categories;
-  Fmt.pr "%-16s %12.0f@." "TOTAL" m.Epic_core.Metrics.cycles
+  Fmt.pr "%-16s %12.0f@." "TOTAL" m.Epic_core.Metrics.cycles;
+  match m.Epic_core.Metrics.sampling with
+  | None -> ()
+  | Some su ->
+      Fmt.pr ";; sampled (%s): %d/%d groups detailed over %d phases, +-%.0f \
+              cycles (95%%)@."
+        (Epic_sim.Sampling.key_fragment su.Epic_sim.Sampling.s_plan)
+        su.Epic_sim.Sampling.s_detail_groups
+        su.Epic_sim.Sampling.s_total_groups su.Epic_sim.Sampling.s_phases
+        su.Epic_sim.Sampling.s_ci95
 
 (* One (file, level) cell: compile and run through the session.  The
    instrumented path (--trace / --profile-out) needs the raw instrument
    objects back, so it runs outside the run cache — the compile and
    reference caches still apply. *)
 let run_cell session ~file ~level ~sentinel ~no_pa ~input ~train ~dump_ir
-    ~show_loops ~quiet ~json_wanted ~trace_file ~sample_period ~profile_out =
+    ~show_loops ~quiet ~json_wanted ~trace_file ~sample_period ~profile_out
+    ~sampling =
   let src = In_channel.with_open_text file In_channel.input_all in
   let config =
     {
@@ -204,7 +228,9 @@ let run_cell session ~file ~level ~sentinel ~no_pa ~input ~train ~dump_ir
               Some (Epic_obs.Profile.create ())
             else None
           in
-          let code, out, st = Epic_core.Driver.run ?trace ?profile compiled input in
+          let code, out, st =
+            Epic_core.Driver.run ?trace ?profile ?sampling compiled input
+          in
           (match trace_file with
           | Some f ->
               let tr = Option.get trace in
@@ -247,8 +273,8 @@ let run_cell session ~file ~level ~sentinel ~no_pa ~input ~train ~dump_ir
             else 0
           in
           let o, _run_hit =
-            Session.run session ~sample_period:sp ~workload ~reference ~key
-              compiled input
+            Session.run session ?sampling ~sample_period:sp ~workload
+              ~reference ~key compiled input
           in
           o
         end
@@ -257,8 +283,17 @@ let run_cell session ~file ~level ~sentinel ~no_pa ~input ~train ~dump_ir
       (config, outcome)
 
 let run_cmd files levels sentinel no_pa inputs train dump_ir show_loops quiet
-    json_file normalize trace_file sample_period profile_out =
+    json_file normalize trace_file sample_period profile_out sample_sim =
   let levels = match levels with [] -> [ Epic_core.Config.ILP_CS ] | l -> l in
+  let sampling =
+    match sample_sim with
+    | None -> None
+    | Some spec -> (
+        try Some (Epic_sim.Sampling.parse_spec spec)
+        with Invalid_argument m ->
+          Fmt.epr "epicc: %s@." m;
+          exit 2)
+  in
   let input = Array.of_list (List.map Int64.of_int inputs) in
   let train =
     match train with
@@ -278,7 +313,7 @@ let run_cmd files levels sentinel no_pa inputs train dump_ir show_loops quiet
       (fun (file, level) ->
         run_cell session ~file ~level ~sentinel ~no_pa ~input ~train ~dump_ir
           ~show_loops ~quiet ~json_wanted:(json_file <> None) ~trace_file
-          ~sample_period ~profile_out)
+          ~sample_period ~profile_out ~sampling)
       cells
   in
   (match json_file with
@@ -326,6 +361,6 @@ let cmd =
     Term.(
       const run_cmd $ files $ levels $ sentinel $ no_pa $ inputs $ train
       $ dump_ir $ show_loops $ quiet $ json_file $ normalize_time $ trace_file
-      $ sample_period $ profile_out)
+      $ sample_period $ profile_out $ sample_sim)
 
 let () = exit (Cmd.eval cmd)

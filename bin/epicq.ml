@@ -9,7 +9,8 @@
      epicq [opts] compile --source FILE [-O LEVEL] [--train CSV]
      epicq [opts] run --source FILE [--workload NAME] [-O LEVEL]
                       [-i CSV] [--train CSV] [--sample-period N]
-                      [--normalize-time] [--require-cached] [--out FILE]
+                      [--sample-sim I:D[:W]] [--normalize-time]
+                      [--require-cached] [--out FILE]
      epicq [opts] req 'JSON'            one raw request line
      epicq [opts] burst FILE            pipeline every line of FILE
    Common opts: --socket PATH (default epicd.sock), -q, --out FILE. *)
@@ -72,6 +73,7 @@ let () =
   let inputs = ref None in
   let train = ref None in
   let sample_period = ref None in
+  let sample_sim = ref None in
   let normalize = ref false in
   let require_cached = ref false in
   let rec parse_args = function
@@ -86,6 +88,7 @@ let () =
     | "--train" :: v :: rest -> train := Some v; parse_args rest
     | "--sample-period" :: n :: rest ->
         sample_period := Some (int_of_string n); parse_args rest
+    | "--sample-sim" :: s :: rest -> sample_sim := Some s; parse_args rest
     | "--normalize-time" :: rest -> normalize := true; parse_args rest
     | "--require-cached" :: rest -> require_cached := true; parse_args rest
     | ("-h" | "--help") :: _ -> print_endline usage; exit 0
@@ -122,6 +125,9 @@ let () =
             | None -> [])
           @ (match !sample_period with
             | Some n -> [ ("sample_period", Json.Int n) ]
+            | None -> [])
+          @ (match !sample_sim with
+            | Some s -> [ ("sampling", Json.Str s) ]
             | None -> [])
           @ if !normalize then [ ("normalize_time", Json.Bool true) ] else [])
     | "req" -> (

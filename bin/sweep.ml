@@ -4,13 +4,17 @@
 
 let usage =
   "sweep [--workloads a,b,..] [--variants v,..] [--ablations a,..] [-j N]\n\
-  \      [--json FILE] [--normalize-time] [--check BASELINE] [--list]\n\n\
+  \      [--sample-sim[=I:D[:W]]] [--json FILE] [--normalize-time]\n\
+  \      [--check BASELINE] [--list]\n\n\
    Runs every named machine variant (default: all six) against the\n\
    itanium2 x ILP-CS baseline on the given workloads (default: gzip,twolf)\n\
    and reports per-cell cycle and stall-category deltas plus a geomean\n\
    tornado.  --check diffs the normalized JSON against a stored baseline\n\
    and exits 1 on any difference.  -j defaults to the machine's\n\
-   recommended domain count (capped at the job count by the pool)."
+   recommended domain count (capped at the job count by the pool).\n\
+   --sample-sim runs every cell under interval sampling (cycles become\n\
+   extrapolated estimates within the EXPERIMENTS.md accuracy budget);\n\
+   sampled reports are not comparable to full-simulation baselines."
 
 let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
 
@@ -28,6 +32,7 @@ let () =
   let normalize = ref false in
   let check_file = ref None in
   let list_only = ref false in
+  let sampling = ref None in
   let rec parse = function
     | [] -> ()
     | ("-h" | "--help") :: _ ->
@@ -58,6 +63,17 @@ let () =
         parse rest
     | "--check" :: f :: rest ->
         check_file := Some f;
+        parse rest
+    | "--sample-sim" :: rest ->
+        sampling := Some Epic_sim.Sampling.default_plan;
+        parse rest
+    | a :: rest when String.length a > 13 && String.sub a 0 13 = "--sample-sim=" ->
+        (match
+           Epic_sim.Sampling.parse_spec
+             (String.sub a 13 (String.length a - 13))
+         with
+        | p -> sampling := Some p
+        | exception Invalid_argument m -> die ("sweep: " ^ m));
         parse rest
     | a :: _ -> die (Printf.sprintf "sweep: unknown argument %S\n%s" a usage)
   in
@@ -101,7 +117,7 @@ let () =
   let report =
     try
       Epic_serve.Session.sweep session ~variants:vs ~ablations:abs_
-        ~progress:true ~workloads:!workloads ()
+        ?sampling:!sampling ~progress:true ~workloads:!workloads ()
     with Invalid_argument msg -> die ("sweep: " ^ msg)
   in
   print_report Fmt.stdout report;

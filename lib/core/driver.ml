@@ -336,10 +336,18 @@ let default_compile : compile_fn =
  fun ~config ~desc ~train src -> compile ~config ?desc ~train src
 
 (* Run a compiled binary on the machine simulator. *)
-let run ?fuel ?trace ?profile ?experiment (c : compiled) (input : int64 array)
-    =
-  Epic_sim.Machine.run ?fuel ?trace ?profile ?experiment ~desc:c.desc
-    c.program c.layout input
+let run ?fuel ?trace ?profile ?experiment ?sampling ?checkpoint_at
+    (c : compiled) (input : int64 array) =
+  Epic_sim.Machine.run ?fuel ?trace ?profile ?experiment ?sampling
+    ?checkpoint_at ~desc:c.desc c.program c.layout input
+
+(* Resume a checkpoint taken from a run of the same compiled binary (or a
+   structurally identical recompile: the session cache's content keys
+   guarantee that). *)
+let resume ?fuel ?trace ?profile ?experiment (c : compiled)
+    (ck : Epic_sim.Machine.checkpoint) =
+  Epic_sim.Machine.resume ?fuel ?trace ?profile ?experiment ~desc:c.desc
+    c.program c.layout ck
 
 (* Reference semantics: the pre-backend program still runs on the
    high-level interpreter (scheduling does not change IR meaning), so a

@@ -102,8 +102,22 @@ val run :
   ?trace:Epic_obs.Trace.t ->
   ?profile:Epic_obs.Profile.t ->
   ?experiment:Epic_sim.Accounting.experiment ->
+  ?sampling:Epic_sim.Sampling.plan ->
+  ?checkpoint_at:int ->
   compiled ->
   int64 array ->
+  int * string * Epic_sim.Machine.t
+
+(** Resume a checkpoint (captured by a [?checkpoint_at] run of the same
+    compiled binary) to completion under this binary's machine description;
+    see {!Epic_sim.Machine.resume}. *)
+val resume :
+  ?fuel:int ->
+  ?trace:Epic_obs.Trace.t ->
+  ?profile:Epic_obs.Profile.t ->
+  ?experiment:Epic_sim.Accounting.experiment ->
+  compiled ->
+  Epic_sim.Machine.checkpoint ->
   int * string * Epic_sim.Machine.t
 
 (** Run the compiled program's IR on the reference interpreter (scheduling

@@ -52,8 +52,32 @@ let transform_stats_to_json (s : Driver.transform_stats) =
     ]
 
 let run_to_json (r : Metrics.run) =
+  (* Omitted (not [null]) when the run was not sampled, so documents from
+     unsampled runs — including every pinned baseline — are byte-identical
+     to what this field predates. *)
+  let sampling_fields =
+    match r.Metrics.sampling with
+    | None -> []
+    | Some su ->
+        let open Epic_sim in
+        [
+          ( "sampling",
+            Json.Obj
+              [
+                ("plan", Json.Str (Sampling.key_fragment su.Sampling.s_plan));
+                ("total_groups", Json.Int su.Sampling.s_total_groups);
+                ("detail_groups", Json.Int su.Sampling.s_detail_groups);
+                ("phases", Json.Int su.Sampling.s_phases);
+                ("scale", Json.Float su.Sampling.s_scale);
+                ("measured_cycles", Json.Float su.Sampling.s_measured_cycles);
+                ("est_cycles", Json.Float su.Sampling.s_est_cycles);
+                ("ci95", Json.Float su.Sampling.s_ci95);
+                ("cat_ci95", categories_to_json su.Sampling.s_cat_ci95);
+              ] );
+        ]
+  in
   Json.Obj
-    [
+    ([
       ("workload", Json.Str r.Metrics.workload);
       ("config", config_to_json r.Metrics.config);
       ("cycles", Json.Float r.Metrics.cycles);
@@ -119,6 +143,7 @@ let run_to_json (r : Metrics.run) =
               ]
         | None -> Json.Null );
     ]
+    @ sampling_fields)
 
 (* The observability block experiment cells carry (sweep and causal alike):
    exact per-kind event counts from the trace ring — counts stay exact even

@@ -40,6 +40,7 @@ type run = {
   stats : Driver.transform_stats;
   passes : Epic_obs.Passes.record list; (* per-pass compiler instrumentation *)
   profile : Epic_obs.Profile.summary option; (* PC samples, when sampling ran *)
+  sampling : Epic_sim.Sampling.summary option; (* interval-sampling extrapolation *)
   output_matches : bool; (* simulator output == reference interpreter output *)
   host : host_stats option; (* host-side run cost, when the caller timed it *)
 }
@@ -77,6 +78,7 @@ let of_machine ~(workload : string) ?profile ?host (compiled : Driver.compiled)
     stats = compiled.Driver.transform_stats;
     passes = compiled.Driver.pass_records;
     profile = Option.map Epic_obs.Profile.summarize profile;
+    sampling = Epic_sim.Machine.sample_summary st;
     output_matches;
     host;
   }

@@ -43,6 +43,10 @@ type run = {
       (** per-pass compiler instrumentation (wall time, rounds, IR deltas) *)
   profile : Epic_obs.Profile.summary option;
       (** PC-sampling profile, when the run sampled *)
+  sampling : Epic_sim.Sampling.summary option;
+      (** interval-sampling extrapolation summary, when the run was
+          sampled ({!Driver.run} [?sampling]); cycles and categories are
+          then estimates with the confidence bounds recorded here *)
   output_matches : bool;
       (** simulator output equalled the reference interpreter's *)
   host : host_stats option;

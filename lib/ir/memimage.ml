@@ -133,6 +133,18 @@ let write t (a : int64) (size : int) (v : int64) =
     | _ -> write_slow t a size v
   else write_slow t a size v
 
+(* Deep copy for checkpointing: every page's bytes are duplicated and the
+   one-entry handle cache reset (it would otherwise alias the source). *)
+let copy t =
+  let pages = Hashtbl.create (max 64 (Hashtbl.length t.pages)) in
+  Hashtbl.iter (fun idx p -> Hashtbl.add pages idx (Bytes.copy p)) t.pages;
+  {
+    pages;
+    mapped_count = t.mapped_count;
+    last_idx = -1;
+    last_page = Bytes.empty;
+  }
+
 (* Initialize the image from a program's global data and map the stack and
    the NaT page.  Returns unit; addresses must already be assigned. *)
 let load_program t (p : Program.t) =

@@ -33,3 +33,6 @@ val write : t -> int64 -> int -> int64 -> unit
 (** Initialize the image from a program's globals and map the stack and the
     NaT page ([Program.assign_addresses] must have run). *)
 val load_program : t -> Program.t -> unit
+
+(** Deep copy (every page's bytes duplicated), for checkpointing. *)
+val copy : t -> t

@@ -18,6 +18,7 @@ type op =
       train : int64 array option;  (* None: default to the run input *)
       input : int64 array;
       sample_period : int;
+      sampling : Epic_sim.Sampling.plan option;
       normalize : bool;
     }
   | Suite of { workloads : string list option; normalize : bool }
@@ -135,6 +136,15 @@ let source_of j =
 
 let normalize_of j = bool ~default:false "normalize_time" j
 
+(* "sampling": an interval-sampling spec string ("I:D[:W]", "" = default
+   plan) or absent/null for a full detailed run. *)
+let sampling_of j =
+  match str_opt "sampling" j with
+  | None -> None
+  | Some s -> (
+      try Some (Epic_sim.Sampling.parse_spec s)
+      with Invalid_argument msg -> raise (Field msg))
+
 (* ---- parse ------------------------------------------------------------- *)
 
 let parse line =
@@ -172,6 +182,7 @@ let parse line =
                         Option.value
                           ~default:Epic_core.Experiments.sample_period
                           (int_opt "sample_period" j);
+                      sampling = sampling_of j;
                       normalize = normalize_of j;
                     }
               | "suite" ->
@@ -283,12 +294,21 @@ let execute session r =
                       compiled.Epic_core.Driver.transform_stats );
                 ] );
           ]
-    | Run { source; workload; config; train; input; sample_period; normalize }
-      ->
+    | Run
+        {
+          source;
+          workload;
+          config;
+          train;
+          input;
+          sample_period;
+          sampling;
+          normalize;
+        } ->
         let train = Option.value ~default:input train in
         let served =
-          Session.compile_and_run session ~sample_period ~workload ~config
-            ~desc:None ~train ~input source
+          Session.compile_and_run session ?sampling ~sample_period ~workload
+            ~config ~desc:None ~train ~input source
         in
         let doc =
           maybe_normalize normalize

@@ -13,8 +13,11 @@
     - [run] — the [compile] fields plus [input] (int list, default []),
       [train] defaulting to [input], [workload] (label, default
       "program"), [sample_period] (default the suite's
-      {!Epic_core.Experiments.sample_period}) and [normalize_time] (bool:
-      pass the result through {!Epic_core.Export.normalize_time});
+      {!Epic_core.Experiments.sample_period}), [sampling] (an
+      interval-sampling spec for {!Epic_sim.Sampling.parse_spec} —
+      ["I:D[:W]"], [""] for the default plan; absent = full detailed
+      simulation) and [normalize_time] (bool: pass the result through
+      {!Epic_core.Export.normalize_time});
     - [suite] — [workloads] (name list, default the whole suite),
       [normalize_time];
     - [sweep] — [workloads] (required), optional [variants] / [ablations]

@@ -131,9 +131,11 @@ type t = {
   compile_cache : (string, Driver.compiled) Lru.t;
   run_cache : (string, outcome) Lru.t;
   ref_cache : (string, int * string) Lru.t;
+  ckpt_cache : (string, Epic_sim.Machine.checkpoint option) Lru.t;
   inflight : (string, unit) Hashtbl.t;
-      (* keys under construction, prefixed by kind ("c:", "r:", "f:") so
-         the three caches share one table and one condition variable *)
+      (* keys under construction, prefixed by kind ("c:", "r:", "f:",
+         "k:") so the four caches share one table and one condition
+         variable *)
   mutable s_compile_hits : int;
   mutable s_compile_misses : int;
   mutable s_run_hits : int;
@@ -141,10 +143,13 @@ type t = {
   mutable s_run_uncached : int;
   mutable s_ref_hits : int;
   mutable s_ref_misses : int;
+  mutable s_ckpt_hits : int;
+  mutable s_ckpt_misses : int;
   mutable s_inflight_waits : int;
 }
 
-let create ?(jobs = 1) ?(compile_capacity = 64) ?(run_capacity = 256) () =
+let create ?(jobs = 1) ?(compile_capacity = 64) ?(run_capacity = 256)
+    ?(ckpt_capacity = 16) () =
   if jobs < 1 then invalid_arg "Session.create: jobs must be >= 1";
   {
     pool_jobs = jobs;
@@ -153,6 +158,7 @@ let create ?(jobs = 1) ?(compile_capacity = 64) ?(run_capacity = 256) () =
     compile_cache = Lru.create ~capacity:compile_capacity;
     run_cache = Lru.create ~capacity:run_capacity;
     ref_cache = Lru.create ~capacity:run_capacity;
+    ckpt_cache = Lru.create ~capacity:ckpt_capacity;
     inflight = Hashtbl.create 16;
     s_compile_hits = 0;
     s_compile_misses = 0;
@@ -161,6 +167,8 @@ let create ?(jobs = 1) ?(compile_capacity = 64) ?(run_capacity = 256) () =
     s_run_uncached = 0;
     s_ref_hits = 0;
     s_ref_misses = 0;
+    s_ckpt_hits = 0;
+    s_ckpt_misses = 0;
     s_inflight_waits = 0;
   }
 
@@ -243,22 +251,25 @@ let reference t ~source ~input =
       let code, out, _ = Epic_ir.Interp.run p input in
       (code, out))
 
-let simulate ?trace ?experiment ~sample_period ~workload ~reference:(ref_code, ref_out)
-    compiled ~input () =
+let simulate ?trace ?experiment ?sampling ~sample_period ~workload
+    ~reference:(ref_code, ref_out) compiled ~input () =
   let profile =
     if sample_period > 0 then
       Some (Epic_obs.Profile.create ~period:sample_period ())
     else None
   in
-  let code, out, st = Driver.run ?trace ?profile ?experiment compiled input in
+  let code, out, st =
+    Driver.run ?trace ?profile ?experiment ?sampling compiled input
+  in
   let ok = code = ref_code && out = ref_out in
   let metrics =
     Metrics.of_machine ~workload ?profile compiled st ~output_matches:ok
   in
   { o_code = code; o_output = out; o_metrics = metrics }
 
-let run t ?trace ?experiment ?(sample_period = Experiments.sample_period)
-    ~workload ~reference ~key compiled input =
+let run t ?trace ?experiment ?sampling
+    ?(sample_period = Experiments.sample_period) ~workload ~reference ~key
+    compiled input =
   match (trace, experiment) with
   | Some _, _ | _, Some _ ->
       (* a cached outcome could not have filled this trace ring, and
@@ -267,26 +278,57 @@ let run t ?trace ?experiment ?(sample_period = Experiments.sample_period)
       Mutex.lock t.mu;
       t.s_run_uncached <- t.s_run_uncached + 1;
       Mutex.unlock t.mu;
-      ( simulate ?trace ?experiment ~sample_period ~workload ~reference
-          compiled ~input (),
+      ( simulate ?trace ?experiment ?sampling ~sample_period ~workload
+          ~reference compiled ~input (),
         false )
   | None, None ->
+      (* the sampling plan is part of the outcome's identity (extrapolated
+         cycles differ per plan); unsampled keys keep the historical form
+         so warm caches stay valid *)
       let rkey =
         fnv1a64
-          (Printf.sprintf "c=%s;in=%s;sp=%d" key (int64s_key input)
-             sample_period)
+          (Printf.sprintf "c=%s;in=%s;sp=%d%s" key (int64s_key input)
+             sample_period
+             (match sampling with
+             | None -> ""
+             | Some p -> ";sm=" ^ Epic_sim.Sampling.key_fragment p))
       in
       let o, hit =
         cached_or_build t t.run_cache ~kind:"r:"
           ~on_hit:(fun () -> t.s_run_hits <- t.s_run_hits + 1)
           ~on_miss:(fun () -> t.s_run_misses <- t.s_run_misses + 1)
           rkey
-          (simulate ~sample_period ~workload ~reference compiled ~input)
+          (simulate ?sampling ~sample_period ~workload ~reference compiled
+             ~input)
       in
       (* the key is content-addressed; only the caller's label differs *)
       if hit && o.o_metrics.Metrics.workload <> workload then
         ({ o with o_metrics = { o.o_metrics with Metrics.workload } }, hit)
       else (o, hit)
+
+(* ---- checkpoints ------------------------------------------------------- *)
+
+(* Machine-state checkpoints are session artifacts like compiles: keyed by
+   content (compile key + input hash + capture position), built exactly
+   once under the in-flight table, bounded by their own LRU.  The cached
+   value is an [option]: [None] records that the program retires fewer
+   than [at] groups, which is just as deterministic as a captured snapshot
+   and saves re-running the prefix to rediscover it. *)
+let checkpoint_key ~key ~input ~at =
+  fnv1a64 (Printf.sprintf "c=%s;in=%s;at=%d" key (int64s_key input) at)
+
+let checkpoint t ~key ~at compiled input =
+  let ckey = checkpoint_key ~key ~input ~at in
+  let ck, hit =
+    cached_or_build t t.ckpt_cache ~kind:"k:"
+      ~on_hit:(fun () -> t.s_ckpt_hits <- t.s_ckpt_hits + 1)
+      ~on_miss:(fun () -> t.s_ckpt_misses <- t.s_ckpt_misses + 1)
+      ckey
+      (fun () ->
+        let _, _, st = Driver.run ~checkpoint_at:at compiled input in
+        st.Epic_sim.Machine.ck_saved)
+  in
+  (ck, ckey, hit)
 
 type served = {
   s_outcome : outcome;
@@ -295,13 +337,13 @@ type served = {
   s_run_hit : bool;
 }
 
-let compile_and_run t ?trace ?experiment ?sample_period ~workload ~config
-    ~desc ~train ~input source =
+let compile_and_run t ?trace ?experiment ?sampling ?sample_period ~workload
+    ~config ~desc ~train ~input source =
   let compiled, key, compile_hit = compile t ~config ~desc ~train source in
   let reference, _ = reference t ~source ~input in
   let outcome, run_hit =
-    run t ?trace ?experiment ?sample_period ~workload ~reference ~key compiled
-      input
+    run t ?trace ?experiment ?sampling ?sample_period ~workload ~reference
+      ~key compiled input
   in
   { s_outcome = outcome; s_key = key; s_compile_hit = compile_hit; s_run_hit = run_hit }
 
@@ -311,9 +353,9 @@ let suite t ?workloads ?progress () =
   Experiments.run_suite ?workloads ?progress ~jobs:t.pool_jobs
     ~compile:(compile_fn t) ()
 
-let sweep t ?variants ?ablations ?progress ~workloads () =
-  Epic_sweep.Sweep.run ?variants ?ablations ~compile:(compile_fn t) ?progress
-    ~jobs:t.pool_jobs ~workloads ()
+let sweep t ?variants ?ablations ?sampling ?progress ~workloads () =
+  Epic_sweep.Sweep.run ?variants ?ablations ~compile:(compile_fn t) ?sampling
+    ?progress ~jobs:t.pool_jobs ~workloads ()
 
 let causal t ?targets ?factors ?top_funcs ?split_funcs ?progress ~workloads ()
     =
@@ -338,6 +380,9 @@ type stats = {
   st_run_uncached : int;
   st_ref_hits : int;
   st_ref_misses : int;
+  st_ckpt_hits : int;
+  st_ckpt_misses : int;
+  st_ckpt_entries : int;
   st_inflight_waits : int;
 }
 
@@ -356,6 +401,9 @@ let stats t =
       st_run_uncached = t.s_run_uncached;
       st_ref_hits = t.s_ref_hits;
       st_ref_misses = t.s_ref_misses;
+      st_ckpt_hits = t.s_ckpt_hits;
+      st_ckpt_misses = t.s_ckpt_misses;
+      st_ckpt_entries = Lru.length t.ckpt_cache;
       st_inflight_waits = t.s_inflight_waits;
     }
   in
@@ -391,6 +439,14 @@ let stats_to_json t =
           [
             ("hits", Epic_obs.Json.Int s.st_ref_hits);
             ("misses", Epic_obs.Json.Int s.st_ref_misses);
+          ] );
+      ( "checkpoint",
+        Epic_obs.Json.Obj
+          [
+            ("hits", Epic_obs.Json.Int s.st_ckpt_hits);
+            ("misses", Epic_obs.Json.Int s.st_ckpt_misses);
+            ("entries", Epic_obs.Json.Int s.st_ckpt_entries);
+            ("capacity", Epic_obs.Json.Int (Lru.capacity t.ckpt_cache));
           ] );
       ("inflight_waits", Epic_obs.Json.Int s.st_inflight_waits);
     ]

@@ -29,11 +29,16 @@ type t
 
 (** [create ()] makes a fresh session.  [jobs] (default 1) is the domain
     pool width used by {!map}, {!suite}, {!sweep} and {!causal};
-    [compile_capacity] (default 64) and [run_capacity] (default 256)
-    bound the caches.
+    [compile_capacity] (default 64), [run_capacity] (default 256) and
+    [ckpt_capacity] (default 16) bound the caches.
     @raise Invalid_argument if a capacity or [jobs] is < 1. *)
 val create :
-  ?jobs:int -> ?compile_capacity:int -> ?run_capacity:int -> unit -> t
+  ?jobs:int ->
+  ?compile_capacity:int ->
+  ?run_capacity:int ->
+  ?ckpt_capacity:int ->
+  unit ->
+  t
 
 val jobs : t -> int
 
@@ -95,11 +100,16 @@ val reference : t -> source:string -> input:int64 array -> (int * string) * bool
     is content-addressed).  A request carrying [trace] or [experiment]
     bypasses the run cache entirely (a hit could not replay the trace,
     and experiment outcomes are transient); it still reuses the compile
-    cache.  Returns the outcome and whether it hit. *)
+    cache.  [sampling] runs the simulation under interval sampling
+    ({!Epic_core.Driver.run} [?sampling]); the plan joins the run-cache
+    key (via {!Epic_sim.Sampling.key_fragment}) because extrapolated
+    cycles are plan-dependent — unsampled requests keep the historical
+    key form.  Returns the outcome and whether it hit. *)
 val run :
   t ->
   ?trace:Epic_obs.Trace.t ->
   ?experiment:Epic_sim.Accounting.experiment ->
+  ?sampling:Epic_sim.Sampling.plan ->
   ?sample_period:int ->
   workload:string ->
   reference:int * string ->
@@ -107,6 +117,30 @@ val run :
   Epic_core.Driver.compiled ->
   int64 array ->
   outcome * bool
+
+(** {2 Checkpoints}
+
+    Machine-state checkpoints are session artifacts keyed like compiles:
+    content-addressed by (compile key, input hash, capture position),
+    built exactly once under the in-flight table, bounded by their own
+    LRU. *)
+
+(** The content-addressed checkpoint key. *)
+val checkpoint_key : key:string -> input:int64 array -> at:int -> string
+
+(** [checkpoint t ~key ~at compiled input] runs [compiled] on [input]
+    with one-shot capture armed at [at] retired groups (through the
+    cache) and returns the snapshot, its key, and whether it hit.
+    [None] means the program retires fewer than [at] groups — also a
+    cacheable fact.  Resume the snapshot with
+    {!Epic_core.Driver.resume}. *)
+val checkpoint :
+  t ->
+  key:string ->
+  at:int ->
+  Epic_core.Driver.compiled ->
+  int64 array ->
+  Epic_sim.Machine.checkpoint option * string * bool
 
 (** What one [epicc]/[epicd] request resolves to. *)
 type served = {
@@ -124,6 +158,7 @@ val compile_and_run :
   t ->
   ?trace:Epic_obs.Trace.t ->
   ?experiment:Epic_sim.Accounting.experiment ->
+  ?sampling:Epic_sim.Sampling.plan ->
   ?sample_period:int ->
   workload:string ->
   config:Epic_core.Config.t ->
@@ -151,6 +186,7 @@ val sweep :
   t ->
   ?variants:Epic_sweep.Sweep.variant list ->
   ?ablations:Epic_sweep.Sweep.ablation list ->
+  ?sampling:Epic_sim.Sampling.plan ->
   ?progress:bool ->
   workloads:string list ->
   unit ->
@@ -187,6 +223,9 @@ type stats = {
   st_run_uncached : int;  (** trace/experiment runs that bypassed the cache *)
   st_ref_hits : int;
   st_ref_misses : int;
+  st_ckpt_hits : int;
+  st_ckpt_misses : int;
+  st_ckpt_entries : int;
   st_inflight_waits : int;
       (** requests that blocked on another domain building the same key *)
 }

@@ -126,6 +126,60 @@ let set_experiment t = function
 
 let experiment_active t = t.exp_keep <> 1.0
 
+(* Deep copy for checkpointing: totals and every per-function bin get
+   private arrays; the experiment state is reset to inactive (the resumer
+   installs its own with [set_experiment]).  [Hashtbl.copy] preserves the
+   table's internal layout, so a resumed run that adds the same functions
+   in the same order folds in the same order as the uninterrupted one. *)
+let copy t =
+  let by_func = Hashtbl.copy t.by_func in
+  Hashtbl.filter_map_inplace (fun _ b -> Some (Array.copy b)) by_func;
+  {
+    totals = Array.copy t.totals;
+    by_func;
+    exp_keep = 1.0;
+    exp_cat = -1;
+    exp_all_funcs = true;
+    exp_bins = [||];
+  }
+
+(* Retroactively apply an experiment to already-charged cycles: scale the
+   target's bins (and the totals they contributed) by [1 - speedup], as if
+   every matching past charge had gone through the active experiment.
+   Used when resuming a checkpointed prefix under an experiment the prefix
+   was simulated without; exact in real arithmetic, within an ulp or two
+   of the straight-through run in floats (and bit-exact at speedup 0 and,
+   for the bins themselves, at speedup 1). *)
+let apply_experiment_to_past t = function
+  | None -> ()
+  | Some { target; speedup } ->
+      let keep = 1.0 -. speedup in
+      if keep <> 1.0 then begin
+        let adjust (b : float array) k =
+          let old = b.(k) in
+          if old <> 0. then begin
+            let nw = old *. keep in
+            t.totals.(k) <- t.totals.(k) -. old +. nw;
+            b.(k) <- nw
+          end
+        in
+        match target with
+        | Target_category cat ->
+            let k = index cat in
+            Hashtbl.iter (fun _ b -> adjust b k) t.by_func
+        | Target_func f -> (
+            match Hashtbl.find_opt t.by_func f with
+            | None -> ()
+            | Some b ->
+                for k = 0 to 8 do
+                  adjust b k
+                done)
+        | Target_func_category (f, cat) -> (
+            match Hashtbl.find_opt t.by_func f with
+            | None -> ()
+            | Some b -> adjust b (index cat))
+      end
+
 (* Hot-path variant: the caller has already fetched (and may cache) the
    function's bins, so a charge is two array updates with no string
    hashing.  [charge] below remains the convenience form.  With no (or a

@@ -88,3 +88,15 @@ val planned : t -> float
 val func_total : t -> string -> float
 val functions : t -> string list
 val pp : Format.formatter -> t -> unit
+
+(** Deep copy for checkpointing: private totals and bin arrays, the
+    experiment state reset to inactive (resumers install their own). *)
+val copy : t -> t
+
+(** Retroactively apply an experiment to already-charged cycles: scale the
+    target's bins (and their contribution to the totals) by [1 - speedup],
+    as if every matching past charge had gone through the experiment.
+    Used when resuming a checkpointed prefix under an experiment the
+    prefix was simulated without; exact in real arithmetic, within an ulp
+    of the straight-through run in floats. *)
+val apply_experiment_to_past : t -> experiment option -> unit

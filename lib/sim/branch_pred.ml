@@ -51,3 +51,6 @@ let reset t =
   t.history <- 0;
   t.predictions <- 0;
   t.mispredictions <- 0
+
+(* Deep copy for checkpointing. *)
+let copy t = { t with counters = Array.copy t.counters }

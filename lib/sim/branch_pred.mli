@@ -21,3 +21,6 @@ val record_unconditional : t -> unit
 val rate : t -> float
 
 val reset : t -> unit
+
+(** Deep copy (private counter array), for checkpointing. *)
+val copy : t -> t

@@ -96,5 +96,13 @@ let reset t =
   t.misses <- 0;
   t.clock <- 0
 
+(* Deep copy for checkpointing: same geometry, private tag/age arrays. *)
+let copy t =
+  {
+    t with
+    tags = Array.copy t.tags;
+    age = Array.copy t.age;
+  }
+
 let miss_rate t =
   if t.accesses = 0 then 0. else float_of_int t.misses /. float_of_int t.accesses

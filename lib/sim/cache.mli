@@ -29,3 +29,9 @@ val probe : t -> int64 -> bool
 
 val reset : t -> unit
 val miss_rate : t -> float
+
+(** Line number of an address (a logical shift by [line_bits]). *)
+val line_of : t -> int64 -> int
+
+(** Deep copy (private tag/age arrays), for checkpointing. *)
+val copy : t -> t

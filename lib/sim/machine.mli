@@ -39,6 +39,26 @@ type dfunc
     fall-through links wired, plus a label->block table (DESIGN.md §10).
     Built once per function in {!run}; purely a host-speed structure. *)
 
+type dblock
+(** One decoded block of a {!dfunc} (warm-path branch targets). *)
+
+type pending
+(** A call live at checkpoint-capture time (internal bookkeeping). *)
+
+type checkpoint
+(** A positional, fully deep-copied snapshot of the machine between two
+    issue groups: register frames, memory image, cache/TLB/predictor/RSE
+    state, accounting, counters and the call stack as (function, block
+    index, group index) coordinates.  It holds no pointers into the
+    program, layout or decoded tables, so it can be resumed against any
+    structurally identical compile of the same source, any number of
+    times (DESIGN.md §13). *)
+
+val checkpoint_groups : checkpoint -> int
+(** The groups counter at capture — the checkpoint's position. *)
+
+val checkpoint_cycle : checkpoint -> int
+
 type t = {
   program : Epic_ir.Program.t;
   layout : Epic_sched.Layout.t;
@@ -79,6 +99,31 @@ type t = {
   syms : (string, int64) Hashtbl.t;  (** memoized symbol addresses *)
   mutable free_frames : frame list;
       (** pool of released call frames, cleared on reuse (DESIGN.md §10) *)
+  mutable warm : bool;
+      (** interval sampling (DESIGN.md §13): in a warm phase the timing
+          model is bypassed — no charges, no clock, no stalls — while the
+          functional state and the cache/TLB/predictor warming evolve *)
+  sampling : Sampling.state option;
+  mutable sample_summary : Sampling.summary option;
+      (** filled by {!run} when [sampling] was requested *)
+  warm_tlb_pages : int array;
+      (** direct-mapped warm-phase probe filters (recently warmed
+          pages/lines, keyed by low page/line bits) *)
+  warm_l1d_lines : int array;
+  warm_l2_lines : int array;
+  warm_l1i_lines : int array;
+  mutable wjump : dblock option;
+      (** warm fast path taken-branch mailbox; [None] between groups *)
+  mutable warm_ttl : int;
+      (** warm groups left before the probe filters are flushed (bounds
+          the LRU-recency staleness a filter hit introduces) *)
+  ck_track : bool;  (** checkpoint bookkeeping armed (run-long) *)
+  mutable ck_at : int;
+  mutable ck_saved : checkpoint option;
+  mutable ck_stack : pending list;
+  mutable pos_blk : int;
+  mutable pos_gi : int;
+  mutable pos_rest : int;
 }
 
 (** Run a laid-out program on the given input; returns (exit code, printed
@@ -101,8 +146,48 @@ type t = {
     {!Machine_desc.itanium2}.  For a run to be meaningful the program must
     have been scheduled under the same description (the driver guarantees
     this by compiling inside [Itanium.with_desc] and passing the
-    description along). *)
+    description along).
+
+    [sampling] runs under interval sampling (see {!Sampling}): detailed
+    phases alternate with warm functional phases and the final accounting
+    is extrapolated; exit code, output and all retired-op counters are
+    exact, cache/TLB access and miss counts approximate.
+
+    [checkpoint_at] arms one-shot checkpoint capture: the snapshot fires
+    just before the [n]-th issue group executes and is retrievable with
+    {!checkpoint}.  Exclusive with [sampling] ([Invalid_argument]). *)
 val run :
+  ?fuel:int ->
+  ?trace:Epic_obs.Trace.t ->
+  ?profile:Epic_obs.Profile.t ->
+  ?experiment:Accounting.experiment ->
+  ?desc:Machine_desc.t ->
+  ?sampling:Sampling.plan ->
+  ?checkpoint_at:int ->
+  Epic_ir.Program.t ->
+  Epic_sched.Layout.t ->
+  int64 array ->
+  int * string * t
+
+val checkpoint : t -> checkpoint option
+(** The checkpoint captured by a [?checkpoint_at] run, if the run lived
+    long enough to reach it. *)
+
+val sample_summary : t -> Sampling.summary option
+(** The extrapolation summary of a [?sampling] run. *)
+
+(** Resume a checkpoint against a structurally identical (program, layout)
+    pair; returns (exit code, output, state) like {!run}, with the output
+    including the checkpointed prefix.  The run is bit-identical — cycles,
+    accounting, counters, output — to the uninterrupted one.
+
+    [experiment] is applied retroactively to the checkpointed prefix
+    (exact in real arithmetic, within an ulp of a straight-through run in
+    floats) and exactly to the remainder.  [desc] must digest-match the
+    description at capture ([Invalid_argument] otherwise).  [fuel]
+    defaults to the fuel remaining at capture, so a resumed run exhausts
+    at the same point as the uninterrupted one. *)
+val resume :
   ?fuel:int ->
   ?trace:Epic_obs.Trace.t ->
   ?profile:Epic_obs.Profile.t ->
@@ -110,5 +195,5 @@ val run :
   ?desc:Machine_desc.t ->
   Epic_ir.Program.t ->
   Epic_sched.Layout.t ->
-  int64 array ->
+  checkpoint ->
   int * string * t

@@ -76,3 +76,11 @@ let reset t =
   t.resident_total <- 0;
   t.spills <- 0;
   t.fills <- 0
+
+(* Deep copy for checkpointing: the frame list's cells are mutable, so each
+   is duplicated (order preserved — innermost first). *)
+let copy t =
+  {
+    t with
+    frames = List.map (fun f -> { size = f.size; resident = f.resident }) t.frames;
+  }

@@ -24,3 +24,6 @@ val on_call : t -> int -> int
 val on_return : t -> int
 
 val reset : t -> unit
+
+(** Deep copy (private frame cells, order preserved), for checkpointing. *)
+val copy : t -> t

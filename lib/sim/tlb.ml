@@ -63,3 +63,6 @@ let reset t =
   t.clock <- 0;
   t.accesses <- 0;
   t.misses <- 0
+
+(* Deep copy for checkpointing. *)
+let copy t = { t with pages = Array.copy t.pages; age = Array.copy t.age }

@@ -23,3 +23,6 @@ val lookup : t -> int64 -> bool
 val fill : t -> int64 -> unit
 
 val reset : t -> unit
+
+(** Deep copy (private page/age arrays), for checkpointing. *)
+val copy : t -> t

@@ -174,8 +174,8 @@ type report = {
    both are observation-only (no counter or cycle changes), and their
    summaries land in [c_obs] so sensitivity and causal reports share one
    observability block (Export.obs_to_json). *)
-let run_cell ~(compile : Driver.compile_fn) ~reference (w : Workload.t)
-    (v : variant) (a : ablation) =
+let run_cell ?sampling ~(compile : Driver.compile_fn) ~reference
+    (w : Workload.t) (v : variant) (a : ablation) =
   let config = a.a_tweak (Experiments.config_for w Config.ILP_CS) in
   let compiled =
     compile ~config ~desc:(Some v.v_desc) ~train:w.Workload.train
@@ -185,7 +185,9 @@ let run_cell ~(compile : Driver.compile_fn) ~reference (w : Workload.t)
   let profile =
     Epic_obs.Profile.create ~period:Experiments.sample_period ()
   in
-  let code, out, st = Driver.run ~trace ~profile compiled w.Workload.reference in
+  let code, out, st =
+    Driver.run ~trace ~profile ?sampling compiled w.Workload.reference
+  in
   let ref_code, ref_out = reference in
   {
     c_workload = w.Workload.short;
@@ -204,8 +206,8 @@ let geomean = function
       exp (List.fold_left (fun s x -> s +. log x) 0. l /. float_of_int n)
 
 let run ?(variants = variants) ?(ablations = [ baseline_ablation ])
-    ?(compile = Driver.default_compile) ?(progress = false) ~jobs ~workloads ()
-    =
+    ?(compile = Driver.default_compile) ?sampling ?(progress = false) ~jobs
+    ~workloads () =
   let t0 = Sys.time () in
   let ws = Array.of_list (List.map Suite.find_exn workloads) in
   (* Phase 1: one reference interpretation per workload, shared read-only
@@ -240,7 +242,7 @@ let run ?(variants = variants) ?(ablations = [ baseline_ablation ])
         if progress then
           Fmt.epr "  sweeping %s / %s / %s...@." w.Workload.short v.v_name
             a.a_name;
-        run_cell ~compile ~reference:references.(wi) w v a)
+        run_cell ?sampling ~compile ~reference:references.(wi) w v a)
       specs
   in
   let all = Array.to_list cells in

@@ -103,11 +103,17 @@ type report = {
     supplies so sweeps share the session's content-addressed artifact
     cache.
 
+    [sampling] runs every cell under interval sampling
+    ({!Epic_core.Driver.run} [?sampling]): cell cycles and categories
+    become extrapolated estimates, which trades a bounded accuracy budget
+    (EXPERIMENTS.md) for simulation speed on wide matrices.
+
     @raise Invalid_argument on an unknown workload name or [jobs < 1]. *)
 val run :
   ?variants:variant list ->
   ?ablations:ablation list ->
   ?compile:Epic_core.Driver.compile_fn ->
+  ?sampling:Epic_sim.Sampling.plan ->
   ?progress:bool ->
   jobs:int ->
   workloads:string list ->

@@ -18,4 +18,5 @@ let () =
       ("sweep", Test_sweep.suite);
       ("causal", Test_causal.suite);
       ("serve", Test_serve.suite);
+      ("sample", Test_sample.suite);
     ]

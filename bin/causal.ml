@@ -4,7 +4,8 @@
 
 let usage =
   "causal [--workloads a,b,..] [--targets t,..] [--factors 10,25,..] [-j N]\n\
-  \       [--split N] [--json FILE] [--normalize-time] [--check] [--list]\n\n\
+  \       [--split N] [--serial] [--big-inputs] [--json FILE]\n\
+  \       [--normalize-time] [--check] [--fused-check] [--list]\n\n\
    Runs each workload (default: gzip,twolf) under a matrix of virtual\n\
    speedups — per target, the cycles charged to it are scaled by\n\
    (1 - factor) while the machine evolves untouched — and ranks targets\n\
@@ -14,6 +15,11 @@ let usage =
    (top profiled functions plus its nonzero stall categories, plus —\n\
    with --split N — per-(function, category) splits of the N hottest\n\
    functions).  Factors are percentages (default 10,25,50,100).\n\
+   By default the per-workload grid is fused into one simulation\n\
+   carrying every experiment; --serial keeps one simulation per cell,\n\
+   and --fused-check runs both and exits 1 unless every cell is\n\
+   bit-identical and the fused path saved >= 5x simulations.\n\
+   --big-inputs substitutes the ~10x scaled evaluation inputs.\n\
    --check also runs the perfect-icache / perfect-predictor sweep and\n\
    exits 1 unless the causal ranking of the front-end and br-mispredict\n\
    categories matches the sweep's delta ordering on every workload, and\n\
@@ -37,6 +43,9 @@ let () =
   let json_file = ref None in
   let normalize = ref false in
   let check = ref false in
+  let serial = ref false in
+  let big_inputs = ref false in
+  let fused_check = ref false in
   let list_only = ref false in
   let rec parse = function
     | [] -> ()
@@ -80,6 +89,15 @@ let () =
         parse rest
     | "--check" :: rest ->
         check := true;
+        parse rest
+    | "--serial" :: rest ->
+        serial := true;
+        parse rest
+    | "--big-inputs" :: rest ->
+        big_inputs := true;
+        parse rest
+    | "--fused-check" :: rest ->
+        fused_check := true;
         parse rest
     | a :: _ -> die (Printf.sprintf "causal: unknown argument %S\n%s" a usage)
   in
@@ -130,10 +148,13 @@ let () =
   (* the whole matrix — baselines, cells and the --check sweep — shares
      one session's content-addressed compile cache *)
   let session = Epic_serve.Session.create ~jobs () in
+  if !fused_check && !serial then
+    die "causal: --fused-check runs both paths; drop --serial";
   let report =
     try
       Epic_serve.Session.causal session ?targets ~factors:!factors
-        ~split_funcs:!split ~progress:true ~workloads:!workloads ()
+        ~split_funcs:!split ~serial:!serial ~big_inputs:!big_inputs
+        ~progress:true ~workloads:!workloads ()
     with Invalid_argument msg -> die ("causal: " ^ msg)
   in
   print_report Fmt.stdout report;
@@ -153,6 +174,71 @@ let () =
       Epic_obs.Json.to_file f d;
       Fmt.pr "@.wrote %s@." f
   | None -> ());
+  if !fused_check then begin
+    (* the CI gate: re-run the whole matrix one-simulation-per-cell and
+       demand bitwise identity, cell for cell — the fused path must be a
+       pure accounting transformation (the serial cells never route
+       through the fused cache, so the comparison is live, not a
+       cache-vs-itself tautology) *)
+    Fmt.epr "fused-check: re-running the matrix serially...@.";
+    let serial_report =
+      Epic_serve.Session.causal session ?targets ~factors:!factors
+        ~split_funcs:!split ~serial:true ~big_inputs:!big_inputs
+        ~workloads:!workloads ()
+    in
+    let bits = Int64.bits_of_float in
+    let diffs = ref [] in
+    let bad fmt = Fmt.kstr (fun s -> diffs := s :: !diffs) fmt in
+    let cells = ref 0 in
+    List.iter2
+      (fun wf ws ->
+        if bits wf.c_base_cycles <> bits ws.c_base_cycles then
+          bad "%s: baseline cycles differ (%h vs %h)" wf.c_workload
+            wf.c_base_cycles ws.c_base_cycles;
+        List.iter
+          (fun cf ->
+            match curve_of ws cf.k_target with
+            | None ->
+                bad "%s: target %s missing from the serial report"
+                  wf.c_workload (target_name cf.k_target)
+            | Some cs ->
+                List.iter2
+                  (fun pf ps ->
+                    incr cells;
+                    if
+                      bits pf.p_cycles <> bits ps.p_cycles
+                      || pf.p_output_ok <> ps.p_output_ok
+                    then
+                      bad "%s / %s / %g: fused %h vs serial %h%s"
+                        wf.c_workload (target_name cf.k_target) pf.p_factor
+                        pf.p_cycles ps.p_cycles
+                        (if pf.p_output_ok = ps.p_output_ok then ""
+                         else " (output flags differ)"))
+                  cf.k_points cs.k_points)
+          wf.c_curves)
+      report.r_reports serial_report.r_reports;
+    (match report.r_fusion with
+    | None -> bad "the fused run reported no fusion block"
+    | Some fz ->
+        if fz.fz_cells < 5 * fz.fz_sims then
+          bad "cells_per_sim %.1f < 5 (%d cells from %d sims)"
+            (float_of_int fz.fz_cells /. float_of_int (max 1 fz.fz_sims))
+            fz.fz_cells fz.fz_sims);
+    (match serial_report.r_fusion with
+    | None -> ()
+    | Some _ -> bad "the serial run unexpectedly reported fusion");
+    List.iter (fun d -> Fmt.pr "fused-check: MISMATCH %s@." d) !diffs;
+    if !diffs <> [] then exit 1;
+    (match report.r_fusion with
+    | Some fz ->
+        Fmt.pr
+          "fused-check: %d cells bit-identical to serial; %d cells from %d \
+           sims (%.1f cells/sim, %d sims saved)@."
+          !cells fz.fz_cells fz.fz_sims
+          (float_of_int fz.fz_cells /. float_of_int (max 1 fz.fz_sims))
+          (fz.fz_cells - fz.fz_sims)
+    | None -> ())
+  end;
   if !check then begin
     let rows =
       try Epic_serve.Session.causal_check session report

@@ -4,8 +4,8 @@
 
 let usage =
   "sweep [--workloads a,b,..] [--variants v,..] [--ablations a,..] [-j N]\n\
-  \      [--sample-sim[=I:D[:W]]] [--json FILE] [--normalize-time]\n\
-  \      [--check BASELINE] [--list]\n\n\
+  \      [--sample-sim[=I:D[:W]]] [--no-fuse] [--big-inputs] [--json FILE]\n\
+  \      [--normalize-time] [--check BASELINE] [--list]\n\n\
    Runs every named machine variant (default: all six) against the\n\
    itanium2 x ILP-CS baseline on the given workloads (default: gzip,twolf)\n\
    and reports per-cell cycle and stall-category deltas plus a geomean\n\
@@ -14,7 +14,12 @@ let usage =
    recommended domain count (capped at the job count by the pool).\n\
    --sample-sim runs every cell under interval sampling (cycles become\n\
    extrapolated estimates within the EXPERIMENTS.md accuracy budget);\n\
-   sampled reports are not comparable to full-simulation baselines."
+   sampled reports are not comparable to full-simulation baselines.\n\
+   By default the charge-suppression variants (perfect-icache,\n\
+   perfect-predictor) ride the baseline simulation as fused experiments\n\
+   (bit-identical, fewer simulations); --no-fuse keeps one simulation\n\
+   per cell.  --big-inputs substitutes the ~10x scaled evaluation\n\
+   inputs."
 
 let split_commas s = String.split_on_char ',' s |> List.filter (( <> ) "")
 
@@ -33,6 +38,8 @@ let () =
   let check_file = ref None in
   let list_only = ref false in
   let sampling = ref None in
+  let fuse = ref true in
+  let big_inputs = ref false in
   let rec parse = function
     | [] -> ()
     | ("-h" | "--help") :: _ ->
@@ -63,6 +70,12 @@ let () =
         parse rest
     | "--check" :: f :: rest ->
         check_file := Some f;
+        parse rest
+    | "--no-fuse" :: rest ->
+        fuse := false;
+        parse rest
+    | "--big-inputs" :: rest ->
+        big_inputs := true;
         parse rest
     | "--sample-sim" :: rest ->
         sampling := Some Epic_sim.Sampling.default_plan;
@@ -117,7 +130,8 @@ let () =
   let report =
     try
       Epic_serve.Session.sweep session ~variants:vs ~ablations:abs_
-        ?sampling:!sampling ~progress:true ~workloads:!workloads ()
+        ?sampling:!sampling ~fuse:!fuse ~big_inputs:!big_inputs
+        ~progress:true ~workloads:!workloads ()
     with Invalid_argument msg -> die ("sweep: " ^ msg)
   in
   print_report Fmt.stdout report;

@@ -69,11 +69,20 @@ type agg = {
   g_rank_worst : int;
 }
 
+(* Fused-matrix accounting (DESIGN.md §14): how many cells the detailed
+   simulations actually paid for. *)
+type fusion = {
+  fz_cells : int; (* (target x factor) cells delivered *)
+  fz_sims : int; (* detailed fused simulations run (one per workload) *)
+  fz_resumed : int; (* of those, resumed from a cached checkpoint prefix *)
+}
+
 type report = {
   r_workloads : string list;
   r_factors : float list;
   r_reports : wreport list;
   r_aggregate : agg list;
+  r_fusion : fusion option; (* None = the serial per-cell path ran *)
   r_wall_s : float;
 }
 
@@ -127,6 +136,9 @@ type base = {
   b_prof_by_func : (string * int) list;
   b_obs : Json.t;
   b_output_ok : bool;
+  b_groups : int;
+      (* issue groups the baseline executed: sizes the checkpoint-prefix
+         position the fused path may reuse *)
 }
 
 let run_baseline ~(compile : Driver.compile_fn) (w : Workload.t) =
@@ -148,6 +160,7 @@ let run_baseline ~(compile : Driver.compile_fn) (w : Workload.t) =
     b_prof_by_func = Epic_obs.Profile.by_func profile;
     b_obs = Export.obs_to_json ~trace ~profile ();
     b_output_ok = code = ref_code && out = ref_out;
+    b_groups = st.Epic_sim.Machine.c.Epic_sim.Machine.groups;
   }
 
 (* One matrix cell: recompile from source (resets the domain-local
@@ -253,8 +266,9 @@ let aggregate (reports : wreport list) =
          | n -> n)
 
 let run ?targets ?(factors = default_factors) ?(top_funcs = 3)
-    ?(split_funcs = 0) ?(compile = Driver.default_compile) ?(progress = false)
-    ~jobs ~workloads () =
+    ?(split_funcs = 0) ?(compile = Driver.default_compile)
+    ?(fused = Driver.default_fused) ?(serial = false) ?(big_inputs = false)
+    ?(progress = false) ~jobs ~workloads () =
   let t0 = Sys.time () in
   if factors = [] then invalid_arg "Causal.run: empty factor list";
   List.iter
@@ -264,6 +278,7 @@ let run ?targets ?(factors = default_factors) ?(top_funcs = 3)
     factors;
   let factors = List.sort_uniq compare factors in
   let ws = Array.of_list (List.map Suite.find_exn workloads) in
+  let ws = if big_inputs then Array.map Workload.scale ws else ws in
   (* Phase 1: per-workload reference + instrumented baseline, shared
      read-only by that workload's cells. *)
   let bases =
@@ -284,7 +299,13 @@ let run ?targets ?(factors = default_factors) ?(top_funcs = 3)
       bases
   in
   (* Phase 2: the full (workload x target x factor) matrix, deterministic
-     workload-major order (Pool.map returns index order). *)
+     workload-major order (Pool.map returns index order).  The experiment
+     hook lives purely at accounting time, so the per-workload grid fuses
+     into ONE detailed simulation carrying every (target, factor)
+     experiment at once — per-cell results bit-identical to the serial
+     path (each fused accumulator runs the same charge sequence the serial
+     run would; CI diffs the two cell-for-cell).  [serial] keeps the
+     one-simulation-per-cell path for that cross-check. *)
   let specs =
     Array.of_list
       (List.concat
@@ -295,15 +316,89 @@ let run ?targets ?(factors = default_factors) ?(top_funcs = 3)
                 plan_w)
             (Array.to_list plans)))
   in
-  let cells =
-    Pool.map ~jobs
-      (fun (wi, t, f) ->
-        let w = ws.(wi) in
-        if progress then
-          Fmt.epr "  causal %s / %s / %g...@." w.Workload.short (target_name t)
-            f;
-        run_cell ~compile ~base:bases.(wi) w t f)
-      specs
+  let cells, fusion =
+    if serial then
+      ( Pool.map ~jobs
+          (fun (wi, t, f) ->
+            let w = ws.(wi) in
+            if progress then
+              Fmt.epr "  causal %s / %s / %g...@." w.Workload.short
+                (target_name t) f;
+            run_cell ~compile ~base:bases.(wi) w t f)
+          specs,
+        None )
+    else begin
+      (* per-workload experiment lists in the same target-major,
+         factor-minor order as [specs] *)
+      let wexps =
+        Array.map
+          (fun plan_w ->
+            List.concat_map
+              (fun t ->
+                List.map (fun f -> { Acc.target = t; speedup = f }) factors)
+              plan_w)
+          plans
+      in
+      let results =
+        Pool.map ~jobs
+          (fun wi ->
+            let w = ws.(wi) in
+            let exps = wexps.(wi) in
+            if exps = [] then None
+            else begin
+              if progress then
+                Fmt.epr "  causal fused %s (%d experiments)...@."
+                  w.Workload.short (List.length exps);
+              let config = Experiments.config_for w Config.ILP_CS in
+              let b = bases.(wi) in
+              (* a mid-run prefix: long enough to amortize, early enough
+                 that every run reaches it (2+ groups guaranteed) *)
+              let prefix_at =
+                if b.b_groups >= 2 then Some (b.b_groups / 2) else None
+              in
+              Some
+                (fused ~config ~desc:None ~train:w.Workload.train
+                   ~input:w.Workload.reference ~experiments:exps ~prefix_at
+                   w.Workload.source)
+            end)
+          (Array.init (Array.length ws) (fun i -> i))
+      in
+      (* unpack per-experiment totals back into cells, in [specs] order *)
+      let idx = Array.make (Array.length ws) 0 in
+      let cells =
+        Array.map
+          (fun (wi, _, f) ->
+            let fz =
+              match results.(wi) with
+              | Some fz -> fz
+              | None -> assert false (* specs nonempty => plan nonempty *)
+            in
+            let i = idx.(wi) in
+            idx.(wi) <- i + 1;
+            let b = bases.(wi) in
+            let ref_code, ref_out = b.b_reference in
+            let cycles =
+              Array.fold_left ( +. ) 0. fz.Driver.f_categories.(i)
+            in
+            {
+              p_factor = f;
+              p_cycles = cycles;
+              p_speedup = (b.b_cycles -. cycles) /. b.b_cycles;
+              p_output_ok =
+                fz.Driver.f_code = ref_code && fz.Driver.f_output = ref_out;
+            })
+          specs
+      in
+      let sims = Array.to_list results |> List.filter_map (fun x -> x) in
+      ( cells,
+        Some
+          {
+            fz_cells = Array.length specs;
+            fz_sims = List.length sims;
+            fz_resumed =
+              List.length (List.filter (fun f -> f.Driver.f_resumed) sims);
+          } )
+    end
   in
   let reports =
     List.mapi
@@ -337,6 +432,7 @@ let run ?targets ?(factors = default_factors) ?(top_funcs = 3)
     r_factors = factors;
     r_reports = reports;
     r_aggregate = aggregate reports;
+    r_fusion = fusion;
     r_wall_s = Sys.time () -. t0;
   }
 
@@ -500,11 +596,28 @@ let curve_to_json (k : curve) =
              k.k_points) );
     ]
 
+let fusion_to_json = function
+  | None -> Json.Obj [ ("mode", Json.Str "serial") ]
+  | Some fz ->
+      Json.Obj
+        [
+          ("mode", Json.Str "fused");
+          ("cells", Json.Int fz.fz_cells);
+          ("sims", Json.Int fz.fz_sims);
+          ( "cells_per_sim",
+            Json.Float
+              (if fz.fz_sims = 0 then 0.
+               else float_of_int fz.fz_cells /. float_of_int fz.fz_sims) );
+          ("sims_saved", Json.Int (fz.fz_cells - fz.fz_sims));
+          ("resumed_prefixes", Json.Int fz.fz_resumed);
+        ]
+
 let to_json (r : report) =
   Json.Obj
     [
       ("causal", Json.Str "virtual-speedup");
       ("sample_period", Json.Int Experiments.sample_period);
+      ("fusion", fusion_to_json r.r_fusion);
       ("workloads", Json.List (List.map (fun w -> Json.Str w) r.r_workloads));
       ("factors", Json.List (List.map (fun f -> Json.Float f) r.r_factors));
       ( "workload_reports",
@@ -547,6 +660,19 @@ let print_report ppf (r : report) =
   Fmt.pf ppf "factors:%a@."
     (fun ppf -> List.iter (fun f -> Fmt.pf ppf " %g" f))
     r.r_factors;
+  (match r.r_fusion with
+  | None -> Fmt.pf ppf "mode: serial (one simulation per cell)@."
+  | Some fz ->
+      Fmt.pf ppf
+        "mode: fused — %d cells from %d simulations (%.1f cells/sim, %d \
+         sims saved%s)@."
+        fz.fz_cells fz.fz_sims
+        (if fz.fz_sims = 0 then 0.
+         else float_of_int fz.fz_cells /. float_of_int fz.fz_sims)
+        (fz.fz_cells - fz.fz_sims)
+        (if fz.fz_resumed > 0 then
+           Fmt.str ", %d prefix resumes" fz.fz_resumed
+         else ""));
   List.iter
     (fun wr ->
       Fmt.pf ppf "@.%s  (baseline %.0f cycles%s)@." wr.c_workload

@@ -98,11 +98,20 @@ type agg = {
   g_rank_worst : int;
 }
 
+(** Fused-matrix accounting: how many (target, factor) cells the detailed
+    simulations actually paid for (DESIGN.md §14). *)
+type fusion = {
+  fz_cells : int;  (** cells delivered *)
+  fz_sims : int;  (** detailed fused simulations run (one per workload) *)
+  fz_resumed : int;  (** of those, resumed from a cached checkpoint prefix *)
+}
+
 type report = {
   r_workloads : string list;
   r_factors : float list;  (** ascending *)
   r_reports : wreport list;  (** workload order *)
   r_aggregate : agg list;  (** by descending mean slope *)
+  r_fusion : fusion option;  (** [None] = the serial per-cell path ran *)
   r_wall_s : float;
 }
 
@@ -127,19 +136,27 @@ val plan :
 (** Execute the causal matrix on the {!Epic_core.Pool} domain pool in two
     phases, like {!Epic_sweep.Sweep.run}: phase 1 computes each workload's
     reference output and its baseline run (with the trace and PC-sampling
-    instruments attached); phase 2 runs every (workload, target, factor)
-    cell, each cell recompiling from source (deterministic instruction
-    ids) and simulating under the virtual-speedup experiment.  Results are
-    in deterministic workload-major order regardless of [jobs].
+    instruments attached); phase 2 delivers every (workload, target,
+    factor) cell.  By default the per-workload (target x factor) grid is
+    {e fused} into one detailed simulation carrying every experiment at
+    once (the hook lives purely at accounting time, so each fused cell is
+    bit-identical to its serial run); [serial:true] keeps the
+    one-simulation-per-cell path, the cross-check the CI gate diffs
+    against.  Results are in deterministic workload-major order
+    regardless of [jobs].
 
     [targets] fixes one target list for every workload; omitted, each
     workload gets its own plan ({!plan}, with [top_funcs] profile-hot
     functions, default 3, and [split_funcs] per-(function, category)
     splits, default 0).  [factors] defaults to {!default_factors}.
     [compile] substitutes the compile entry point of every baseline and
-    cell (default {!Epic_core.Driver.default_compile}) — the hook
-    {!Epic_serve} supplies so causal matrices share the session's
-    content-addressed artifact cache.
+    serial cell (default {!Epic_core.Driver.default_compile}) and [fused]
+    the fused-matrix entry point (default
+    {!Epic_core.Driver.default_fused}) — the hooks {!Epic_serve} supplies
+    so causal matrices share the session's content-addressed caches and
+    reuse checkpoint prefixes across repeated matrices.  [big_inputs]
+    substitutes each workload's scaled evaluation input
+    ({!Epic_workloads.Workload.scale}).
 
     @raise Invalid_argument on an unknown workload, [jobs < 1], an empty
     factor list or a factor outside (0, 1]. *)
@@ -149,6 +166,9 @@ val run :
   ?top_funcs:int ->
   ?split_funcs:int ->
   ?compile:Epic_core.Driver.compile_fn ->
+  ?fused:Epic_core.Driver.fused_fn ->
+  ?serial:bool ->
+  ?big_inputs:bool ->
   ?progress:bool ->
   jobs:int ->
   workloads:string list ->

@@ -336,18 +336,66 @@ let default_compile : compile_fn =
  fun ~config ~desc ~train src -> compile ~config ?desc ~train src
 
 (* Run a compiled binary on the machine simulator. *)
-let run ?fuel ?trace ?profile ?experiment ?sampling ?checkpoint_at
-    (c : compiled) (input : int64 array) =
-  Epic_sim.Machine.run ?fuel ?trace ?profile ?experiment ?sampling
-    ?checkpoint_at ~desc:c.desc c.program c.layout input
+let run ?fuel ?trace ?profile ?experiment ?experiments ?sampling
+    ?checkpoint_at (c : compiled) (input : int64 array) =
+  Epic_sim.Machine.run ?fuel ?trace ?profile ?experiment ?experiments
+    ?sampling ?checkpoint_at ~desc:c.desc c.program c.layout input
 
 (* Resume a checkpoint taken from a run of the same compiled binary (or a
    structurally identical recompile: the session cache's content keys
    guarantee that). *)
-let resume ?fuel ?trace ?profile ?experiment (c : compiled)
+let resume ?fuel ?trace ?profile ?experiment ?experiments (c : compiled)
     (ck : Epic_sim.Machine.checkpoint) =
-  Epic_sim.Machine.resume ?fuel ?trace ?profile ?experiment ~desc:c.desc
-    c.program c.layout ck
+  Epic_sim.Machine.resume ?fuel ?trace ?profile ?experiment ?experiments
+    ~desc:c.desc c.program c.layout ck
+
+(* The result of one fused multi-experiment simulation (DESIGN.md §14):
+   per-experiment category totals in the order the experiments were given,
+   plus the run's architectural outcome (which no experiment can change —
+   the hooks live purely at accounting time). *)
+type fused = {
+  f_code : int;
+  f_output : string;
+  f_categories : float array array;
+      (* f_categories.(i) = experiment i's nine category totals *)
+  f_resumed : bool;
+      (* the run resumed a cached checkpoint prefix instead of simulating
+         from the start (per-experiment totals then within an ulp of the
+         straight-through run, not bit-identical) *)
+}
+
+(* The shape of a fused-matrix entry point, mirroring [compile_fn]: the
+   causal planner takes a [fused_fn] so the caching session can substitute
+   its checkpoint-prefix-reusing, memoizing implementation.  [prefix_at]
+   is the issue-group position a reusable checkpoint prefix may be taken
+   at ([None] = never); the default implementation ignores it. *)
+type fused_fn =
+  config:Config.t ->
+  desc:Epic_mach.Machine_desc.t option ->
+  train:int64 array ->
+  input:int64 array ->
+  experiments:Epic_sim.Accounting.experiment list ->
+  prefix_at:int option ->
+  string ->
+  fused
+
+let fused_of_machine code output (st : Epic_sim.Machine.t) ~resumed =
+  {
+    f_code = code;
+    f_output = output;
+    f_categories =
+      Array.map
+        (fun (a : Epic_sim.Accounting.t) ->
+          Array.copy a.Epic_sim.Accounting.totals)
+        (Epic_sim.Machine.fused_accounts st);
+    f_resumed = resumed;
+  }
+
+let default_fused : fused_fn =
+ fun ~config ~desc ~train ~input ~experiments ~prefix_at:_ src ->
+  let c = compile ~config ?desc ~train src in
+  let code, output, st = run ~experiments c input in
+  fused_of_machine code output st ~resumed:false
 
 (* Reference semantics: the pre-backend program still runs on the
    high-level interpreter (scheduling does not change IR meaning), so a

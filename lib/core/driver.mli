@@ -94,14 +94,16 @@ val default_compile : compile_fn
 
 (** Run a compiled binary on the Itanium-2-class simulator; returns
     (exit code, program output, final machine state with all counters).
-    [trace] and [profile] enable the opt-in observability instruments, and
-    [experiment] installs a causal-profiling virtual speedup
-    (see {!Epic_sim.Machine.run}). *)
+    [trace] and [profile] enable the opt-in observability instruments;
+    [experiment] installs a causal-profiling virtual speedup and
+    [experiments] a fused set of them, each bit-identical to its serial
+    run (see {!Epic_sim.Machine.run}). *)
 val run :
   ?fuel:int ->
   ?trace:Epic_obs.Trace.t ->
   ?profile:Epic_obs.Profile.t ->
   ?experiment:Epic_sim.Accounting.experiment ->
+  ?experiments:Epic_sim.Accounting.experiment list ->
   ?sampling:Epic_sim.Sampling.plan ->
   ?checkpoint_at:int ->
   compiled ->
@@ -116,9 +118,46 @@ val resume :
   ?trace:Epic_obs.Trace.t ->
   ?profile:Epic_obs.Profile.t ->
   ?experiment:Epic_sim.Accounting.experiment ->
+  ?experiments:Epic_sim.Accounting.experiment list ->
   compiled ->
   Epic_sim.Machine.checkpoint ->
   int * string * Epic_sim.Machine.t
+
+(** The result of one fused multi-experiment simulation (DESIGN.md §14). *)
+type fused = {
+  f_code : int;
+  f_output : string;
+  f_categories : float array array;
+      (** [f_categories.(i)] = experiment [i]'s nine category totals, in
+          the order the experiment list was given *)
+  f_resumed : bool;
+      (** the run resumed a cached checkpoint prefix instead of simulating
+          from the start (totals then within an ulp of straight-through,
+          not bit-identical) *)
+}
+
+(** The shape of a fused-matrix entry point, mirroring {!compile_fn}: the
+    causal planner accepts a [fused_fn] so the caching session can
+    substitute its checkpoint-prefix-reusing, memoizing implementation.
+    [prefix_at] is the issue-group position a reusable checkpoint prefix
+    may be captured/reused at ([None] = never); {!default_fused} ignores
+    it. *)
+type fused_fn =
+  config:Config.t ->
+  desc:Epic_mach.Machine_desc.t option ->
+  train:int64 array ->
+  input:int64 array ->
+  experiments:Epic_sim.Accounting.experiment list ->
+  prefix_at:int option ->
+  string ->
+  fused
+
+(** Build a {!fused} result from a finished [?experiments] machine. *)
+val fused_of_machine :
+  int -> string -> Epic_sim.Machine.t -> resumed:bool -> fused
+
+(** Compile and run fused, with no caching and no prefix reuse. *)
+val default_fused : fused_fn
 
 (** Run the compiled program's IR on the reference interpreter (scheduling
     does not change IR meaning, so this cross-checks the simulator). *)

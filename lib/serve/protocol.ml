@@ -26,6 +26,8 @@ type op =
       workloads : string list;
       variants : string list option;
       ablations : string list option;
+      fuse : bool;
+      big_inputs : bool;
       normalize : bool;
     }
   | Causal of {
@@ -34,6 +36,8 @@ type op =
       factors : float list option;
       top_funcs : int option;
       split_funcs : int option;
+      serial : bool;
+      big_inputs : bool;
       normalize : bool;
     }
   | Bad of string
@@ -197,6 +201,8 @@ let parse line =
                           workloads;
                           variants = strs_opt "variants" j;
                           ablations = strs_opt "ablations" j;
+                          fuse = bool ~default:true "fuse" j;
+                          big_inputs = bool ~default:false "big_inputs" j;
                           normalize = normalize_of j;
                         })
               | "causal" -> (
@@ -210,6 +216,8 @@ let parse line =
                           factors = floats_opt "factors" j;
                           top_funcs = int_opt "top_funcs" j;
                           split_funcs = int_opt "split_funcs" j;
+                          serial = bool ~default:false "serial" j;
+                          big_inputs = bool ~default:false "big_inputs" j;
                           normalize = normalize_of j;
                         })
               | other -> Bad ("unknown op " ^ other)
@@ -330,23 +338,35 @@ let execute session r =
         let s = Session.suite session ?workloads () in
         envelope r
           [ ("result", maybe_normalize normalize (Export.suite_to_json s)) ]
-    | Sweep { workloads; variants; ablations; normalize } ->
+    | Sweep { workloads; variants; ablations; fuse; big_inputs; normalize } ->
         let variants = Option.map variants_of variants in
         let ablations = Option.map ablations_of ablations in
-        let report = Session.sweep session ?variants ?ablations ~workloads () in
+        let report =
+          Session.sweep session ?variants ?ablations ~fuse ~big_inputs
+            ~workloads ()
+        in
         envelope r
           [
             ( "result",
               maybe_normalize normalize (Epic_sweep.Sweep.to_json report) );
           ]
-    | Causal { workloads; targets; factors; top_funcs; split_funcs; normalize }
-      ->
+    | Causal
+        {
+          workloads;
+          targets;
+          factors;
+          top_funcs;
+          split_funcs;
+          serial;
+          big_inputs;
+          normalize;
+        } ->
         let targets =
           Option.map (List.map Epic_causal.Causal.parse_target) targets
         in
         let report =
           Session.causal session ?targets ?factors ?top_funcs ?split_funcs
-            ~workloads ()
+            ~serial ~big_inputs ~workloads ()
         in
         envelope r
           [

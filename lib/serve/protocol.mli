@@ -21,10 +21,13 @@
     - [suite] — [workloads] (name list, default the whole suite),
       [normalize_time];
     - [sweep] — [workloads] (required), optional [variants] / [ablations]
-      (name lists), [normalize_time];
+      (name lists), [fuse] (bool, default true: charge-suppression
+      variants ride the baseline simulation), [big_inputs] (bool, default
+      false: scaled evaluation inputs), [normalize_time];
     - [causal] — [workloads] (required), optional [targets] (names for
       {!Epic_causal.Causal.parse_target}), [factors], [top_funcs],
-      [split_funcs], [normalize_time].
+      [split_funcs], [serial] (bool, default false: one simulation per
+      cell instead of the fused grid), [big_inputs], [normalize_time].
 
     A response echoes [{"id", "ok", "op"}] and carries [result] on
     success ([error] on failure); [compile] and [run] responses add

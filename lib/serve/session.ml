@@ -105,6 +105,23 @@ let config_key (c : Config.t) =
   bool enable_data_speculation;
   Buffer.contents buf
 
+(* Canonical serialization of a virtual-speedup experiment (list): the
+   target's kind-tagged name plus the factor in %h (hex, exact), so a fused
+   experiment set is content-addressable exactly like a config. *)
+let experiment_key (e : Epic_sim.Accounting.experiment) =
+  let open Epic_sim.Accounting in
+  let tgt =
+    match e.target with
+    | Target_func f -> "f:" ^ f
+    | Target_category c -> "c:" ^ string_of_int (index c)
+    | Target_func_category (f, c) -> Printf.sprintf "fc:%s:%d" f (index c)
+  in
+  Printf.sprintf "%s@%h" tgt e.speedup
+
+let experiments_key = function
+  | [] -> ""
+  | es -> ";ex=" ^ String.concat "," (List.map experiment_key es)
+
 let resolve_desc = function
   | Some d -> d
   | None -> Epic_mach.Itanium.desc ()
@@ -132,15 +149,18 @@ type t = {
   run_cache : (string, outcome) Lru.t;
   ref_cache : (string, int * string) Lru.t;
   ckpt_cache : (string, Epic_sim.Machine.checkpoint option) Lru.t;
+  fused_cache : (string, Driver.fused) Lru.t;
   inflight : (string, unit) Hashtbl.t;
       (* keys under construction, prefixed by kind ("c:", "r:", "f:",
-         "k:") so the four caches share one table and one condition
+         "k:", "x:") so the five caches share one table and one condition
          variable *)
   mutable s_compile_hits : int;
   mutable s_compile_misses : int;
   mutable s_run_hits : int;
   mutable s_run_misses : int;
   mutable s_run_uncached : int;
+  mutable s_fused_hits : int;
+  mutable s_fused_misses : int;
   mutable s_ref_hits : int;
   mutable s_ref_misses : int;
   mutable s_ckpt_hits : int;
@@ -159,12 +179,15 @@ let create ?(jobs = 1) ?(compile_capacity = 64) ?(run_capacity = 256)
     run_cache = Lru.create ~capacity:run_capacity;
     ref_cache = Lru.create ~capacity:run_capacity;
     ckpt_cache = Lru.create ~capacity:ckpt_capacity;
+    fused_cache = Lru.create ~capacity:run_capacity;
     inflight = Hashtbl.create 16;
     s_compile_hits = 0;
     s_compile_misses = 0;
     s_run_hits = 0;
     s_run_misses = 0;
     s_run_uncached = 0;
+    s_fused_hits = 0;
+    s_fused_misses = 0;
     s_ref_hits = 0;
     s_ref_misses = 0;
     s_ckpt_hits = 0;
@@ -270,36 +293,39 @@ let simulate ?trace ?experiment ?sampling ~sample_period ~workload
 let run t ?trace ?experiment ?sampling
     ?(sample_period = Experiments.sample_period) ~workload ~reference ~key
     compiled input =
-  match (trace, experiment) with
-  | Some _, _ | _, Some _ ->
-      (* a cached outcome could not have filled this trace ring, and
-         experiment outcomes describe a counterfactual machine — both run
-         uncached (the compile cache still applies upstream) *)
+  match trace with
+  | Some _ ->
+      (* a cached outcome could not have filled this trace ring — the one
+         genuinely uncacheable run shape (the compile cache still applies
+         upstream) *)
       Mutex.lock t.mu;
       t.s_run_uncached <- t.s_run_uncached + 1;
       Mutex.unlock t.mu;
       ( simulate ?trace ?experiment ?sampling ~sample_period ~workload
           ~reference compiled ~input (),
         false )
-  | None, None ->
-      (* the sampling plan is part of the outcome's identity (extrapolated
-         cycles differ per plan); unsampled keys keep the historical form
-         so warm caches stay valid *)
+  | None ->
+      (* the sampling plan and the experiment are part of the outcome's
+         identity (extrapolated cycles differ per plan; an experiment's
+         outcome describes a counterfactual accounting) — both fold into
+         the key; plain unsampled keys keep the historical form so warm
+         caches stay valid *)
       let rkey =
         fnv1a64
-          (Printf.sprintf "c=%s;in=%s;sp=%d%s" key (int64s_key input)
+          (Printf.sprintf "c=%s;in=%s;sp=%d%s%s" key (int64s_key input)
              sample_period
              (match sampling with
              | None -> ""
-             | Some p -> ";sm=" ^ Epic_sim.Sampling.key_fragment p))
+             | Some p -> ";sm=" ^ Epic_sim.Sampling.key_fragment p)
+             (experiments_key (Option.to_list experiment)))
       in
       let o, hit =
         cached_or_build t t.run_cache ~kind:"r:"
           ~on_hit:(fun () -> t.s_run_hits <- t.s_run_hits + 1)
           ~on_miss:(fun () -> t.s_run_misses <- t.s_run_misses + 1)
           rkey
-          (simulate ?sampling ~sample_period ~workload ~reference compiled
-             ~input)
+          (simulate ?experiment ?sampling ~sample_period ~workload ~reference
+             compiled ~input)
       in
       (* the key is content-addressed; only the caller's label differs *)
       if hit && o.o_metrics.Metrics.workload <> workload then
@@ -330,6 +356,72 @@ let checkpoint t ~key ~at compiled input =
   in
   (ck, ckey, hit)
 
+(* ---- fused multi-experiment runs --------------------------------------- *)
+
+(* A fused run (one detailed simulation carrying a whole experiment set,
+   DESIGN.md §14) is content-addressed like any outcome: compile key +
+   input + the canonical experiment-set serialization + the prefix
+   position.  Prefix reuse is peek-don't-build: a checkpoint already in
+   the cache is resumed under the experiment set
+   (Accounting.resume_set/apply_experiment_to_past, within an ulp of
+   straight-through); an absent one is captured as a side effect of the
+   full run and seeded into the checkpoint cache for the next matrix —
+   never built eagerly, so a cold fused matrix costs exactly one full
+   simulation per workload. *)
+let run_fused t ~key compiled ~experiments ~prefix_at input =
+  let fkey =
+    fnv1a64
+      (Printf.sprintf "c=%s;in=%s%s;px=%s" key (int64s_key input)
+         (experiments_key experiments)
+         (match prefix_at with None -> "-" | Some at -> string_of_int at))
+  in
+  cached_or_build t t.fused_cache ~kind:"x:"
+    ~on_hit:(fun () -> t.s_fused_hits <- t.s_fused_hits + 1)
+    ~on_miss:(fun () -> t.s_fused_misses <- t.s_fused_misses + 1)
+    fkey
+    (fun () ->
+      let full ?checkpoint_at () =
+        let code, output, st =
+          Driver.run ?checkpoint_at ~experiments compiled input
+        in
+        (Driver.fused_of_machine code output st ~resumed:false, st)
+      in
+      match prefix_at with
+      | None -> fst (full ())
+      | Some at ->
+          let ckey = checkpoint_key ~key ~input ~at in
+          let peek =
+            Mutex.lock t.mu;
+            let v = Lru.find t.ckpt_cache ckey in
+            Mutex.unlock t.mu;
+            v
+          in
+          (match peek with
+          | Some (Some ck) ->
+              (* warm prefix: replay only the suffix, experiments applied
+                 to the checkpointed past *)
+              let code, output, st =
+                Driver.resume ~experiments compiled ck
+              in
+              Driver.fused_of_machine code output st ~resumed:true
+          | Some None ->
+              (* known too short for the prefix: plain full run *)
+              fst (full ())
+          | None ->
+              (* cold: capture the prefix as a side effect (checkpoint
+                 capture never perturbs accounting) and seed the cache *)
+              let f, st = full ~checkpoint_at:at () in
+              Mutex.lock t.mu;
+              if not (Hashtbl.mem t.inflight ("k:" ^ ckey)) then
+                ignore (Lru.add t.ckpt_cache ckey st.Epic_sim.Machine.ck_saved);
+              Mutex.unlock t.mu;
+              f))
+
+let fused_fn t : Driver.fused_fn =
+ fun ~config ~desc ~train ~input ~experiments ~prefix_at source ->
+  let compiled, key, _ = compile t ~config ~desc ~train source in
+  fst (run_fused t ~key compiled ~experiments ~prefix_at input)
+
 type served = {
   s_outcome : outcome;
   s_key : string;
@@ -353,14 +445,16 @@ let suite t ?workloads ?progress () =
   Experiments.run_suite ?workloads ?progress ~jobs:t.pool_jobs
     ~compile:(compile_fn t) ()
 
-let sweep t ?variants ?ablations ?sampling ?progress ~workloads () =
+let sweep t ?variants ?ablations ?sampling ?fuse ?big_inputs ?progress
+    ~workloads () =
   Epic_sweep.Sweep.run ?variants ?ablations ~compile:(compile_fn t) ?sampling
-    ?progress ~jobs:t.pool_jobs ~workloads ()
+    ?fuse ?big_inputs ?progress ~jobs:t.pool_jobs ~workloads ()
 
-let causal t ?targets ?factors ?top_funcs ?split_funcs ?progress ~workloads ()
-    =
+let causal t ?targets ?factors ?top_funcs ?split_funcs ?serial ?big_inputs
+    ?progress ~workloads () =
   Epic_causal.Causal.run ?targets ?factors ?top_funcs ?split_funcs
-    ~compile:(compile_fn t) ?progress ~jobs:t.pool_jobs ~workloads ()
+    ~compile:(compile_fn t) ~fused:(fused_fn t) ?serial ?big_inputs ?progress
+    ~jobs:t.pool_jobs ~workloads ()
 
 let causal_check t ?progress report =
   Epic_causal.Causal.check_against_sweep ?progress ~compile:(compile_fn t)
@@ -378,6 +472,9 @@ type stats = {
   st_run_evictions : int;
   st_run_entries : int;
   st_run_uncached : int;
+  st_fused_hits : int;
+  st_fused_misses : int;
+  st_fused_entries : int;
   st_ref_hits : int;
   st_ref_misses : int;
   st_ckpt_hits : int;
@@ -399,6 +496,9 @@ let stats t =
       st_run_evictions = Lru.evictions t.run_cache;
       st_run_entries = Lru.length t.run_cache;
       st_run_uncached = t.s_run_uncached;
+      st_fused_hits = t.s_fused_hits;
+      st_fused_misses = t.s_fused_misses;
+      st_fused_entries = Lru.length t.fused_cache;
       st_ref_hits = t.s_ref_hits;
       st_ref_misses = t.s_ref_misses;
       st_ckpt_hits = t.s_ckpt_hits;
@@ -433,6 +533,14 @@ let stats_to_json t =
             ("entries", Epic_obs.Json.Int s.st_run_entries);
             ("uncached", Epic_obs.Json.Int s.st_run_uncached);
             ("capacity", Epic_obs.Json.Int (Lru.capacity t.run_cache));
+          ] );
+      ( "fused",
+        Epic_obs.Json.Obj
+          [
+            ("hits", Epic_obs.Json.Int s.st_fused_hits);
+            ("misses", Epic_obs.Json.Int s.st_fused_misses);
+            ("entries", Epic_obs.Json.Int s.st_fused_entries);
+            ("capacity", Epic_obs.Json.Int (Lru.capacity t.fused_cache));
           ] );
       ( "reference",
         Epic_obs.Json.Obj

@@ -11,9 +11,13 @@
       source resets the domain-local instruction-id counter, so a cached
       program is safe to re-simulate on any domain;
     - the {e run cache}, keyed by (compile key, run-input hash, sample
-      period, experiment), holding finished simulation outcomes.
+      period, sampling plan, experiment), holding finished simulation
+      outcomes;
+    - the {e fused cache}, keyed by (compile key, run-input hash,
+      experiment set, prefix position), holding finished fused
+      multi-experiment results ({!Epic_core.Driver.fused}).
 
-    Both caches are protected by one lock and an in-flight table with a
+    All caches are protected by one lock and an in-flight table with a
     condition variable, so concurrent requests for the same key — e.g. a
     burst of identical epicd requests fanned over the pool — compile
     exactly once: the first requester builds, the rest block and read the
@@ -97,13 +101,13 @@ val reference : t -> source:string -> input:int64 array -> (int * string) * bool
     controls the PC profiler; [0] disables sampling.  [reference] is the
     interpreter's (code, output) for the mismatch check.  On a hit only
     the workload label is patched ([workload] names the request, the key
-    is content-addressed).  A request carrying [trace] or [experiment]
-    bypasses the run cache entirely (a hit could not replay the trace,
-    and experiment outcomes are transient); it still reuses the compile
-    cache.  [sampling] runs the simulation under interval sampling
-    ({!Epic_core.Driver.run} [?sampling]); the plan joins the run-cache
-    key (via {!Epic_sim.Sampling.key_fragment}) because extrapolated
-    cycles are plan-dependent — unsampled requests keep the historical
+    is content-addressed).  A request carrying [trace] bypasses the run
+    cache entirely (a hit could not replay the trace) — the only
+    uncacheable run shape; it still reuses the compile cache.
+    [experiment] and [sampling] instead join the run-cache key (the
+    experiment via its canonical target/factor serialization, the plan
+    via {!Epic_sim.Sampling.key_fragment}) because their outcomes are
+    deterministic in it — plain unsampled requests keep the historical
     key form.  Returns the outcome and whether it hit. *)
 val run :
   t ->
@@ -141,6 +145,33 @@ val checkpoint :
   Epic_core.Driver.compiled ->
   int64 array ->
   Epic_sim.Machine.checkpoint option * string * bool
+
+(** {2 Fused multi-experiment runs}
+
+    One detailed simulation carrying a whole virtual-speedup experiment
+    set (DESIGN.md §14), content-addressed in its own LRU. *)
+
+(** [run_fused t ~key compiled ~experiments ~prefix_at input] delivers a
+    {!Epic_core.Driver.fused} result through the fused cache.
+    [prefix_at = Some g] enables checkpoint-prefix reuse,
+    peek-don't-build: a checkpoint for (key, input, g) already in the
+    session's checkpoint cache is resumed under the experiment set
+    (totals within an ulp of straight-through, [f_resumed = true]); a
+    missing one is captured as a free side effect of the full run and
+    seeded for the next matrix.  Returns the result and whether it
+    hit. *)
+val run_fused :
+  t ->
+  key:string ->
+  Epic_core.Driver.compiled ->
+  experiments:Epic_sim.Accounting.experiment list ->
+  prefix_at:int option ->
+  int64 array ->
+  Epic_core.Driver.fused * bool
+
+(** The session's fused path as a {!Epic_core.Driver.fused_fn} — what
+    {!causal} threads into the causal planner. *)
+val fused_fn : t -> Epic_core.Driver.fused_fn
 
 (** What one [epicc]/[epicd] request resolves to. *)
 type served = {
@@ -187,17 +218,24 @@ val sweep :
   ?variants:Epic_sweep.Sweep.variant list ->
   ?ablations:Epic_sweep.Sweep.ablation list ->
   ?sampling:Epic_sim.Sampling.plan ->
+  ?fuse:bool ->
+  ?big_inputs:bool ->
   ?progress:bool ->
   workloads:string list ->
   unit ->
   Epic_sweep.Sweep.report
 
+(** The causal matrix additionally threads [~fused:(fused_fn t)], so the
+    per-workload fused grids memoize and reuse checkpoint prefixes across
+    repeated matrices. *)
 val causal :
   t ->
   ?targets:Epic_causal.Causal.target list ->
   ?factors:float list ->
   ?top_funcs:int ->
   ?split_funcs:int ->
+  ?serial:bool ->
+  ?big_inputs:bool ->
   ?progress:bool ->
   workloads:string list ->
   unit ->
@@ -220,7 +258,10 @@ type stats = {
   st_run_misses : int;
   st_run_evictions : int;
   st_run_entries : int;
-  st_run_uncached : int;  (** trace/experiment runs that bypassed the cache *)
+  st_run_uncached : int;  (** trace runs that bypassed the cache *)
+  st_fused_hits : int;
+  st_fused_misses : int;
+  st_fused_entries : int;
   st_ref_hits : int;
   st_ref_misses : int;
   st_ckpt_hits : int;

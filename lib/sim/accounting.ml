@@ -180,6 +180,63 @@ let apply_experiment_to_past t = function
             | Some b -> adjust b (index cat))
       end
 
+(* --- fused experiment sets ------------------------------------------------
+   N concurrent virtual-speedup experiments over one simulated instruction
+   stream.  Each experiment owns a *full* accumulator with the experiment
+   installed through the ordinary [set_experiment], and fused charging
+   routes every charge through the ordinary [charge_bins] on each
+   accumulator — so a fused experiment sees exactly the float-operation
+   sequence its serial [~experiment] run would see, and its totals and
+   per-function bins are bit-identical to that run's, by construction.
+   The host accumulator (the machine's own) is charged as usual and stays
+   bit-identical to a run with no experiments at all. *)
+type exp_set = {
+  xexps : experiment array;
+  xacc : t array; (* one accumulator per experiment, same order *)
+}
+
+let make_set (exps : experiment list) =
+  let xexps = Array.of_list exps in
+  let xacc =
+    Array.map
+      (fun e ->
+        let a = create () in
+        set_experiment a (Some e);
+        a)
+      xexps
+  in
+  { xexps; xacc }
+
+(* A set for resuming a checkpointed prefix: each accumulator starts from
+   a private copy of the prefix accounting with the experiment applied
+   retroactively — within an ulp of the straight-through fused run, for
+   the same reason [apply_experiment_to_past] is (see above). *)
+let resume_set ~(past : t) (exps : experiment list) =
+  let xexps = Array.of_list exps in
+  let xacc =
+    Array.map
+      (fun e ->
+        let a = copy past in
+        set_experiment a (Some e);
+        apply_experiment_to_past a (Some e);
+        a)
+      xexps
+  in
+  { xexps; xacc }
+
+let set_size (s : exp_set) = Array.length s.xacc
+let set_accounts (s : exp_set) = s.xacc
+let set_experiments (s : exp_set) = s.xexps
+
+(* Refill the caller's per-experiment bins scratch for [func]: slot [i]
+   becomes [func]'s live bins array in experiment [i]'s accumulator
+   (created on demand, exactly as a serial run's first charge under [func]
+   would create it). *)
+let set_bins (s : exp_set) (bs : float array array) (func : string) =
+  for i = 0 to Array.length s.xacc - 1 do
+    bs.(i) <- bins s.xacc.(i) func
+  done
+
 (* Hot-path variant: the caller has already fetched (and may cache) the
    function's bins, so a charge is two array updates with no string
    hashing.  [charge] below remains the convenience form.  With no (or a
@@ -204,6 +261,15 @@ let charge_bins t (b : float array) (cat : category) (cycles : int) =
 
 let charge t (func : string) (cat : category) (cycles : int) =
   if cycles > 0 then charge_bins t (bins t func) cat cycles
+
+(* Fused hot path: one simulator charge fans out to every experiment's
+   accumulator through the ordinary [charge_bins], each against its own
+   cached bins for the current function (see [set_bins]). *)
+let charge_set (s : exp_set) (bs : float array array) (cat : category)
+    (cycles : int) =
+  for i = 0 to Array.length s.xacc - 1 do
+    charge_bins s.xacc.(i) bs.(i) cat cycles
+  done
 
 let total t = Array.fold_left ( +. ) 0. t.totals
 let get t cat = t.totals.(index cat)

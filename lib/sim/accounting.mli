@@ -100,3 +100,39 @@ val copy : t -> t
     prefix was simulated without; exact in real arithmetic, within an ulp
     of the straight-through run in floats. *)
 val apply_experiment_to_past : t -> experiment option -> unit
+
+(** A fused set of N concurrent virtual-speedup experiments carried by one
+    simulation.  Each experiment owns a full private accumulator with the
+    experiment installed via {!set_experiment}, and fused charging routes
+    every charge through {!charge_bins} on each accumulator — so each
+    fused experiment's totals and per-function bins are bit-identical to
+    the serial [~experiment] run's, by construction.  The host accumulator
+    is charged separately as usual and is untouched by the set. *)
+type exp_set = {
+  xexps : experiment array;
+  xacc : t array;  (** one accumulator per experiment, same order *)
+}
+
+(** Fresh accumulators, one per experiment, experiments installed.
+    @raise Invalid_argument if any speedup is outside [0, 1]. *)
+val make_set : experiment list -> exp_set
+
+(** A set resuming from a checkpointed prefix: each accumulator is a
+    private {!copy} of [past] with its experiment installed and applied
+    retroactively via {!apply_experiment_to_past} — within an ulp of the
+    straight-through fused run. *)
+val resume_set : past:t -> experiment list -> exp_set
+
+val set_size : exp_set -> int
+val set_accounts : exp_set -> t array
+val set_experiments : exp_set -> experiment array
+
+(** [set_bins s bs func] refills the caller's per-experiment bins scratch
+    for [func]: slot [i] becomes [func]'s live bins in accumulator [i]
+    (created on demand).  [Array.length bs] must be [set_size s]. *)
+val set_bins : exp_set -> float array array -> string -> unit
+
+(** [charge_set s bs cat cycles] fans one charge out to every experiment's
+    accumulator via {!charge_bins}, [bs] being the current function's
+    per-experiment bins from {!set_bins}. *)
+val charge_set : exp_set -> float array array -> category -> int -> unit

@@ -215,6 +215,13 @@ and t = {
   mutable ld_extra : int; (* cache penalty of the last [load_value] *)
   mutable cur_bins : float array; (* accounting bins of [cur_bins_for] *)
   mutable cur_bins_for : string; (* physically: the name [cur_bins] is for *)
+  (* Fused experiment set (DESIGN.md §14): [None] on ordinary runs — the
+     hot path pays one option match per charge.  When present, each charge
+     additionally fans out to every experiment's private accumulator;
+     [cur_xbins] caches those accumulators' bins for [cur_bins_for],
+     refreshed by the same function-change check as [cur_bins]. *)
+  exps : Accounting.exp_set option;
+  mutable cur_xbins : float array array;
   syms : (string, int64) Hashtbl.t; (* memoized symbol addresses *)
   mutable free_frames : frame list; (* frame pool: released call frames *)
   (* Interval sampling (DESIGN.md §13): in a warm phase [warm] is true and
@@ -335,8 +342,13 @@ let decode_func (layout : Layout.t) (f : Func.t) =
 
 
 let create ?(fuel = 400_000_000) ?trace ?profile ?experiment
-    ?(desc = Itanium.desc ()) ?sampling ?checkpoint_at (program : Program.t)
-    (layout : Layout.t) (input : int64 array) =
+    ?(experiments = []) ?(desc = Itanium.desc ()) ?sampling ?checkpoint_at
+    (program : Program.t) (layout : Layout.t) (input : int64 array) =
+  if experiment <> None && experiments <> [] then
+    invalid_arg "Machine.create: ?experiment and ?experiments are exclusive";
+  let exps =
+    if experiments = [] then None else Some (Accounting.make_set experiments)
+  in
   Program.assign_addresses program;
   let mem = Memimage.create () in
   Memimage.load_program mem program;
@@ -355,6 +367,12 @@ let create ?(fuel = 400_000_000) ?trace ?profile ?experiment
      first charge; with [None] the accounting stays on its inactive fast
      path and the run is bit-identical to a pre-hook machine *)
   Accounting.set_experiment acc experiment;
+  let sampling_state = Option.map Sampling.make sampling in
+  (* a sampled fused run tracks each experiment's accumulator so finalize
+     can extrapolate it exactly as a serial sampled run of it would *)
+  (match (sampling_state, exps) with
+  | Some sa, Some s -> Sampling.attach sa (Accounting.set_accounts s)
+  | _ -> ());
   {
     program;
     layout;
@@ -389,10 +407,15 @@ let create ?(fuel = 400_000_000) ?trace ?profile ?experiment
     ld_extra = 0;
     cur_bins = [||];
     cur_bins_for = "\000"; (* sentinel: no function is named this *)
+    exps;
+    cur_xbins =
+      (match exps with
+      | None -> [||]
+      | Some s -> Array.make (Accounting.set_size s) [||]);
     syms = Hashtbl.create 32;
     free_frames = [];
     warm = false;
-    sampling = Option.map Sampling.make sampling;
+    sampling = sampling_state;
     sample_summary = None;
     warm_tlb_pages = Array.make warm_filter_size (-1);
     warm_l1d_lines = Array.make warm_filter_size (-1);
@@ -429,9 +452,18 @@ let charge st cat n =
          every charge went through [Accounting.charge]. *)
       if not (st.cur_bins_for == st.cur_func) then begin
         st.cur_bins <- Accounting.bins st.acc st.cur_func;
+        (match st.exps with
+        | None -> ()
+        | Some s -> Accounting.set_bins s st.cur_xbins st.cur_func);
         st.cur_bins_for <- st.cur_func
       end;
-      Accounting.charge_bins st.acc st.cur_bins cat n
+      Accounting.charge_bins st.acc st.cur_bins cat n;
+      (* fused experiments: the same charge against each experiment's
+         private accumulator, through the same [charge_bins] — so every
+         fused cell is bit-identical to its serial [~experiment] run *)
+      match st.exps with
+      | None -> ()
+      | Some s -> Accounting.charge_set s st.cur_xbins cat n
     end
   end
 
@@ -829,7 +861,7 @@ let sampling_step st (sa : Sampling.state) =
     else begin
       sa.Sampling.in_detail <- true;
       st.warm <- false;
-      Array.blit st.acc.Accounting.totals 0 sa.Sampling.snap 0 9;
+      Sampling.resnap sa st.acc.Accounting.totals;
       sa.Sampling.left <- sa.Sampling.plan.Sampling.detail;
       sa.Sampling.phase_len <- sa.Sampling.plan.Sampling.detail
     end
@@ -2216,8 +2248,8 @@ and exec_blocks st (fr : frame) (df : dfunc) (block : dblock) =
   done
 
 (* Run a whole program; returns (exit code, output, state). *)
-let run ?fuel ?trace ?profile ?experiment ?desc ?sampling ?checkpoint_at
-    (p : Program.t) (layout : Layout.t) (input : int64 array) =
+let run ?fuel ?trace ?profile ?experiment ?experiments ?desc ?sampling
+    ?checkpoint_at (p : Program.t) (layout : Layout.t) (input : int64 array) =
   (match (sampling, checkpoint_at) with
   | Some _, Some _ ->
       (* a checkpoint must capture exact state; a sampled run's accounting
@@ -2226,8 +2258,8 @@ let run ?fuel ?trace ?profile ?experiment ?desc ?sampling ?checkpoint_at
       invalid_arg "Machine.run: sampling and checkpoint_at are exclusive"
   | _ -> ());
   let st =
-    create ?fuel ?trace ?profile ?experiment ?desc ?sampling ?checkpoint_at p
-      layout input
+    create ?fuel ?trace ?profile ?experiment ?experiments ?desc ?sampling
+      ?checkpoint_at p layout input
   in
   let main_fr = fresh_frame (Program.find_func_exn p p.Program.entry) in
   main_fr.ints.(Reg.sp.Reg.id) <- Int64.sub Program.stack_top 128L;
@@ -2250,6 +2282,13 @@ let run ?fuel ?trace ?profile ?experiment ?desc ?sampling ?checkpoint_at
 
 let checkpoint st = st.ck_saved
 let sample_summary st = st.sample_summary
+
+(* The fused experiments' final accumulators, in the order the experiment
+   list was given; [[||]] when the run carried none. *)
+let fused_accounts st =
+  match st.exps with
+  | None -> [||]
+  | Some s -> Accounting.set_accounts s
 
 (* --- resume ---------------------------------------------------------------
 
@@ -2377,8 +2416,11 @@ let rec resume_entries st ~caller_func ~caller_block = function
    retroactively to the checkpointed accounting and to the remainder of
    the run.  Fuel defaults to the remaining fuel at capture, so a resumed
    run exhausts at the same point as the uninterrupted one. *)
-let resume ?fuel ?trace ?profile ?experiment ?(desc = Itanium.desc ())
-    (p : Program.t) (layout : Layout.t) (ck : checkpoint) =
+let resume ?fuel ?trace ?profile ?experiment ?(experiments = [])
+    ?(desc = Itanium.desc ()) (p : Program.t) (layout : Layout.t)
+    (ck : checkpoint) =
+  if experiment <> None && experiments <> [] then
+    invalid_arg "Machine.resume: ?experiment and ?experiments are exclusive";
   if not (String.equal (Machine_desc.digest desc) ck.ck_desc_digest) then
     invalid_arg "Machine.resume: machine description differs from capture";
   Program.assign_addresses p;
@@ -2390,6 +2432,12 @@ let resume ?fuel ?trace ?profile ?experiment ?(desc = Itanium.desc ())
   let acc = Accounting.copy ck.ck_acc in
   Accounting.set_experiment acc experiment;
   Accounting.apply_experiment_to_past acc experiment;
+  (* each fused experiment resumes from its own copy of the prefix
+     accounting with the experiment applied retroactively *)
+  let exps =
+    if experiments = [] then None
+    else Some (Accounting.resume_set ~past:ck.ck_acc experiments)
+  in
   let output = Buffer.create (max 256 (String.length ck.ck_output)) in
   Buffer.add_string output ck.ck_output;
   let st =
@@ -2423,6 +2471,11 @@ let resume ?fuel ?trace ?profile ?experiment ?(desc = Itanium.desc ())
       ld_extra = 0;
       cur_bins = [||];
       cur_bins_for = "\000";
+      exps;
+      cur_xbins =
+        (match exps with
+        | None -> [||]
+        | Some s -> Array.make (Accounting.set_size s) [||]);
       syms = Hashtbl.create 32;
       free_frames = [];
       warm = false;

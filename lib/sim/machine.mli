@@ -96,6 +96,12 @@ type t = {
       (** scratch: cached accounting bins of [cur_bins_for] *)
   mutable cur_bins_for : string;
       (** the name (physically) that [cur_bins] was fetched for *)
+  exps : Accounting.exp_set option;
+      (** fused experiment set (DESIGN.md §14): when present, every charge
+          additionally fans out to each experiment's private accumulator;
+          [None] costs one option match per charge *)
+  mutable cur_xbins : float array array;
+      (** scratch: the set's cached bins for [cur_bins_for] *)
   syms : (string, int64) Hashtbl.t;  (** memoized symbol addresses *)
   mutable free_frames : frame list;
       (** pool of released call frames, cleared on reuse (DESIGN.md §10) *)
@@ -141,6 +147,16 @@ type t = {
     evolve exactly as without it.  Omitted (or no-op), the accounting is
     bit-identical to a machine without the hook.
 
+    [experiments] fuses N concurrent virtual speedups into the one run:
+    each gets a private accumulator charged through the same hot path, so
+    experiment [i]'s final accounting (via {!fused_accounts}) is
+    bit-identical to a serial [~experiment] run of it, while the host
+    accounting stays bit-identical to a run with no experiments.
+    Exclusive with [experiment] ([Invalid_argument]); composes with
+    [sampling] (per-experiment extrapolation tracks) and with
+    [checkpoint_at] (the snapshot carries host accounting only, so it
+    equals a plain run's).
+
     [desc] selects the machine description to simulate; the default is the
     domain's current description ({!Epic_mach.Itanium.desc}), normally
     {!Machine_desc.itanium2}.  For a run to be meaningful the program must
@@ -161,6 +177,7 @@ val run :
   ?trace:Epic_obs.Trace.t ->
   ?profile:Epic_obs.Profile.t ->
   ?experiment:Accounting.experiment ->
+  ?experiments:Accounting.experiment list ->
   ?desc:Machine_desc.t ->
   ?sampling:Sampling.plan ->
   ?checkpoint_at:int ->
@@ -176,6 +193,12 @@ val checkpoint : t -> checkpoint option
 val sample_summary : t -> Sampling.summary option
 (** The extrapolation summary of a [?sampling] run. *)
 
+val fused_accounts : t -> Accounting.t array
+(** The final accumulators of a [?experiments] run, in the order the list
+    was given; [[||]] when the run carried none.  Entry [i] is
+    bit-identical to the accounting of a serial [~experiment] run of
+    experiment [i]. *)
+
 (** Resume a checkpoint against a structurally identical (program, layout)
     pair; returns (exit code, output, state) like {!run}, with the output
     including the checkpointed prefix.  The run is bit-identical — cycles,
@@ -183,15 +206,18 @@ val sample_summary : t -> Sampling.summary option
 
     [experiment] is applied retroactively to the checkpointed prefix
     (exact in real arithmetic, within an ulp of a straight-through run in
-    floats) and exactly to the remainder.  [desc] must digest-match the
-    description at capture ([Invalid_argument] otherwise).  [fuel]
-    defaults to the fuel remaining at capture, so a resumed run exhausts
-    at the same point as the uninterrupted one. *)
+    floats) and exactly to the remainder.  [experiments] does the same
+    for a fused set, each experiment resuming from its own copy of the
+    prefix accounting (exclusive with [experiment]).  [desc] must
+    digest-match the description at capture ([Invalid_argument]
+    otherwise).  [fuel] defaults to the fuel remaining at capture, so a
+    resumed run exhausts at the same point as the uninterrupted one. *)
 val resume :
   ?fuel:int ->
   ?trace:Epic_obs.Trace.t ->
   ?profile:Epic_obs.Profile.t ->
   ?experiment:Accounting.experiment ->
+  ?experiments:Accounting.experiment list ->
   ?desc:Machine_desc.t ->
   Epic_ir.Program.t ->
   Epic_sched.Layout.t ->

@@ -64,6 +64,19 @@ let parse_spec (s : string) =
         | _ -> fail ())
     | _ -> fail ()
 
+(* A per-experiment sampling track: a fused run's extra accumulators each
+   get their own phase-entry snapshot and recorded deltas, taken at the
+   same (groups-driven, accounting-independent) phase boundaries as the
+   host's.  Each track therefore records exactly the deltas a serial
+   sampled run of that experiment would, and [finalize] feeds them through
+   the same estimator — so a fused sampled experiment's totals and bins
+   are bit-identical to its serial sampled run's. *)
+type track = {
+  tr_acc : Accounting.t;
+  tr_snap : float array;  (* length 9 *)
+  mutable tr_recorded : (int * float array) list;
+}
+
 (* Runtime phase state, driven by [Machine] once per issue group. *)
 type state = {
   plan : plan;
@@ -75,6 +88,7 @@ type state = {
   mutable recorded : (int * float array) list;
       (* closed detail phases, most recent first: (groups, category cycles) *)
   mutable n_recorded : int;
+  mutable tracks : track list;  (* fused-experiment accumulators, if any *)
 }
 
 let make (p : plan) =
@@ -88,7 +102,25 @@ let make (p : plan) =
     snap = Array.make 9 0.;
     recorded = [];
     n_recorded = 0;
+    tracks = [];
   }
+
+(* Attach fused-experiment accumulators.  Must be called before the run
+   starts (their totals are still zero, matching the initial snapshot). *)
+let attach (sa : state) (accs : Accounting.t array) =
+  sa.tracks <-
+    Array.to_list
+      (Array.map
+         (fun a ->
+           { tr_acc = a; tr_snap = Array.make 9 0.; tr_recorded = [] })
+         accs)
+
+(* Re-snapshot at detail-phase entry: host totals plus every track's. *)
+let resnap (sa : state) (totals : float array) =
+  Array.blit totals 0 sa.snap 0 9;
+  List.iter
+    (fun tr -> Array.blit tr.tr_acc.Accounting.totals 0 tr.tr_snap 0 9)
+    sa.tracks
 
 (* Close the current detail phase of [len] groups: record the category
    cycles it charged (current totals minus the entry snapshot). *)
@@ -100,7 +132,15 @@ let record_phase (sa : state) (totals : float array) ~(len : int) =
     done;
     sa.recorded <- (len, delta) :: sa.recorded;
     sa.n_recorded <- sa.n_recorded + 1;
-    sa.detail_groups <- sa.detail_groups + len
+    sa.detail_groups <- sa.detail_groups + len;
+    List.iter
+      (fun tr ->
+        let d = Array.make 9 0. in
+        for k = 0 to 8 do
+          d.(k) <- tr.tr_acc.Accounting.totals.(k) -. tr.tr_snap.(k)
+        done;
+        tr.tr_recorded <- (len, d) :: tr.tr_recorded)
+      sa.tracks
   end
 
 (* The result block attached to a sampled run (and exported as JSON). *)
@@ -172,6 +212,56 @@ let confidence (sa : state) ~(extrap_groups : int) =
    ratio, so the by-function breakdown stays consistent with the totals.
    When the run never left detail (short programs), nothing is touched and
    the accounting is bit-identical to an unsampled run. *)
+(* The hybrid estimator applied to one accumulator in place, from its own
+   closed detail phases ([recorded], most recent first): keep the startup
+   phase exactly measured and extrapolate the steady-state per-group rate
+   over the rest.  Returns [extrap_groups] (for the confidence bound) and
+   the estimated total.  Shared by the host accounting and every fused
+   track, so a track's arithmetic is exactly what its serial run's
+   [finalize] would do. *)
+let extrapolate ~(recorded : (int * float array) list) (acc : Accounting.t)
+    ~(total_groups : int) =
+  (* oldest phase first; the head is the startup/warmup phase *)
+  let phases = List.rev recorded in
+  let startup_len, startup, steady_len, steady =
+    match phases with
+    | (wl, wd) :: rest ->
+        let sl = List.fold_left (fun a (l, _) -> a + l) 0 rest in
+        let sd = Array.make 9 0. in
+        List.iter
+          (fun (_, d) ->
+            for k = 0 to 8 do
+              sd.(k) <- sd.(k) +. d.(k)
+            done)
+          rest;
+        if sl > 0 then (wl, wd, sl, sd)
+        else
+          (* the run ended before a second detail phase: the startup
+             phase is the only rate sample there is *)
+          (0, Array.make 9 0., wl, wd)
+    | [] -> (0, Array.make 9 0., 0, Array.make 9 0.)
+  in
+  let extrap_groups = total_groups - startup_len in
+  let totals = acc.Accounting.totals in
+  let est = Array.make 9 0. in
+  for k = 0 to 8 do
+    est.(k) <-
+      startup.(k)
+      +. (steady.(k) /. float_of_int (max 1 steady_len))
+         *. float_of_int extrap_groups
+  done;
+  (* rescale the per-function bins by each category's ratio before
+     overwriting the totals (bins of a category with zero total are all
+     zero and stay so) *)
+  Hashtbl.iter
+    (fun _ b ->
+      for k = 0 to 8 do
+        if totals.(k) > 0. then b.(k) <- b.(k) *. (est.(k) /. totals.(k))
+      done)
+    acc.Accounting.by_func;
+  Array.blit est 0 totals 0 9;
+  (extrap_groups, Array.fold_left ( +. ) 0. est)
+
 let finalize (sa : state) (acc : Accounting.t) ~(total_groups : int) =
   if sa.in_detail then
     record_phase sa acc.Accounting.totals ~len:(sa.phase_len - sa.left);
@@ -179,7 +269,7 @@ let finalize (sa : state) (acc : Accounting.t) ~(total_groups : int) =
   let measured = Array.fold_left ( +. ) 0. totals in
   let dg = sa.detail_groups in
   if dg = 0 || dg >= total_groups then
-    (* never left detail: exact, untouched *)
+    (* never left detail: exact, untouched (host and tracks alike) *)
     let ci95, cat_ci95 = confidence sa ~extrap_groups:0 in
     {
       s_plan = sa.plan;
@@ -193,45 +283,14 @@ let finalize (sa : state) (acc : Accounting.t) ~(total_groups : int) =
       s_cat_ci95 = cat_ci95;
     }
   else begin
-    (* oldest phase first; the head is the startup/warmup phase *)
-    let phases = List.rev sa.recorded in
-    let startup_len, startup, steady_len, steady =
-      match phases with
-      | (wl, wd) :: rest ->
-          let sl = List.fold_left (fun a (l, _) -> a + l) 0 rest in
-          let sd = Array.make 9 0. in
-          List.iter
-            (fun (_, d) ->
-              for k = 0 to 8 do
-                sd.(k) <- sd.(k) +. d.(k)
-              done)
-            rest;
-          if sl > 0 then (wl, wd, sl, sd)
-          else
-            (* the run ended before a second detail phase: the startup
-               phase is the only rate sample there is *)
-            (0, Array.make 9 0., wl, wd)
-      | [] -> (0, Array.make 9 0., 0, Array.make 9 0.)
+    let extrap_groups, est_total =
+      extrapolate ~recorded:sa.recorded acc ~total_groups
     in
-    let extrap_groups = total_groups - startup_len in
-    let est = Array.make 9 0. in
-    for k = 0 to 8 do
-      est.(k) <-
-        startup.(k)
-        +. (steady.(k) /. float_of_int (max 1 steady_len))
-           *. float_of_int extrap_groups
-    done;
-    (* rescale the per-function bins by each category's ratio before
-       overwriting the totals (bins of a category with zero total are all
-       zero and stay so) *)
-    Hashtbl.iter
-      (fun _ b ->
-        for k = 0 to 8 do
-          if totals.(k) > 0. then b.(k) <- b.(k) *. (est.(k) /. totals.(k))
-        done)
-      acc.Accounting.by_func;
-    Array.blit est 0 totals 0 9;
-    let est_total = Array.fold_left ( +. ) 0. est in
+    List.iter
+      (fun tr ->
+        ignore
+          (extrapolate ~recorded:tr.tr_recorded tr.tr_acc ~total_groups))
+      sa.tracks;
     let ci95, cat_ci95 = confidence sa ~extrap_groups in
     {
       s_plan = sa.plan;

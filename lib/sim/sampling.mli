@@ -31,6 +31,17 @@ val parse_spec : string -> plan
 (** Parse ["INTERVAL:DETAIL"] or ["INTERVAL:DETAIL:WARMUP"]; the empty
     string is {!default_plan}.  Raises [Invalid_argument] on bad input. *)
 
+(** A per-experiment sampling track: a fused run's extra accumulators each
+    get their own phase-entry snapshot and recorded deltas, taken at the
+    same groups-driven phase boundaries as the host's, then fed through
+    the same estimator in {!finalize} — so a fused sampled experiment is
+    bit-identical to its serial sampled run. *)
+type track = {
+  tr_acc : Accounting.t;
+  tr_snap : float array;  (** length 9 *)
+  mutable tr_recorded : (int * float array) list;
+}
+
 (** Runtime phase state, created by {!Machine.run} from a plan and driven
     once per issue group.  Transparent because the per-group switch logic
     lives in the machine's hot loop (it flips the warm flag and snapshots
@@ -45,14 +56,25 @@ type state = {
   mutable recorded : (int * float array) list;
       (** closed detail phases, most recent first: (groups, cycles[9]) *)
   mutable n_recorded : int;
+  mutable tracks : track list;  (** fused-experiment accumulators, if any *)
 }
 
 val make : plan -> state
 
+val attach : state -> Accounting.t array -> unit
+(** Attach fused-experiment accumulators as tracks.  Must be called before
+    the run starts (their totals still zero, matching the initial
+    snapshot). *)
+
+val resnap : state -> float array -> unit
+(** [resnap sa totals] re-snapshots at detail-phase entry: the host totals
+    into [sa.snap] plus every track's own totals. *)
+
 val record_phase : state -> float array -> len:int -> unit
 (** [record_phase sa totals ~len] closes a detail phase of [len] groups,
-    recording the category cycles charged since the phase-entry snapshot.
-    Called by the machine at detail->warm transitions. *)
+    recording the category cycles charged since the phase-entry snapshot —
+    for the host and for every attached track.  Called by the machine at
+    detail->warm transitions. *)
 
 type summary = {
   s_plan : plan;
@@ -69,6 +91,7 @@ type summary = {
 val finalize : state -> Accounting.t -> total_groups:int -> summary
 (** Close the open phase and scale the accounting in place — totals and
     every per-function bin — by [total_groups / detail_groups], so the
-    metrics/export pipeline reads extrapolated cycles unchanged.  When the
-    run never left detail the scale is exactly 1.0 and the accounting is
-    bit-identical to an unsampled run. *)
+    metrics/export pipeline reads extrapolated cycles unchanged.  Every
+    attached track is extrapolated the same way from its own recorded
+    deltas.  When the run never left detail the scale is exactly 1.0 and
+    the accounting is bit-identical to an unsampled run. *)

@@ -141,6 +141,26 @@ let find_variant name =
 
 let find_ablation name = List.find_opt (fun a -> a.a_name = name) ablations
 
+(* A variant is a pure charge suppression when its description is the
+   baseline modulo exactly one perfect-* flag: the compile ignores the
+   flag (nothing outside the simulator's charge site reads it), the
+   machine evolution matches the baseline's, and suppressing a category's
+   charges equals a factor-1.0 virtual-speedup experiment on it
+   (bit-identical totals: [c *. 0.0 = +0.0] and [x +. 0.0 = x]).  Such a
+   cell can ride the baseline simulation as a fused experiment instead of
+   being simulated on its own (DESIGN.md §14). *)
+let suppression_target (v : variant) =
+  let d = v.v_desc in
+  let normalized =
+    { d with Md.perfect_icache = false; Md.perfect_predictor = false }
+  in
+  if not (String.equal (Md.digest normalized) (Md.digest i2)) then None
+  else
+    match (d.Md.perfect_icache, d.Md.perfect_predictor) with
+    | true, false -> Some Acc.Front_end
+    | false, true -> Some Acc.Br_mispredict
+    | _ -> None
+
 type cell = {
   c_workload : string;
   c_variant : string;
@@ -148,6 +168,9 @@ type cell = {
   c_cycles : float;
   c_categories : float array;
   c_output_ok : bool;
+  c_fused : bool;
+      (* delivered by a fused experiment on the baseline simulation
+         instead of a simulation of its own *)
   c_obs : Json.t;
 }
 
@@ -164,6 +187,7 @@ type report = {
   r_baseline : cell list;
   r_cells : cell list;
   r_tornado : row list;
+  r_fused_cells : int; (* cells that rode a baseline sim = sims saved *)
   r_wall_s : float;
 }
 
@@ -197,7 +221,67 @@ let run_cell ?sampling ~(compile : Driver.compile_fn) ~reference
     c_categories = Array.copy st.Epic_sim.Machine.acc.Acc.totals;
     c_output_ok = code = ref_code && out = ref_out;
     c_obs = Export.obs_to_json ~trace ~profile ();
+    c_fused = false;
   }
+
+(* The workload's baseline cell, carrying the charge-suppression variants
+   as fused factor-1.0 experiments: one simulation delivers the baseline
+   cell plus one cell per [fused_pairs] entry, each bit-identical to the
+   serial variant run (same totals, and — the machine evolution being
+   accounting-independent — the same instruments, output and reference
+   verdict, so [c_obs]/[c_output_ok] are shared). *)
+let run_base_cell ?sampling ~(compile : Driver.compile_fn) ~reference
+    (w : Workload.t) (fused_pairs : (variant * Acc.category) list) =
+  let config = Experiments.config_for w Config.ILP_CS in
+  let compiled =
+    compile ~config ~desc:(Some baseline_variant.v_desc) ~train:w.Workload.train
+      w.Workload.source
+  in
+  let trace = Epic_obs.Trace.create () in
+  let profile =
+    Epic_obs.Profile.create ~period:Experiments.sample_period ()
+  in
+  let experiments =
+    List.map
+      (fun (_, c) -> { Acc.target = Acc.Target_category c; speedup = 1.0 })
+      fused_pairs
+  in
+  let code, out, st =
+    Driver.run ~trace ~profile ?sampling ~experiments compiled
+      w.Workload.reference
+  in
+  let ref_code, ref_out = reference in
+  let ok = code = ref_code && out = ref_out in
+  let obs = Export.obs_to_json ~trace ~profile () in
+  let base =
+    {
+      c_workload = w.Workload.short;
+      c_variant = baseline_variant.v_name;
+      c_ablation = baseline_ablation.a_name;
+      c_cycles = Acc.total st.Epic_sim.Machine.acc;
+      c_categories = Array.copy st.Epic_sim.Machine.acc.Acc.totals;
+      c_output_ok = ok;
+      c_obs = obs;
+      c_fused = false;
+    }
+  in
+  let xacc = Epic_sim.Machine.fused_accounts st in
+  let fused_cells =
+    List.mapi
+      (fun i ((v : variant), _) ->
+        {
+          c_workload = w.Workload.short;
+          c_variant = v.v_name;
+          c_ablation = baseline_ablation.a_name;
+          c_cycles = Acc.total xacc.(i);
+          c_categories = Array.copy xacc.(i).Acc.totals;
+          c_output_ok = ok;
+          c_obs = obs;
+          c_fused = true;
+        })
+      fused_pairs
+  in
+  (base, fused_cells)
 
 let geomean = function
   | [] -> invalid_arg "Sweep.geomean: empty"
@@ -206,17 +290,21 @@ let geomean = function
       exp (List.fold_left (fun s x -> s +. log x) 0. l /. float_of_int n)
 
 let run ?(variants = variants) ?(ablations = [ baseline_ablation ])
-    ?(compile = Driver.default_compile) ?sampling ?(progress = false) ~jobs
-    ~workloads () =
+    ?(compile = Driver.default_compile) ?sampling ?(fuse = true)
+    ?(big_inputs = false) ?(progress = false) ~jobs ~workloads () =
   let t0 = Sys.time () in
   let ws = Array.of_list (List.map Suite.find_exn workloads) in
+  let ws = if big_inputs then Array.map Workload.scale ws else ws in
   (* Phase 1: one reference interpretation per workload, shared read-only
      by every cell of that workload's row. *)
   let references =
     Pool.map ~jobs (fun w -> Experiments.reference_output w) ws
   in
   (* Phase 2: the per-workload baseline cell plus the full matrix, in
-     deterministic workload-major order (Pool.map returns index order). *)
+     deterministic workload-major order (Pool.map returns index order).
+     Charge-suppression variants paired with the baseline ablation fuse
+     into the workload's baseline simulation ([run_base_cell]); every
+     other cell is simulated on its own. *)
   let non_baseline (v : variant) (a : ablation) =
     not (v.v_name = baseline_variant.v_name && a.a_name = baseline_ablation.a_name)
   in
@@ -235,7 +323,43 @@ let run ?(variants = variants) ?(ablations = [ baseline_ablation ])
                    variants)
             (Array.to_list ws)))
   in
-  let cells =
+  let fused_pairs =
+    if not fuse then []
+    else
+      List.filter_map
+        (fun v ->
+          match suppression_target v with
+          | Some c when v.v_name <> baseline_variant.v_name -> Some (v, c)
+          | _ -> None)
+        variants
+  in
+  let is_base (_, (v : variant), (a : ablation)) =
+    v.v_name = baseline_variant.v_name && a.a_name = baseline_ablation.a_name
+  in
+  let is_fused_spec (_, (v : variant), (a : ablation)) =
+    a.a_name = baseline_ablation.a_name
+    && List.exists (fun ((fv : variant), _) -> fv.v_name = v.v_name)
+         fused_pairs
+  in
+  let base_results =
+    Pool.map ~jobs
+      (fun wi ->
+        let w = ws.(wi) in
+        if progress then
+          Fmt.epr "  sweeping %s / %s / %s (+%d fused)...@." w.Workload.short
+            baseline_variant.v_name baseline_ablation.a_name
+            (List.length fused_pairs);
+        run_base_cell ?sampling ~compile ~reference:references.(wi) w
+          fused_pairs)
+      (Array.init (Array.length ws) (fun i -> i))
+  in
+  let serial_specs =
+    Array.of_list
+      (List.filter
+         (fun s -> not (is_base s) && not (is_fused_spec s))
+         (Array.to_list specs))
+  in
+  let serial_cells =
     Pool.map ~jobs
       (fun (wi, v, a) ->
         let w = ws.(wi) in
@@ -243,9 +367,27 @@ let run ?(variants = variants) ?(ablations = [ baseline_ablation ])
           Fmt.epr "  sweeping %s / %s / %s...@." w.Workload.short v.v_name
             a.a_name;
         run_cell ?sampling ~compile ~reference:references.(wi) w v a)
-      specs
+      serial_specs
   in
-  let all = Array.to_list cells in
+  (* reassemble in the original specs order ([serial_specs] preserves the
+     relative order of the serial cells, so a sequential pop matches) *)
+  let serial_q = ref (Array.to_list serial_cells) in
+  let all =
+    List.map
+      (fun ((wi, (v : variant), _) as s) ->
+        if is_base s then fst base_results.(wi)
+        else if is_fused_spec s then
+          List.find
+            (fun c -> c.c_variant = v.v_name)
+            (snd base_results.(wi))
+        else
+          match !serial_q with
+          | c :: tl ->
+              serial_q := tl;
+              c
+          | [] -> assert false)
+      (Array.to_list specs)
+  in
   let is_baseline c =
     c.c_variant = baseline_variant.v_name
     && c.c_ablation = baseline_ablation.a_name
@@ -286,6 +428,7 @@ let run ?(variants = variants) ?(ablations = [ baseline_ablation ])
     r_baseline = baseline;
     r_cells = rest;
     r_tornado = tornado;
+    r_fused_cells = List.length (List.filter (fun c -> c.c_fused) all);
     r_wall_s = Sys.time () -. t0;
   }
 
@@ -395,6 +538,7 @@ let cell_to_json (r : report) (c : cell) =
       ("categories", categories_to_json c.c_categories);
       ("deltas", categories_to_json (deltas r c));
       ("output_matches", Json.Bool c.c_output_ok);
+      ("fused", Json.Bool c.c_fused);
       ("obs", c.c_obs);
     ]
 
@@ -463,6 +607,14 @@ let to_json (r : report) =
                    ("geomean_cycle_ratio", Json.Float t.t_geomean_ratio);
                  ])
              r.r_tornado) );
+      ( "fusion",
+        Json.Obj
+          [
+            ("fused_cells", Json.Int r.r_fused_cells);
+            (* each fused cell rode its workload's baseline simulation
+               instead of paying for its own *)
+            ("sims_saved", Json.Int r.r_fused_cells);
+          ] );
       ("total_wall_s", Json.Float r.r_wall_s);
     ]
 
@@ -500,11 +652,12 @@ let print_report ppf (r : report) =
                        (fun (n, d) -> Fmt.str "%s %+.0f" n d)
                        (List.filteri (fun i _ -> i < 3) l))
             in
-            Fmt.pf ppf "  %-34s %10.0f %7.3f  %s%s@."
+            Fmt.pf ppf "  %-34s %10.0f %7.3f  %s%s%s@."
               (c.c_variant ^ " x " ^ c.c_ablation)
               c.c_cycles
               (c.c_cycles /. b.c_cycles)
               top
+              (if c.c_fused then "  [fused]" else "")
               (if c.c_output_ok then "" else "  OUTPUT MISMATCH")
           end)
         r.r_cells)

@@ -68,6 +68,10 @@ type cell = {
   c_categories : float array;  (** the nine accounting categories *)
   c_output_ok : bool;
       (** simulated output still matches the reference interpreter *)
+  c_fused : bool;
+      (** this cell rode its workload's baseline simulation as a fused
+          charge-suppression experiment (DESIGN.md §14) instead of paying
+          for its own; cycles/categories are bit-identical either way *)
   c_obs : Epic_obs.Json.t;
       (** the shared observability block ({!Epic_core.Export.obs_to_json}):
           exact trace event counts and the PC-sampling profile of this
@@ -88,6 +92,8 @@ type report = {
   r_baseline : cell list;  (** one baseline cell per workload, suite order *)
   r_cells : cell list;  (** non-baseline cells, workload-major order *)
   r_tornado : row list;  (** (variant, ablation) combos by descending effect *)
+  r_fused_cells : int;
+      (** cells delivered by fused experiments = detailed simulations saved *)
   r_wall_s : float;
 }
 
@@ -108,12 +114,26 @@ type report = {
     become extrapolated estimates, which trades a bounded accuracy budget
     (EXPERIMENTS.md) for simulation speed on wide matrices.
 
+    By default ([fuse]) the pure charge-suppression variants
+    ([perfect-icache], [perfect-predictor]) paired with the baseline
+    ablation are {e fused} onto the workload's baseline simulation as
+    factor-1.0 category experiments ({!Epic_sim.Accounting.experiment}):
+    one detailed run delivers the baseline cell plus those variant cells,
+    bit-identical to their serial runs (suppressing a charge and scaling
+    it by [1 - 1.0] are the same float operation, and the machine's
+    evolution never reads the accounting).  [fuse:false] keeps the
+    one-simulation-per-cell path.  [big_inputs] substitutes each
+    workload's scaled evaluation input
+    ({!Epic_workloads.Workload.scale}).
+
     @raise Invalid_argument on an unknown workload name or [jobs < 1]. *)
 val run :
   ?variants:variant list ->
   ?ablations:ablation list ->
   ?compile:Epic_core.Driver.compile_fn ->
   ?sampling:Epic_sim.Sampling.plan ->
+  ?fuse:bool ->
+  ?big_inputs:bool ->
   ?progress:bool ->
   jobs:int ->
   workloads:string list ->
@@ -137,7 +157,8 @@ val desc_to_json : Epic_mach.Machine_desc.t -> Epic_obs.Json.t
     (name, isolates, targets, expect, desc), [ablations] (name, isolates),
     [cells]
     (workload, variant, ablation, cycles, cycle_ratio, categories, deltas,
-    output_matches, obs), [tornado] and [total_wall_s].  Pass the result
+    output_matches, fused, obs), [tornado], [fusion] (fused_cells,
+    sims_saved) and [total_wall_s].  Pass the result
     through {!Epic_core.Export.normalize_time} before diffing. *)
 val to_json : report -> Epic_obs.Json.t
 

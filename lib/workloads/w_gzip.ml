@@ -94,4 +94,7 @@ let t =
     ~source
     ~train:[| 42L; 3L; 1400L; 7L |]
     ~reference:[| 1234L; 6L; 2000L; 6L |]
+      (* 10x the compression rounds (input 1): same working set, ~10x the
+         simulated groups — the --big-inputs footprint *)
+    ~big_reference:[| 1234L; 60L; 2000L; 6L |]
     ()

@@ -75,4 +75,7 @@ let t =
     ~source
     ~train:[| 11L; 900L; 18L; 3L |]
     ~reference:[| 23L; 1500L; 25L; 4L |]
+      (* 10x the pricing sweeps (input 2): same network, ~10x the
+         simulated pointer-chasing — the --big-inputs footprint *)
+    ~big_reference:[| 23L; 1500L; 250L; 4L |]
     ()

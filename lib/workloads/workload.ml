@@ -10,9 +10,29 @@ type t = {
   source : string; (* mini-C text *)
   train : int64 array;
   reference : int64 array;
+  big_reference : int64 array option;
+      (* opt-in ~10x scaled evaluation input (--big-inputs); [None] = the
+         workload has no scaled variant and [scale] is the identity *)
   pointer_analysis : bool;
 }
 
-let make ?(pointer_analysis = true) ~name ~short ~description ~source ~train
-    ~reference () =
-  { name; short; description; source; train; reference; pointer_analysis }
+let make ?(pointer_analysis = true) ?big_reference ~name ~short ~description
+    ~source ~train ~reference () =
+  {
+    name;
+    short;
+    description;
+    source;
+    train;
+    reference;
+    big_reference;
+    pointer_analysis;
+  }
+
+(* The scaled variant: only the evaluation input changes — source and
+   train are untouched, so a scaled run shares the compile (and its cache
+   key) with the default one and only the simulation grows. *)
+let scale (w : t) =
+  match w.big_reference with
+  | None -> w
+  | Some big -> { w with reference = big }

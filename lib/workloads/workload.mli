@@ -9,12 +9,16 @@ type t = {
   source : string;  (** mini-C text *)
   train : int64 array;  (** profiling input *)
   reference : int64 array;  (** evaluation input *)
+  big_reference : int64 array option;
+      (** opt-in ~10x scaled evaluation input ([--big-inputs]); [None] =
+          no scaled variant, {!scale} is the identity *)
   pointer_analysis : bool;
       (** false for eon and perlbmk, as in the paper *)
 }
 
 val make :
   ?pointer_analysis:bool ->
+  ?big_reference:int64 array ->
   name:string ->
   short:string ->
   description:string ->
@@ -23,3 +27,9 @@ val make :
   reference:int64 array ->
   unit ->
   t
+
+(** The workload with its scaled evaluation input substituted ([reference
+    <- big_reference]); identity when the workload has none.  Source and
+    train are untouched, so a scaled run shares the default compile (and
+    compile cache key) and only the simulation grows. *)
+val scale : t -> t

@@ -153,6 +153,182 @@ let qcheck_func_category_scaling =
         Acc.all_categories;
       true)
 
+(* Random experiments over the replay vocabulary: any target kind, any
+   factor in [0, 1]. *)
+let experiment_gen =
+  QCheck.Gen.(
+    map
+      (fun (kind, fi, ci, pct) ->
+        let s = float_of_int pct /. 100. in
+        let f = funcs.(fi) and cat = cat_of_index ci in
+        let target =
+          match kind with
+          | 0 -> Acc.Target_func f
+          | 1 -> Acc.Target_category cat
+          | _ -> Acc.Target_func_category (f, cat)
+        in
+        { Acc.target; speedup = s })
+      (quad (int_range 0 2) (int_range 0 3) (int_range 0 8) (int_range 0 100)))
+
+(* Replay a charge trace through a fused experiment set, mimicking the
+   simulator's hot path: per-function bin rows refreshed on every function
+   switch, one charge_set per event. *)
+let replay_set exps trace =
+  let s = Acc.make_set exps in
+  let bs = Array.make (Acc.set_size s) [||] in
+  let cur = ref (-1) in
+  List.iter
+    (fun (fi, ci, cyc) ->
+      if !cur <> fi then begin
+        Acc.set_bins s bs funcs.(fi);
+        cur := fi
+      end;
+      Acc.charge_set s bs (cat_of_index ci) cyc)
+    trace;
+  Acc.set_accounts s
+
+(* Property (the tentpole's core claim, DESIGN.md §14): an N-experiment
+   fused replay is bit-for-bit equal to the N serial single-experiment
+   replays — every total and every per-function bin, bitwise. *)
+let qcheck_fused_equals_serial =
+  QCheck.Test.make ~count:100
+    ~name:"fused N-experiment replay == N serial replays, bitwise"
+    (QCheck.make
+       QCheck.Gen.(
+         pair charge_trace_gen (list_size (int_range 1 5) experiment_gen)))
+    (fun (trace, exps) ->
+      let fused = replay_set exps trace in
+      List.iteri
+        (fun i e ->
+          let serial = replay ~experiment:e trace in
+          List.iter
+            (fun c ->
+              let k = Acc.index c in
+              if
+                Int64.bits_of_float fused.(i).Acc.totals.(k)
+                <> Int64.bits_of_float serial.Acc.totals.(k)
+              then
+                QCheck.Test.fail_reportf "experiment %d: total %s differs" i
+                  (Acc.name c))
+            Acc.all_categories;
+          Array.iter
+            (fun f ->
+              let bf = Acc.bins fused.(i) f and bs = Acc.bins serial f in
+              Array.iteri
+                (fun k v ->
+                  if Int64.bits_of_float v <> Int64.bits_of_float bs.(k) then
+                    QCheck.Test.fail_reportf "experiment %d: bin %s/%d differs"
+                      i f k)
+                bf)
+            funcs)
+        exps;
+      true)
+
+(* The same identity end-to-end through the machine: one fused gzip
+   simulation carrying mixed-kind experiments must reproduce each serial
+   [?experiment] run bitwise, and leave its own host accounting
+   bit-identical to a plain run. *)
+let test_fused_machine_identity () =
+  let w = Epic_workloads.Suite.find_exn "gzip" in
+  let config = Epic_core.Experiments.config_for w Epic_core.Config.ILP_CS in
+  let compiled =
+    Epic_core.Driver.compile ~config ~train:w.Epic_workloads.Workload.train
+      w.Epic_workloads.Workload.source
+  in
+  let input = w.Epic_workloads.Workload.reference in
+  let exps =
+    [
+      { Acc.target = Acc.Target_category Acc.Front_end; speedup = 1.0 };
+      { Acc.target = Acc.Target_category Acc.Br_mispredict; speedup = 0.5 };
+      { Acc.target = Acc.Target_func "deflate"; speedup = 0.25 };
+      { Acc.target = Acc.Target_func_category ("deflate", Acc.Unstalled);
+        speedup = 0.75;
+      };
+    ]
+  in
+  let code_f, out_f, st_f =
+    Epic_core.Driver.run ~experiments:exps compiled input
+  in
+  let fused = Epic_sim.Machine.fused_accounts st_f in
+  Alcotest.(check int) "one fused account per experiment" (List.length exps)
+    (Array.length fused);
+  List.iteri
+    (fun i e ->
+      let code_s, out_s, st_s =
+        Epic_core.Driver.run ~experiment:e compiled input
+      in
+      Alcotest.(check int) "exit code" code_s code_f;
+      Alcotest.(check string) "output" out_s out_f;
+      Array.iteri
+        (fun k v ->
+          Alcotest.(check int64)
+            (Printf.sprintf "experiment %d category %d bitwise" i k)
+            (Int64.bits_of_float st_s.Epic_sim.Machine.acc.Acc.totals.(k))
+            (Int64.bits_of_float v))
+        fused.(i).Acc.totals)
+    exps;
+  let _, _, st_plain = Epic_core.Driver.run compiled input in
+  Array.iteri
+    (fun k v ->
+      Alcotest.(check int64)
+        (Printf.sprintf "host category %d untouched by the fused set" k)
+        (Int64.bits_of_float st_plain.Epic_sim.Machine.acc.Acc.totals.(k))
+        (Int64.bits_of_float v))
+    st_f.Epic_sim.Machine.acc.Acc.totals
+
+(* Checkpoint-prefix reuse under experiments: resuming a mid-run snapshot
+   with a fused set applies each experiment to the checkpointed past
+   (Accounting.apply_experiment_to_past) — totals must land within an ulp
+   (1e-9 relative) of the straight-through fused run, and exactly when
+   the target never charged before the capture point. *)
+let test_fused_checkpoint_resume () =
+  let w = Epic_workloads.Suite.find_exn "gzip" in
+  let config = Epic_core.Experiments.config_for w Epic_core.Config.ILP_CS in
+  let compiled =
+    Epic_core.Driver.compile ~config ~train:w.Epic_workloads.Workload.train
+      w.Epic_workloads.Workload.source
+  in
+  let input = w.Epic_workloads.Workload.reference in
+  let _, _, st_plain = Epic_core.Driver.run compiled input in
+  let at = st_plain.Epic_sim.Machine.c.Epic_sim.Machine.groups / 2 in
+  Alcotest.(check bool) "program long enough to split" true (at > 0);
+  let _, _, st_ck = Epic_core.Driver.run ~checkpoint_at:at compiled input in
+  let ck =
+    match st_ck.Epic_sim.Machine.ck_saved with
+    | Some ck -> ck
+    | None -> Alcotest.fail "no checkpoint captured"
+  in
+  let exps =
+    [
+      { Acc.target = Acc.Target_category Acc.Br_mispredict; speedup = 0.5 };
+      { Acc.target = Acc.Target_func "deflate"; speedup = 1.0 };
+    ]
+  in
+  let code_f, out_f, st_full =
+    Epic_core.Driver.run ~experiments:exps compiled input
+  in
+  let code_r, out_r, st_res = Epic_core.Driver.resume ~experiments:exps compiled ck in
+  Alcotest.(check int) "exit code" code_f code_r;
+  Alcotest.(check string) "output" out_f out_r;
+  let full = Epic_sim.Machine.fused_accounts st_full in
+  let res = Epic_sim.Machine.fused_accounts st_res in
+  let close_a msg a b =
+    let tol = 1e-9 *. Float.max 1.0 (Float.max (abs_float a) (abs_float b)) in
+    Alcotest.(check bool)
+      (Printf.sprintf "%s (%.17g vs %.17g)" msg a b)
+      true
+      (abs_float (a -. b) <= tol)
+  in
+  List.iteri
+    (fun i _ ->
+      Array.iteri
+        (fun k v ->
+          close_a
+            (Printf.sprintf "experiment %d category %d within ulp" i k)
+            full.(i).Acc.totals.(k) v)
+        res.(i).Acc.totals)
+    exps
+
 (* A no-op experiment (speedup 0) must leave the whole exported run
    document byte-identical to a run without any experiment — the
    acceptance guarantee that an idle hook costs nothing observable. *)
@@ -353,6 +529,11 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_category_scaling;
     QCheck_alcotest.to_alcotest qcheck_func_scaling;
     QCheck_alcotest.to_alcotest qcheck_func_category_scaling;
+    QCheck_alcotest.to_alcotest qcheck_fused_equals_serial;
+    Alcotest.test_case "fused machine run == serial runs, bitwise" `Slow
+      test_fused_machine_identity;
+    Alcotest.test_case "checkpoint resume under experiments" `Slow
+      test_fused_checkpoint_resume;
     Alcotest.test_case "no-op experiment is byte-invisible" `Slow
       test_noop_experiment_identity;
     Alcotest.test_case "experiment validation and activity" `Quick

@@ -175,6 +175,86 @@ let qcheck_cold_vs_hit =
             QCheck.Test.fail_report "hit diverged from cold bytes";
           true)
 
+(* Experiment runs are cached (the experiment is part of the run key);
+   only trace runs bypass.  Fused runs memoize in their own cache, and a
+   second matrix over the same (compiled, input) resumes the checkpoint
+   prefix the first one captured. *)
+let test_experiment_and_fused_caching () =
+  let module Acc = Epic_sim.Accounting in
+  let s = Session.create () in
+  let compiled, key, _ =
+    Session.compile s ~config:ilp_cs ~desc:None ~train:[| 5L |] prog_a
+  in
+  let reference, _ = Session.reference s ~source:prog_a ~input:[| 5L |] in
+  let e1 = { Acc.target = Acc.Target_category Acc.Front_end; speedup = 0.5 } in
+  let e2 = { Acc.target = Acc.Target_category Acc.Front_end; speedup = 1.0 } in
+  let run ?experiment () =
+    Session.run s ?experiment ~workload:"prog" ~reference ~key compiled [| 5L |]
+  in
+  let o1, h1 = run ~experiment:e1 () in
+  let _, h2 = run ~experiment:e1 () in
+  let _, h3 = run ~experiment:e2 () in
+  let _, h4 = run () in
+  Alcotest.(check bool) "cold experiment run misses" false h1;
+  Alcotest.(check bool) "same experiment hits" true h2;
+  Alcotest.(check bool) "different factor misses" false h3;
+  Alcotest.(check bool) "plain run has its own key" false h4;
+  ignore o1;
+  let st = Session.stats s in
+  Alcotest.(check int) "no uncached runs yet" 0 st.Session.st_run_uncached;
+  let trace = Epic_obs.Trace.create ~capacity:8 () in
+  let _ =
+    Session.run s ~trace ~workload:"prog" ~reference ~key compiled [| 5L |]
+  in
+  let st = Session.stats s in
+  Alcotest.(check int) "trace run bypasses" 1 st.Session.st_run_uncached;
+  (* fused runs: cold miss, warm hit; a second distinct set resumes the
+     prefix the first captured *)
+  let exps = [ e1; e2 ] in
+  let _, _, st_plain = Epic_core.Driver.run compiled [| 5L |] in
+  let groups = st_plain.Epic_sim.Machine.c.Epic_sim.Machine.groups in
+  let at = groups / 2 in
+  Alcotest.(check bool) "test program long enough" true (at > 0);
+  let f1, fh1 =
+    Session.run_fused s ~key compiled ~experiments:exps ~prefix_at:(Some at)
+      [| 5L |]
+  in
+  let f2, fh2 =
+    Session.run_fused s ~key compiled ~experiments:exps ~prefix_at:(Some at)
+      [| 5L |]
+  in
+  Alcotest.(check bool) "cold fused misses" false fh1;
+  Alcotest.(check bool) "warm fused hits" true fh2;
+  Alcotest.(check bool) "cold fused ran straight through" false
+    f1.Epic_core.Driver.f_resumed;
+  Alcotest.(check bool) "hit returns the same value" true (f1 == f2);
+  let exps' = [ { e1 with Acc.speedup = 0.25 } ] in
+  let f3, fh3 =
+    Session.run_fused s ~key compiled ~experiments:exps' ~prefix_at:(Some at)
+      [| 5L |]
+  in
+  Alcotest.(check bool) "different set misses" false fh3;
+  Alcotest.(check bool) "but resumes the captured prefix" true
+    f3.Epic_core.Driver.f_resumed;
+  (* resumed totals within an ulp of straight-through *)
+  let f3_full =
+    Epic_core.Driver.default_fused ~config:ilp_cs ~desc:None ~train:[| 5L |]
+      ~input:[| 5L |] ~experiments:exps' ~prefix_at:None prog_a
+  in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun k v ->
+          let r = f3.Epic_core.Driver.f_categories.(i).(k) in
+          let tol = 1e-9 *. Float.max 1.0 (abs_float v) in
+          Alcotest.(check bool)
+            (Printf.sprintf "resumed exp %d cat %d within ulp (%.17g vs %.17g)"
+               i k r v)
+            true
+            (abs_float (r -. v) <= tol))
+        row)
+    f3_full.Epic_core.Driver.f_categories
+
 (* Concurrency: N pool jobs demanding one key must compile exactly once —
    one miss, N-1 hits, every job handed the same physical artifact. *)
 let test_concurrent_hammer () =
@@ -253,6 +333,8 @@ let suite =
     Alcotest.test_case "run-cache hit is byte-identical to cold" `Slow
       test_run_cache_byte_identity;
     QCheck_alcotest.to_alcotest qcheck_cold_vs_hit;
+    Alcotest.test_case "experiment runs cache; fused runs memoize and resume"
+      `Slow test_experiment_and_fused_caching;
     Alcotest.test_case "concurrent same-key requests compile once" `Quick
       test_concurrent_hammer;
     Alcotest.test_case "protocol envelopes and error paths" `Quick

@@ -103,8 +103,58 @@ let test_sentinel_avoids_gcc_kernel_time () =
     (Accounting.get s.Machine.acc Accounting.Kernel
     < 0.2 *. Accounting.get g.Machine.acc Accounting.Kernel)
 
+(* --big-inputs contract: [Workload.scale] swaps only the evaluation
+   input (source and train untouched, so compiles share cache keys), the
+   scaled runs simulate substantially more work, and workloads without a
+   big variant pass through unchanged. *)
+let test_big_inputs_scaling () =
+  List.iter
+    (fun short ->
+      let w = Epic_workloads.Suite.find_exn short in
+      let big = Epic_workloads.Workload.scale w in
+      check Alcotest.string "source unchanged" w.Epic_workloads.Workload.source
+        big.Epic_workloads.Workload.source;
+      check cb "train unchanged" true
+        (w.Epic_workloads.Workload.train = big.Epic_workloads.Workload.train);
+      check cb "reference input actually scaled" true
+        (w.Epic_workloads.Workload.reference
+        <> big.Epic_workloads.Workload.reference))
+    [ "gzip"; "mcf" ];
+  (* a workload with no big variant scales to itself *)
+  let twolf = Epic_workloads.Suite.find_exn "twolf" in
+  check cb "no big variant: scale is the identity" true
+    (Epic_workloads.Workload.scale twolf == twolf);
+  (* the scaled gzip really is ~10x the simulated work *)
+  let w = Epic_workloads.Suite.find_exn "gzip" in
+  let config =
+    {
+      (Epic_core.Config.make Epic_core.Config.ILP_CS) with
+      Epic_core.Config.pointer_analysis =
+        w.Epic_workloads.Workload.pointer_analysis;
+    }
+  in
+  let compiled =
+    Epic_core.Driver.compile ~config ~train:w.Epic_workloads.Workload.train
+      w.Epic_workloads.Workload.source
+  in
+  let groups input =
+    let _, _, st = Epic_core.Driver.run compiled input in
+    st.Epic_sim.Machine.c.Epic_sim.Machine.groups
+  in
+  let small = groups w.Epic_workloads.Workload.reference in
+  let big =
+    groups
+      (Epic_workloads.Workload.scale w).Epic_workloads.Workload.reference
+  in
+  check cb
+    (Printf.sprintf "scaled gzip simulates ~10x the groups (%d vs %d)" big
+       small)
+    true
+    (big > 5 * small)
+
 let suite =
   [
+    ("big-inputs scale the evaluation input only", `Slow, test_big_inputs_scaling);
     ("mcf flat across levels", `Slow, test_mcf_is_flat);
     ("mcf memory bound", `Slow, test_mcf_memory_bound);
     ("gcc wild loads (general model)", `Slow, test_gcc_wild_loads_under_general);
